@@ -1,0 +1,180 @@
+//! Application 5: an in-network DNS resolver (§VIII-C.5).
+//!
+//! Extends the action vocabulary with `answerDNS(ip)`: a subscription
+//! like `name == h105: answerDNS(10.0.0.105)` makes the switch craft an
+//! authoritative answer and send it back to the querier; unknown names
+//! fall through to the real DNS server. Packet subscriptions act as a
+//! caching layer in front of the resolver fleet.
+
+use camus_core::compiler::{CompileError, Compiler};
+use camus_core::statics::{compile_static, StaticPipeline};
+use camus_dataplane::{Packet, PacketBuilder, Switch, SwitchConfig};
+use camus_lang::ast::{Action, Rule};
+use camus_lang::parser::parse_rule;
+use camus_lang::spec::Spec;
+use camus_lang::value::format_ipv4;
+
+/// A simplified DNS query header: a fixed-width name plus query type.
+pub fn dns_spec() -> Spec {
+    Spec::parse(
+        r#"
+        header dns_query {
+            bit<16> txid;
+            bit<16> qtype;
+            @field_exact str<16> name;
+        }
+        sequence dns_query
+        "#,
+    )
+    .expect("DNS spec parses")
+}
+
+/// Outcome of resolving one query at the switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Authoritative answer crafted by the switch.
+    Answered { name: String, ip: u32, txid: i64 },
+    /// Forwarded to the real DNS server on a port.
+    Forwarded(u16),
+    /// Dropped (no entry, no default route configured).
+    Dropped,
+}
+
+/// The resolver: a set of name → address entries plus a fallback port.
+pub struct DnsApp {
+    pub spec: Spec,
+    pub statics: StaticPipeline,
+    entries: Vec<(String, u32)>,
+    fallback_port: u16,
+}
+
+impl DnsApp {
+    pub fn new(fallback_port: u16) -> Self {
+        let spec = dns_spec();
+        let statics = compile_static(&spec).expect("DNS spec compiles");
+        DnsApp { spec, statics, entries: Vec::new(), fallback_port }
+    }
+
+    /// Add (or replace) a DNS entry — "a DNS entry can be added with a
+    /// single subscription rule".
+    pub fn add_entry(&mut self, name: &str, ip: u32) {
+        self.entries.retain(|(n, _)| n != name);
+        self.entries.push((name.to_string(), ip));
+    }
+
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut rules: Vec<Rule> = self
+            .entries
+            .iter()
+            .map(|(name, ip)| {
+                parse_rule(&format!("name == {name}: answerDNS({})", format_ipv4(*ip)))
+                    .expect("well-formed DNS rule")
+            })
+            .collect();
+        // Default: forward unknown names to the resolver fleet.
+        rules.push(parse_rule(&format!("true: fwd({})", self.fallback_port)).unwrap());
+        rules
+    }
+
+    pub fn switch(&self, config: SwitchConfig) -> Result<Switch, CompileError> {
+        let compiled =
+            Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
+        Ok(Switch::new(&self.statics, compiled.pipeline, config))
+    }
+
+    /// Build a query packet.
+    pub fn query(&self, txid: i64, name: &str) -> Packet {
+        PacketBuilder::new(&self.spec)
+            .stack_field("dns_query", "txid", txid)
+            .stack_field("dns_query", "qtype", 1i64) // A record
+            .stack_field("dns_query", "name", name)
+            .build()
+    }
+
+    /// Run one query through the switch and interpret the outcome.
+    pub fn resolve(&self, sw: &mut Switch, pkt: &Packet, now_us: u64) -> Resolution {
+        let out = sw.process(pkt, 0, now_us);
+        // An answerDNS action wins: the switch crafts the response.
+        for (_, action) in &out.actions {
+            if let Action::AnswerDns(ip) = action {
+                let hdr = pkt.stack_header(&self.spec, "dns_query").unwrap_or_default();
+                let name = hdr.get("name").and_then(|v| v.as_str().map(String::from));
+                let txid = hdr.get("txid").and_then(|v| v.as_int()).unwrap_or(0);
+                return Resolution::Answered {
+                    name: name.unwrap_or_default(),
+                    ip: *ip,
+                    txid,
+                };
+            }
+        }
+        match out.ports.first() {
+            Some((port, _)) => Resolution::Forwarded(*port),
+            None => Resolution::Dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::value::parse_ipv4;
+
+    #[test]
+    fn cached_name_is_answered_at_the_switch() {
+        let mut app = DnsApp::new(9);
+        app.add_entry("h105", parse_ipv4("10.0.0.105").unwrap());
+        let mut sw = app.switch(SwitchConfig::default()).unwrap();
+        let q = app.query(42, "h105");
+        let r = app.resolve(&mut sw, &q, 0);
+        assert_eq!(
+            r,
+            Resolution::Answered {
+                name: "h105".into(),
+                ip: parse_ipv4("10.0.0.105").unwrap(),
+                txid: 42
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_name_falls_through_to_server() {
+        let mut app = DnsApp::new(9);
+        app.add_entry("h105", parse_ipv4("10.0.0.105").unwrap());
+        let mut sw = app.switch(SwitchConfig::default()).unwrap();
+        let r = app.resolve(&mut sw, &app.query(1, "unknown"), 0);
+        assert_eq!(r, Resolution::Forwarded(9));
+    }
+
+    #[test]
+    fn entries_can_be_updated() {
+        let mut app = DnsApp::new(9);
+        app.add_entry("svc", parse_ipv4("10.0.0.1").unwrap());
+        app.add_entry("svc", parse_ipv4("10.0.0.2").unwrap());
+        assert_eq!(app.rules().len(), 2); // one entry + default
+        let mut sw = app.switch(SwitchConfig::default()).unwrap();
+        match app.resolve(&mut sw, &app.query(7, "svc"), 0) {
+            Resolution::Answered { ip, .. } => {
+                assert_eq!(ip, parse_ipv4("10.0.0.2").unwrap())
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_entries_resolve_exactly() {
+        let mut app = DnsApp::new(9);
+        for i in 0..200u32 {
+            app.add_entry(&format!("h{i}"), 0x0A00_0000 + i);
+        }
+        let mut sw = app.switch(SwitchConfig::default()).unwrap();
+        for i in (0..200u32).step_by(17) {
+            match app.resolve(&mut sw, &app.query(i as i64, &format!("h{i}")), u64::from(i)) {
+                Resolution::Answered { ip, txid, .. } => {
+                    assert_eq!(ip, 0x0A00_0000 + i);
+                    assert_eq!(txid, i as i64);
+                }
+                other => panic!("h{i}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # camus-apps — the eight applications of the paper's evaluation
+//!
+//! §VIII-C builds eight diverse applications on packet subscriptions to
+//! demonstrate expressiveness (evaluation question Q1). Each module
+//! provides the application's header spec, its subscription rules, its
+//! packet builders wired to [`camus_workloads`], and an end-to-end
+//! harness over the dataplane/network simulators:
+//!
+//! 1. [`itch`] — Nasdaq ITCH market-data filter (the running example).
+//! 2. [`telemetry`] — INT network-telemetry analytics: in-network
+//!    anomaly filtering replacing the Kafka+Spark pipeline.
+//! 3. [`ila`] — identifier-based routing (ILA): services subscribe to
+//!    their identifier and can migrate by resubscribing.
+//! 4. [`hicn`] — hybrid-ICN video streaming: meter-gated routing that
+//!    sends only likely-cached requests to the software forwarder.
+//! 5. [`dns`] — an in-network DNS resolver using the custom
+//!    `answerDNS` action.
+//! 6. [`linear_road`] — IoT motor-highway monitoring (speeding
+//!    detection in lat/long boxes).
+//! 7. [`pubsub`] — a Kafka-style topic pub/sub shim with producer and
+//!    consumer handles over the simulated network.
+//! 8. [`ip`] — traditional IP forwarding expressed as packet
+//!    subscriptions (subscriptions generalise forwarding rules).
+
+pub mod dns;
+pub mod hicn;
+pub mod ila;
+pub mod ip;
+pub mod itch;
+pub mod linear_road;
+pub mod pubsub;
+pub mod telemetry;

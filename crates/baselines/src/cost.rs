@@ -1,0 +1,132 @@
+//! Throughput cost models for Fig. 9.
+//!
+//! Calibrated to the paper's testbed (§VIII-B: dual-socket Xeon
+//! E5-2603 at 1.6 GHz) and its reported numbers (§VIII-E.2):
+//!
+//! * **DPDK** is "fundamentally limited by the CPU clock speed: at
+//!   1.6 GHz, spending about 100 instructions per packet, DPDK can
+//!   process 16 Mpps" — and "latency for DPDK drastically increases
+//!   after 10 K filters" (working set falls out of cache, per-filter
+//!   touch cost jumps).
+//! * **plain C** (userspace sockets) pays kernel/syscall overhead per
+//!   packet on top of the same filtering loop.
+//! * **Camus/Tofino** runs at line rate regardless of filter count:
+//!   filters live in hardware tables; the 100 G link (≈ 149 Mpps at
+//!   84 B minimum frames, ≈ 8.4 Mpps at 1.5 kB) is the only limit.
+
+/// Model parameters, defaulting to the paper's testbed.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// CPU clock in Hz.
+    pub clock_hz: f64,
+    /// Fixed instructions per packet for the DPDK fast path.
+    pub dpdk_fixed_instr: f64,
+    /// Instructions per *filter* per packet while filters fit in cache.
+    pub instr_per_filter_cached: f64,
+    /// Instructions per filter once the working set spills (>10 K).
+    pub instr_per_filter_spilled: f64,
+    /// Filter count where the cache cliff starts.
+    pub cache_cliff: usize,
+    /// Extra fixed per-packet cost for plain C (syscall + skb), in
+    /// instructions-equivalent.
+    pub c_kernel_overhead_instr: f64,
+    /// Link capacity in packets/s (100 GbE at the experiment's packet
+    /// size).
+    pub line_rate_pps: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            clock_hz: 1.6e9,
+            dpdk_fixed_instr: 100.0,
+            instr_per_filter_cached: 4.0,
+            instr_per_filter_spilled: 40.0,
+            cache_cliff: 10_000,
+            c_kernel_overhead_instr: 2_500.0,
+            // 100G at ~256 B packets ≈ 45 Mpps; the INT experiment
+            // streams small telemetry reports.
+            line_rate_pps: 45.0e6,
+        }
+    }
+}
+
+impl CostModel {
+    fn filter_instr(&self, n_filters: usize) -> f64 {
+        let cached = n_filters.min(self.cache_cliff) as f64 * self.instr_per_filter_cached;
+        let spilled =
+            n_filters.saturating_sub(self.cache_cliff) as f64 * self.instr_per_filter_spilled;
+        cached + spilled
+    }
+
+    /// Achievable throughput of the DPDK filter, packets/s.
+    pub fn dpdk_pps(&self, n_filters: usize) -> f64 {
+        let instr = self.dpdk_fixed_instr + self.filter_instr(n_filters);
+        (self.clock_hz / instr).min(self.line_rate_pps)
+    }
+
+    /// Achievable throughput of the plain C (userspace socket) filter.
+    pub fn c_pps(&self, n_filters: usize) -> f64 {
+        let instr =
+            self.dpdk_fixed_instr + self.c_kernel_overhead_instr + self.filter_instr(n_filters);
+        (self.clock_hz / instr).min(self.line_rate_pps)
+    }
+
+    /// Camus on the switch: filters are table entries; line rate.
+    pub fn camus_pps(&self, _n_filters: usize) -> f64 {
+        self.line_rate_pps
+    }
+
+    /// Mean per-packet service time of the DPDK filter, seconds.
+    pub fn dpdk_service_s(&self, n_filters: usize) -> f64 {
+        1.0 / self.dpdk_pps(n_filters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpdk_matches_paper_headline() {
+        // ~100 instructions/packet at 1.6 GHz -> 16 Mpps (with no
+        // filters).
+        let m = CostModel::default();
+        let pps = m.dpdk_pps(0);
+        assert!((pps - 16.0e6).abs() / 16.0e6 < 0.01, "{pps}");
+    }
+
+    #[test]
+    fn c_is_slower_than_dpdk() {
+        let m = CostModel::default();
+        for n in [0usize, 10, 1_000, 100_000] {
+            assert!(m.c_pps(n) < m.dpdk_pps(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn throughput_decreases_with_filters() {
+        let m = CostModel::default();
+        assert!(m.dpdk_pps(10) < m.dpdk_pps(0));
+        assert!(m.dpdk_pps(1_000) < m.dpdk_pps(10));
+        assert!(m.dpdk_pps(100_000) < m.dpdk_pps(1_000));
+    }
+
+    #[test]
+    fn cache_cliff_kicks_in_past_10k() {
+        let m = CostModel::default();
+        // Marginal cost per filter below vs above the cliff.
+        let below = m.dpdk_service_s(10_000) - m.dpdk_service_s(9_000);
+        let above = m.dpdk_service_s(21_000) - m.dpdk_service_s(20_000);
+        assert!(above > 5.0 * below, "below {below:e} above {above:e}");
+    }
+
+    #[test]
+    fn camus_is_flat_at_line_rate() {
+        let m = CostModel::default();
+        assert_eq!(m.camus_pps(0), m.camus_pps(1_000_000));
+        assert_eq!(m.camus_pps(0), m.line_rate_pps);
+        // And faster than software everywhere.
+        assert!(m.camus_pps(100) > m.dpdk_pps(100));
+    }
+}

@@ -1,0 +1,101 @@
+//! A minimal Kafka-broker model (§VIII-C.7, §VIII-D.2).
+//!
+//! The paper's pub/sub application replaces a Kafka broker with the
+//! switch. For the comparison we model the broker as a store-and-
+//! forward server: each published message costs a per-message service
+//! time (network + log append + fan-out), bounded by a broker
+//! throughput ceiling; subscribers then receive it one broker-hop
+//! later. The paper's own caveat (§VIII-C.9) applies: the shim offers
+//! no persistence or replication, so the comparison is about the
+//! forwarding path only.
+
+/// Broker parameters, defaulting to a single well-tuned broker node
+/// (~1 M msg/s for small messages, per the benchmarking reference the
+/// paper cites for 512 B messages).
+#[derive(Debug, Clone)]
+pub struct KafkaModel {
+    /// Sustained broker throughput ceiling, messages/s.
+    pub max_msgs_per_s: f64,
+    /// Base one-way latency through the broker (client → broker →
+    /// client), seconds.
+    pub base_latency_s: f64,
+    /// Per-subscriber fan-out cost, seconds per extra copy.
+    pub fanout_cost_s: f64,
+}
+
+impl Default for KafkaModel {
+    fn default() -> Self {
+        KafkaModel {
+            max_msgs_per_s: 1.0e6,
+            base_latency_s: 250e-6,
+            fanout_cost_s: 1e-6,
+        }
+    }
+}
+
+impl KafkaModel {
+    /// Mean delivery latency at a given offered load and subscriber
+    /// count; grows hyperbolically as load approaches the ceiling
+    /// (M/M/1 approximation) and is unbounded past it.
+    pub fn latency_s(&self, offered_msgs_per_s: f64, subscribers: usize) -> Option<f64> {
+        if offered_msgs_per_s >= self.max_msgs_per_s {
+            return None; // saturated
+        }
+        let rho = offered_msgs_per_s / self.max_msgs_per_s;
+        let service = 1.0 / self.max_msgs_per_s;
+        let queueing = service * rho / (1.0 - rho);
+        Some(
+            self.base_latency_s
+                + queueing
+                + self.fanout_cost_s * subscribers.saturating_sub(1) as f64,
+        )
+    }
+
+    /// Achievable goodput for a target: min(offered, ceiling).
+    pub fn goodput(&self, offered_msgs_per_s: f64) -> f64 {
+        offered_msgs_per_s.min(self.max_msgs_per_s)
+    }
+
+    /// Brokers needed to absorb an offered load with headroom.
+    pub fn brokers_needed(&self, offered_msgs_per_s: f64, max_util: f64) -> usize {
+        assert!(max_util > 0.0 && max_util <= 1.0);
+        (offered_msgs_per_s / (self.max_msgs_per_s * max_util)).ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_load() {
+        let m = KafkaModel::default();
+        let low = m.latency_s(1e5, 1).unwrap();
+        let high = m.latency_s(9e5, 1).unwrap();
+        assert!(high > low);
+        assert!(m.latency_s(1.1e6, 1).is_none(), "saturated broker");
+    }
+
+    #[test]
+    fn fanout_adds_cost() {
+        let m = KafkaModel::default();
+        assert!(m.latency_s(1e5, 10).unwrap() > m.latency_s(1e5, 1).unwrap());
+    }
+
+    #[test]
+    fn goodput_saturates() {
+        let m = KafkaModel::default();
+        assert_eq!(m.goodput(5e5), 5e5);
+        assert_eq!(m.goodput(5e6), 1e6);
+    }
+
+    #[test]
+    fn broker_scaling() {
+        let m = KafkaModel::default();
+        assert_eq!(m.brokers_needed(5e5, 0.7), 1);
+        assert_eq!(m.brokers_needed(5e6, 0.7), 8);
+        // A 6.5 Tbps switch at 512 B messages moves ~1.6 G msgs/s; the
+        // broker fleet to match is enormous — the paper's point.
+        assert!(m.brokers_needed(1.6e9, 0.7) > 2_000);
+    }
+}

@@ -1,0 +1,125 @@
+//! The software filtering engine: linear scan over all filters.
+//!
+//! This is what a subscriber process (or a DPDK filtering appliance)
+//! actually does per packet: test each filter until the verdict is
+//! known. For the "does anything match" question it can exit early; for
+//! the full pub/sub question (who gets this message) it must touch
+//! every filter — the reason software latency degrades with filter
+//! count in Fig. 9 while the switch stays flat.
+
+use camus_lang::ast::{Expr, Operand};
+use camus_lang::dnf::{to_dnf, Dnf};
+use camus_lang::value::Value;
+use std::collections::HashMap;
+
+/// A compiled-for-software filter set.
+#[derive(Debug, Clone)]
+pub struct LinearFilter {
+    dnfs: Vec<Dnf>,
+}
+
+impl LinearFilter {
+    /// Pre-normalise filters to DNF once (software engines do this kind
+    /// of preprocessing too; the per-packet loop is what we measure).
+    pub fn new(filters: &[Expr]) -> Self {
+        LinearFilter { dnfs: filters.iter().map(to_dnf).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.dnfs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dnfs.is_empty()
+    }
+
+    /// Does any filter match? Early-exits on the first hit.
+    pub fn matches_any(&self, pkt: &HashMap<String, Value>) -> bool {
+        let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
+        self.dnfs.iter().any(|d| d.eval_with(&lookup))
+    }
+
+    /// Indices of all matching filters (the full pub/sub question).
+    pub fn matching(&self, pkt: &HashMap<String, Value>) -> Vec<usize> {
+        let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
+        self.dnfs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.eval_with(&lookup))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count matches without allocating (benchmark-friendly).
+    pub fn match_count(&self, pkt: &HashMap<String, Value>) -> usize {
+        let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
+        self.dnfs.iter().filter(|d| d.eval_with(&lookup)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::parser::parse_expr;
+
+    fn pkt(vals: &[(&str, Value)]) -> HashMap<String, Value> {
+        vals.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn matching_returns_all_hits() {
+        let filters = vec![
+            parse_expr("price > 10").unwrap(),
+            parse_expr("price > 100").unwrap(),
+            parse_expr("stock == GOOGL").unwrap(),
+        ];
+        let lf = LinearFilter::new(&filters);
+        let p = pkt(&[("price", Value::Int(50)), ("stock", Value::from("GOOGL"))]);
+        assert_eq!(lf.matching(&p), vec![0, 2]);
+        assert_eq!(lf.match_count(&p), 2);
+        assert!(lf.matches_any(&p));
+        let none = pkt(&[("price", Value::Int(1)), ("stock", Value::from("FB"))]);
+        assert!(lf.matching(&none).is_empty());
+        assert!(!lf.matches_any(&none));
+    }
+
+    #[test]
+    fn agrees_with_direct_expression_evaluation() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let filters: Vec<Expr> = (0..50)
+            .map(|i| {
+                parse_expr(&format!(
+                    "a {} {} and b {} {}",
+                    ["<", ">", "=="][i % 3],
+                    rng.gen_range(0..20),
+                    [">=", "<=", "!="][i % 3],
+                    rng.gen_range(0..20)
+                ))
+                .unwrap()
+            })
+            .collect();
+        let lf = LinearFilter::new(&filters);
+        for _ in 0..200 {
+            let p = pkt(&[
+                ("a", Value::Int(rng.gen_range(-2..22))),
+                ("b", Value::Int(rng.gen_range(-2..22))),
+            ]);
+            let lookup = |op: &Operand| p.get(&op.key()).cloned();
+            let want: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.eval_with(&lookup))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(lf.matching(&p), want);
+        }
+    }
+
+    #[test]
+    fn empty_filter_set() {
+        let lf = LinearFilter::new(&[]);
+        assert!(lf.is_empty());
+        assert!(!lf.matches_any(&pkt(&[("a", Value::Int(1))])));
+    }
+}

@@ -1,0 +1,75 @@
+//! Graphviz export, mirroring Fig. 5 of the paper: solid arrows for
+//! true branches, dashed for false, rectangular terminals listing the
+//! matched rules.
+
+use crate::store::{Bdd, NodeRef};
+use std::fmt::Write;
+
+/// Render the reachable part of the BDD as a `dot` digraph.
+pub fn to_dot(bdd: &Bdd) -> String {
+    let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+    let mut terms = std::collections::BTreeSet::new();
+    match bdd.root() {
+        NodeRef::Term(t) => {
+            terms.insert(t.0);
+        }
+        NodeRef::Node(_) => {}
+    }
+    for id in bdd.reachable_nodes() {
+        let n = bdd.node(id);
+        let _ = writeln!(out, "  n{} [label=\"{}\", shape=ellipse];", id, bdd.pred(n.var));
+        for (child, style) in [(n.hi, "solid"), (n.lo, "dashed")] {
+            match child {
+                NodeRef::Node(c) => {
+                    let _ = writeln!(out, "  n{id} -> n{c} [style={style}];");
+                }
+                NodeRef::Term(t) => {
+                    terms.insert(t.0);
+                    let _ = writeln!(out, "  n{id} -> t{} [style={style}];", t.0);
+                }
+            }
+        }
+    }
+    for t in terms {
+        let set = bdd.terminal(crate::store::TermId(t));
+        let label = if set.is_empty() {
+            "∅".to_string()
+        } else {
+            set.iter().map(|r| format!("r{r}")).collect::<Vec<_>>().join(",")
+        };
+        let _ = writeln!(out, "  t{t} [label=\"{label}\", shape=box];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BddBuilder;
+    use camus_lang::parser::parse_rules;
+
+    #[test]
+    fn dot_output_mentions_predicates_and_terminals() {
+        let rules = parse_rules(
+            "shares == 1 and stock == GOOGL: fwd(1)\nstock == GOOGL: fwd(2)\n",
+        )
+        .unwrap();
+        let bdd = BddBuilder::from_rules(&rules).build();
+        let dot = to_dot(&bdd);
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("shares == 1"));
+        assert!(dot.contains("stock == \\\"GOOGL\\\"") || dot.contains("stock == \"GOOGL\""));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_bdd_renders_single_terminal() {
+        let bdd = BddBuilder::from_rules(&[]).build();
+        let dot = to_dot(&bdd);
+        assert!(dot.contains("t0"));
+        assert!(dot.contains("∅"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Variable ordering.
+//!
+//! A BDD variable is an atomic predicate. Variables are ordered first by
+//! *field* (operand), then canonically within a field. The per-field
+//! grouping is what lets Algorithm 2 slice the BDD into contiguous
+//! field-specific components; the field order itself is a heuristic
+//! choice (§V-C: "determining an optimal field order is NP-hard, but
+//! simple heuristics often work well").
+
+use camus_lang::ast::{Operand, Predicate, Rel, Rule};
+use camus_lang::value::Value;
+use std::collections::HashMap;
+
+/// An ordering over operands (fields and aggregates).
+///
+/// Operands not present in the order are appended in first-appearance
+/// order at build time, so a partial order (e.g. derived from a header
+/// spec) is always safe to use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarOrder {
+    keys: Vec<String>,
+    rank: HashMap<String, usize>,
+}
+
+impl VarOrder {
+    /// An empty order: fields are ranked by first appearance in the
+    /// rule set.
+    pub fn empty() -> Self {
+        VarOrder::default()
+    }
+
+    /// An explicit order over operand keys (`price`, `avg(price)`,
+    /// `itch_order.stock` ... — must match [`Operand::key`] exactly).
+    pub fn from_keys<I, S>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut order = VarOrder::default();
+        for k in keys {
+            order.push(k.into());
+        }
+        order
+    }
+
+    /// A frequency heuristic: fields constrained by more rules come
+    /// first, so the most discriminating tests sit near the root. Ties
+    /// break by first appearance for determinism.
+    pub fn by_frequency(rules: &[Rule]) -> Self {
+        let mut counts: Vec<(String, usize, usize)> = Vec::new(); // (key, count, first)
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for rule in rules {
+            for op in rule.filter.operands() {
+                let key = op.key();
+                match index.get(&key) {
+                    Some(&i) => counts[i].1 += 1,
+                    None => {
+                        index.insert(key.clone(), counts.len());
+                        counts.push((key, 1, counts.len()));
+                    }
+                }
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+        VarOrder::from_keys(counts.into_iter().map(|(k, _, _)| k))
+    }
+
+    /// Append a key (no-op if already present).
+    pub fn push(&mut self, key: String) {
+        if !self.rank.contains_key(&key) {
+            self.rank.insert(key.clone(), self.keys.len());
+            self.keys.push(key);
+        }
+    }
+
+    /// Rank of an operand key, if present.
+    pub fn rank(&self, key: &str) -> Option<usize> {
+        self.rank.get(key).copied()
+    }
+
+    /// The ordered keys.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Canonical within-field ordering of predicates: by relation class,
+/// then constant. Any fixed total order works for correctness; keeping
+/// equalities together helps the compiler emit dense exact-match tables.
+pub fn pred_sort_key(p: &Predicate) -> (u8, Option<i64>, Option<String>) {
+    let relk = match p.rel {
+        Rel::Eq => 0u8,
+        Rel::Ne => 1,
+        Rel::Lt => 2,
+        Rel::Le => 3,
+        Rel::Gt => 4,
+        Rel::Ge => 5,
+        Rel::Prefix => 6,
+        Rel::NotPrefix => 7,
+    };
+    match &p.constant {
+        Value::Int(i) => (relk, Some(*i), None),
+        Value::Str(s) => (relk, None, Some(s.clone())),
+    }
+}
+
+/// Compare two operand keys under an order, falling back to a stable
+/// appearance rank map for keys missing from the order.
+pub fn operand_rank(order: &VarOrder, fallback: &HashMap<String, usize>, op: &Operand) -> usize {
+    let key = op.key();
+    order
+        .rank(&key)
+        .unwrap_or_else(|| order.len() + fallback.get(&key).copied().unwrap_or(usize::MAX / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::parser::parse_rules;
+
+    #[test]
+    fn from_keys_ranks_in_order() {
+        let o = VarOrder::from_keys(["stock", "price", "shares"]);
+        assert_eq!(o.rank("stock"), Some(0));
+        assert_eq!(o.rank("price"), Some(1));
+        assert_eq!(o.rank("shares"), Some(2));
+        assert_eq!(o.rank("missing"), None);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn push_is_idempotent() {
+        let mut o = VarOrder::empty();
+        o.push("a".into());
+        o.push("a".into());
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn frequency_heuristic_orders_by_count() {
+        let rules = parse_rules(
+            "stock == A and price > 1: fwd(1)\n\
+             stock == B and price > 2: fwd(2)\n\
+             stock == C: fwd(3)\n",
+        )
+        .unwrap();
+        let o = VarOrder::by_frequency(&rules);
+        assert_eq!(o.keys()[0], "stock"); // 3 uses
+        assert_eq!(o.keys()[1], "price"); // 2 uses
+    }
+
+    #[test]
+    fn frequency_ties_break_by_appearance() {
+        let rules = parse_rules("b == 1 and a == 2: fwd(1)").unwrap();
+        let o = VarOrder::by_frequency(&rules);
+        assert_eq!(o.keys(), &["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn pred_sort_key_separates_relations() {
+        use camus_lang::ast::Predicate;
+        let eq = Predicate::field("f", Rel::Eq, 5i64);
+        let gt = Predicate::field("f", Rel::Gt, 1i64);
+        assert!(pred_sort_key(&eq) < pred_sort_key(&gt));
+        let s1 = Predicate::field("f", Rel::Eq, "A");
+        let s2 = Predicate::field("f", Rel::Eq, "B");
+        assert!(pred_sort_key(&s1) < pred_sort_key(&s2));
+    }
+}

@@ -1,0 +1,596 @@
+//! The hash-consed multi-terminal BDD store and its reduction rules.
+//!
+//! Reductions implemented in [`Bdd::mk`] (§V-C of the paper):
+//!
+//! 1. **Isomorphism sharing** — nodes are hash-consed in a unique
+//!    table, so structurally equal subgraphs exist once.
+//! 2. **Same-child elimination** — a node whose branches coincide is
+//!    never materialised.
+//! 3. **Implication pruning** — before a node is created, its subtrees
+//!    are rewritten so that any descendant predicate *on the same
+//!    field* that the new node's assignment decides (via the semantic
+//!    algebra in [`camus_lang::sets`]) is bypassed. This removes
+//!    unsatisfiable paths and is also what guarantees at most one
+//!    In→Out path per node pair inside a field component, keeping
+//!    Algorithm 2's table quadratic (§V-D).
+
+use camus_lang::ast::{Action, Operand, Predicate};
+use camus_lang::sets::implication;
+use camus_lang::value::Value;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
+
+/// Index of an interned rule *label* (action): terminals carry sets of
+/// these. Rules with identical actions share a label, which is what
+/// lets thousands of same-action filters collapse into a handful of
+/// terminals (and their subgraphs merge).
+pub type RuleId = u32;
+
+/// A BDD variable: an interned atomic predicate. Ids ascend in variable
+/// order (fields grouped, canonical within a field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+/// An interned terminal: a set of matching rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TermId(pub u32);
+
+/// A reference to either an internal node or a terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    Term(TermId),
+    Node(u32),
+}
+
+impl NodeRef {
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, NodeRef::Term(_))
+    }
+}
+
+/// An internal decision node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    pub var: PredId,
+    pub lo: NodeRef,
+    pub hi: NodeRef,
+}
+
+/// The multi-terminal BDD: variables, nodes, terminals and the root.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    preds: Vec<Predicate>,
+    /// Field-group id per predicate (same operand ⇒ same group). Groups
+    /// are contiguous in variable order.
+    groups: Vec<u32>,
+    /// Operand of each field group, plus its predicate id range.
+    group_info: Vec<(Operand, Range<u32>)>,
+    nodes: Vec<Node>,
+    terminals: Vec<BTreeSet<RuleId>>,
+    term_index: HashMap<BTreeSet<RuleId>, TermId>,
+    unique: HashMap<Node, u32>,
+    prune_memo: HashMap<(u32, PredId, bool), NodeRef>,
+    union_memo: HashMap<(NodeRef, NodeRef), NodeRef>,
+    /// Whether every predicate of a group is an equality. Pure-equality
+    /// bands admit O(1) pruning: `Eq = false` decides nothing about the
+    /// other equalities, and `Eq = true` falsifies all of them, which
+    /// collapses the band to its lo-spine exit.
+    group_pure_eq: Vec<bool>,
+    /// Memo: node → exit of its all-false lo-spine within its group.
+    spine_memo: HashMap<u32, NodeRef>,
+    /// Interned rule labels (actions), indexed by [`RuleId`].
+    labels: Vec<Action>,
+    root: NodeRef,
+}
+
+impl Bdd {
+    /// Create an empty BDD over an ordered predicate alphabet. `preds`
+    /// must be sorted: all predicates of one operand contiguous. The
+    /// builder establishes this invariant.
+    pub(crate) fn with_alphabet(preds: Vec<Predicate>) -> Bdd {
+        let mut groups = Vec::with_capacity(preds.len());
+        let mut group_info: Vec<(Operand, Range<u32>)> = Vec::new();
+        for (i, p) in preds.iter().enumerate() {
+            match group_info.last_mut() {
+                Some((op, range)) if *op == p.operand => range.end = i as u32 + 1,
+                _ => group_info.push((p.operand.clone(), i as u32..i as u32 + 1)),
+            }
+            groups.push(group_info.len() as u32 - 1);
+        }
+        let group_pure_eq = group_info
+            .iter()
+            .map(|(_, range)| {
+                range.clone().all(|i| preds[i as usize].rel == camus_lang::ast::Rel::Eq)
+            })
+            .collect();
+        let mut bdd = Bdd {
+            preds,
+            groups,
+            group_info,
+            nodes: Vec::new(),
+            terminals: Vec::new(),
+            term_index: HashMap::new(),
+            unique: HashMap::new(),
+            prune_memo: HashMap::new(),
+            union_memo: HashMap::new(),
+            group_pure_eq,
+            spine_memo: HashMap::new(),
+            labels: Vec::new(),
+            root: NodeRef::Term(TermId(0)),
+        };
+        // Terminal 0 is the canonical empty set ("no rule matches").
+        let empty = bdd.term(BTreeSet::new());
+        debug_assert_eq!(empty, NodeRef::Term(TermId(0)));
+        bdd
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    pub fn root(&self) -> NodeRef {
+        self.root
+    }
+
+    pub(crate) fn set_root(&mut self, root: NodeRef) {
+        self.root = root;
+    }
+
+    pub fn pred(&self, id: PredId) -> &Predicate {
+        &self.preds[id.0 as usize]
+    }
+
+    /// The action a terminal label refers to.
+    pub fn label(&self, id: RuleId) -> &Action {
+        &self.labels[id as usize]
+    }
+
+    /// All interned labels.
+    pub fn labels(&self) -> &[Action] {
+        &self.labels
+    }
+
+    pub(crate) fn set_labels(&mut self, labels: Vec<Action>) {
+        self.labels = labels;
+    }
+
+    pub fn preds(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    pub fn terminal(&self, id: TermId) -> &BTreeSet<RuleId> {
+        &self.terminals[id.0 as usize]
+    }
+
+    /// Number of terminals interned (including the empty terminal).
+    pub fn terminal_count(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// The field group id of a predicate.
+    pub fn group_of(&self, id: PredId) -> u32 {
+        self.groups[id.0 as usize]
+    }
+
+    /// Field groups in variable order: operand plus predicate-id range.
+    pub fn field_groups(&self) -> &[(Operand, Range<u32>)] {
+        &self.group_info
+    }
+
+    /// Nodes reachable from the root (the store may hold garbage from
+    /// intermediate union results).
+    pub fn reachable_nodes(&self) -> Vec<u32> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut out = Vec::new();
+        while let Some(r) = stack.pop() {
+            if let NodeRef::Node(id) = r {
+                if !seen[id as usize] {
+                    seen[id as usize] = true;
+                    out.push(id);
+                    let n = self.nodes[id as usize];
+                    stack.push(n.lo);
+                    stack.push(n.hi);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of reachable internal nodes.
+    pub fn node_count(&self) -> usize {
+        self.reachable_nodes().len()
+    }
+
+    /// Total nodes allocated, including unreachable intermediates.
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // -- construction primitives -------------------------------------------
+
+    /// Intern a terminal rule set.
+    pub(crate) fn term(&mut self, set: BTreeSet<RuleId>) -> NodeRef {
+        if let Some(&t) = self.term_index.get(&set) {
+            return NodeRef::Term(t);
+        }
+        let t = TermId(self.terminals.len() as u32);
+        self.term_index.insert(set.clone(), t);
+        self.terminals.push(set);
+        NodeRef::Term(t)
+    }
+
+    /// Make (or reuse) the node `if var then hi else lo`, applying all
+    /// three reductions.
+    pub(crate) fn mk(&mut self, var: PredId, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        let lo = self.prune(lo, var, false);
+        let hi = self.prune(hi, var, true);
+        if lo == hi {
+            return lo; // reduction (ii)
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return NodeRef::Node(id); // reduction (i)
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        NodeRef::Node(id)
+    }
+
+    /// Reduction (iii): rewrite `n` under the assumption `var = val`,
+    /// bypassing same-field descendant predicates that the assumption
+    /// decides. Variables are grouped by field, so the walk stops as
+    /// soon as it leaves `var`'s group.
+    fn prune(&mut self, n: NodeRef, var: PredId, val: bool) -> NodeRef {
+        let NodeRef::Node(id) = n else { return n };
+        let node = self.nodes[id as usize];
+        // Only same-field descendants can be decided by the assumption.
+        let group = self.groups[var.0 as usize];
+        if self.groups[node.var.0 as usize] != group {
+            return n;
+        }
+        debug_assert!(node.var > var, "descendants have higher variable ids");
+        // Pure-equality bands have closed-form answers (O(1) instead of
+        // walking the band) — the common case for identifier routing.
+        if self.group_pure_eq[group as usize]
+            && self.preds[var.0 as usize].rel == camus_lang::ast::Rel::Eq
+        {
+            return if val {
+                // The assumed equality falsifies every other equality
+                // on the field: take lo until the band is exited.
+                self.lo_spine_exit(id, group)
+            } else {
+                // One equality being false decides nothing about the
+                // others.
+                n
+            };
+        }
+        if let Some(&cached) = self.prune_memo.get(&(id, var, val)) {
+            return cached;
+        }
+        let given = self.preds[var.0 as usize].clone();
+        let q = self.preds[node.var.0 as usize].clone();
+        let out = match implication(&given, val, &q) {
+            Some(true) => self.prune(node.hi, var, val),
+            Some(false) => self.prune(node.lo, var, val),
+            None => {
+                let lo = self.prune(node.lo, var, val);
+                let hi = self.prune(node.hi, var, val);
+                self.mk(node.var, lo, hi)
+            }
+        };
+        self.prune_memo.insert((id, var, val), out);
+        out
+    }
+
+    /// Exit of the all-false lo-spine of node `id` within `group`:
+    /// where evaluation lands when every predicate of the band is
+    /// false. Memoised per node (the result does not depend on which
+    /// equality was assumed true).
+    fn lo_spine_exit(&mut self, id: u32, group: u32) -> NodeRef {
+        // Iterative: spines can be as long as the band (10⁵+ for large
+        // exact-match alphabets).
+        let mut path = Vec::new();
+        let mut cur = id;
+        let out = loop {
+            if let Some(&cached) = self.spine_memo.get(&cur) {
+                break cached;
+            }
+            path.push(cur);
+            match self.nodes[cur as usize].lo {
+                NodeRef::Node(l)
+                    if self.groups[self.nodes[l as usize].var.0 as usize] == group =>
+                {
+                    cur = l;
+                }
+                other => break other,
+            }
+        };
+        for n in path {
+            self.spine_memo.insert(n, out);
+        }
+        out
+    }
+
+    /// Union of two BDDs (pointwise union of terminal rule sets).
+    pub(crate) fn union(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        if a == b {
+            return a;
+        }
+        // Empty terminal is the identity.
+        if a == NodeRef::Term(TermId(0)) {
+            return b;
+        }
+        if b == NodeRef::Term(TermId(0)) {
+            return a;
+        }
+        // Normalise the memo key: union is commutative.
+        let key = normalise_pair(a, b);
+        if let Some(&cached) = self.union_memo.get(&key) {
+            return cached;
+        }
+        let out = match (a, b) {
+            (NodeRef::Term(ta), NodeRef::Term(tb)) => {
+                let set: BTreeSet<RuleId> =
+                    self.terminals[ta.0 as usize].union(&self.terminals[tb.0 as usize]).copied().collect();
+                self.term(set)
+            }
+            _ => {
+                let va = top_var(self, a);
+                let vb = top_var(self, b);
+                let v = match (va, vb) {
+                    (Some(x), Some(y)) => x.min(y),
+                    (Some(x), None) => x,
+                    (None, Some(y)) => y,
+                    (None, None) => unreachable!("terminal/terminal handled above"),
+                };
+                let (alo, ahi) = cofactor(self, a, v);
+                let (blo, bhi) = cofactor(self, b, v);
+                // Prune each cofactor under the branch assumption
+                // *before* recursing: a same-field chain that the
+                // assumption kills collapses now, instead of being
+                // merged into O(band²) garbage nodes that mk() would
+                // only discard afterwards.
+                let alo = self.prune(alo, v, false);
+                let blo = self.prune(blo, v, false);
+                let ahi = self.prune(ahi, v, true);
+                let bhi = self.prune(bhi, v, true);
+                let lo = self.union(alo, blo);
+                let hi = self.union(ahi, bhi);
+                self.mk(v, lo, hi)
+            }
+        };
+        self.union_memo.insert(key, out);
+        out
+    }
+
+    // -- evaluation ----------------------------------------------------------
+
+    /// Evaluate the BDD against an attribute lookup, returning the set
+    /// of matching rules. A missing attribute makes its predicates
+    /// false (standard pub/sub semantics).
+    pub fn eval<F>(&self, lookup: F) -> &BTreeSet<RuleId>
+    where
+        F: Fn(&Operand) -> Option<Value>,
+    {
+        let mut cur = self.root;
+        loop {
+            match cur {
+                NodeRef::Term(t) => return &self.terminals[t.0 as usize],
+                NodeRef::Node(id) => {
+                    let n = &self.nodes[id as usize];
+                    let p = &self.preds[n.var.0 as usize];
+                    let taken = lookup(&p.operand).is_some_and(|v| p.eval(&v));
+                    cur = if taken { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Release construction caches (unique table and memos). Evaluation
+    /// and traversal remain available; further construction restarts
+    /// cold. Useful before long-lived storage of large BDDs.
+    pub fn shrink(&mut self) {
+        self.unique = HashMap::new();
+        self.prune_memo = HashMap::new();
+        self.union_memo = HashMap::new();
+        self.term_index = HashMap::new();
+    }
+}
+
+fn normalise_pair(a: NodeRef, b: NodeRef) -> (NodeRef, NodeRef) {
+    // Any deterministic commutative normalisation works.
+    fn rank(r: NodeRef) -> (u8, u32) {
+        match r {
+            NodeRef::Term(t) => (0, t.0),
+            NodeRef::Node(n) => (1, n),
+        }
+    }
+    if rank(a) <= rank(b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn top_var(bdd: &Bdd, r: NodeRef) -> Option<PredId> {
+    match r {
+        NodeRef::Term(_) => None,
+        NodeRef::Node(id) => Some(bdd.node(id).var),
+    }
+}
+
+fn cofactor(bdd: &Bdd, r: NodeRef, v: PredId) -> (NodeRef, NodeRef) {
+    match r {
+        NodeRef::Term(_) => (r, r),
+        NodeRef::Node(id) => {
+            let n = bdd.node(id);
+            if n.var == v {
+                (n.lo, n.hi)
+            } else {
+                (r, r)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::ast::Rel;
+
+    fn alphabet() -> Vec<Predicate> {
+        vec![
+            Predicate::field("stock", Rel::Eq, "GOOGL"),
+            Predicate::field("stock", Rel::Eq, "MSFT"),
+            Predicate::field("price", Rel::Gt, 50i64),
+            Predicate::field("price", Rel::Gt, 80i64),
+        ]
+    }
+
+    #[test]
+    fn alphabet_groups_are_contiguous() {
+        let bdd = Bdd::with_alphabet(alphabet());
+        assert_eq!(bdd.field_groups().len(), 2);
+        assert_eq!(bdd.field_groups()[0].1, 0..2);
+        assert_eq!(bdd.field_groups()[1].1, 2..4);
+        assert_eq!(bdd.group_of(PredId(0)), 0);
+        assert_eq!(bdd.group_of(PredId(3)), 1);
+    }
+
+    #[test]
+    fn mk_same_child_elimination() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let t = bdd.term(BTreeSet::from([1]));
+        let r = bdd.mk(PredId(0), t, t);
+        assert_eq!(r, t);
+        assert_eq!(bdd.allocated_nodes(), 0);
+    }
+
+    #[test]
+    fn mk_hash_consing() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t = bdd.term(BTreeSet::from([1]));
+        let a = bdd.mk(PredId(2), e, t);
+        let b = bdd.mk(PredId(2), e, t);
+        assert_eq!(a, b);
+        assert_eq!(bdd.allocated_nodes(), 1);
+    }
+
+    #[test]
+    fn mk_prunes_contradictory_descendant() {
+        // if stock==GOOGL then (if stock==MSFT then T1 else T0):
+        // under stock==GOOGL, stock==MSFT is implied false, so the
+        // inner node collapses to T0.
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t1 = bdd.term(BTreeSet::from([1]));
+        let inner = bdd.mk(PredId(1), e, t1);
+        // With lo = e too, the whole diagram collapses to the empty
+        // terminal: under GOOGL the MSFT test is dead, elsewhere e.
+        assert_eq!(bdd.mk(PredId(0), e, inner), e);
+        // With lo = t1 the node survives but its hi branch is pruned.
+        let outer = bdd.mk(PredId(0), t1, inner);
+        match outer {
+            NodeRef::Node(id) => {
+                assert_eq!(bdd.node(id).hi, e);
+                assert_eq!(bdd.node(id).lo, t1);
+            }
+            _ => panic!("expected a node"),
+        }
+    }
+
+    #[test]
+    fn mk_prunes_implied_true_descendant() {
+        // under price>80 true, price>50 is implied true (note the
+        // variable order puts >50 before >80, so build the other way:
+        // outer tests price>50, inner tests price>80; under price>50
+        // *false*, price>80 is implied false).
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t1 = bdd.term(BTreeSet::from([1]));
+        let inner = bdd.mk(PredId(3), e, t1); // price > 80
+        let outer = bdd.mk(PredId(2), inner, t1); // price > 50: lo=inner
+        match outer {
+            // lo branch (price<=50) should collapse inner to e.
+            NodeRef::Node(id) => assert_eq!(bdd.node(id).lo, e),
+            _ => panic!("expected a node"),
+        }
+    }
+
+    #[test]
+    fn union_of_terminals_unions_sets() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let a = bdd.term(BTreeSet::from([1, 2]));
+        let b = bdd.term(BTreeSet::from([2, 3]));
+        let u = bdd.union(a, b);
+        match u {
+            NodeRef::Term(t) => assert_eq!(bdd.terminal(t), &BTreeSet::from([1, 2, 3])),
+            _ => panic!("expected a terminal"),
+        }
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t = bdd.term(BTreeSet::from([7]));
+        let n = bdd.mk(PredId(0), e, t);
+        assert_eq!(bdd.union(e, n), n);
+        assert_eq!(bdd.union(n, e), n);
+        assert_eq!(bdd.union(n, n), n);
+    }
+
+    #[test]
+    fn eval_walks_to_terminal() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t = bdd.term(BTreeSet::from([0]));
+        let price_node = bdd.mk(PredId(2), e, t);
+        let root = bdd.mk(PredId(0), e, price_node);
+        bdd.set_root(root);
+        let matched = bdd.eval(|op| match op.field_name() {
+            "stock" => Some("GOOGL".into()),
+            "price" => Some(60i64.into()),
+            _ => None,
+        });
+        assert_eq!(matched, &BTreeSet::from([0]));
+        let unmatched = bdd.eval(|op| match op.field_name() {
+            "stock" => Some("MSFT".into()),
+            "price" => Some(60i64.into()),
+            _ => None,
+        });
+        assert!(unmatched.is_empty());
+        // Missing attribute -> predicates false.
+        let missing = bdd.eval(|_| None);
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn reachable_excludes_garbage() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t = bdd.term(BTreeSet::from([0]));
+        let _garbage = bdd.mk(PredId(1), e, t);
+        let root = bdd.mk(PredId(0), e, t);
+        bdd.set_root(root);
+        assert_eq!(bdd.allocated_nodes(), 2);
+        assert_eq!(bdd.node_count(), 1);
+    }
+
+    #[test]
+    fn shrink_keeps_graph_usable() {
+        let mut bdd = Bdd::with_alphabet(alphabet());
+        let e = bdd.term(BTreeSet::new());
+        let t = bdd.term(BTreeSet::from([0]));
+        let root = bdd.mk(PredId(2), e, t);
+        bdd.set_root(root);
+        bdd.shrink();
+        let m = bdd.eval(|op| (op.field_name() == "price").then(|| Value::Int(100)));
+        assert_eq!(m, &BTreeSet::from([0]));
+    }
+}

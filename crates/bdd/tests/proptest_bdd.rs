@@ -1,0 +1,137 @@
+//! Property-based tests for the BDD: evaluation must equal direct
+//! filter evaluation on arbitrary rule sets and packets, construction
+//! must be deterministic, and the reductions must never lose sharing
+//! below the trivial bound.
+
+use camus_bdd::{BddBuilder, VarOrder};
+use camus_lang::ast::{Action, Expr, Operand, Predicate, Rel, Rule};
+use camus_lang::value::Value;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    let int_field = prop_oneof![Just("p"), Just("q")];
+    let rel = prop_oneof![
+        Just(Rel::Eq),
+        Just(Rel::Ne),
+        Just(Rel::Lt),
+        Just(Rel::Le),
+        Just(Rel::Gt),
+        Just(Rel::Ge)
+    ];
+    let int_pred = (int_field, rel, -8i64..8).prop_map(|(f, r, c)| Predicate::field(f, r, c));
+    let sym = prop_oneof![Just("A"), Just("AB"), Just("ABC"), Just("Z")];
+    let srel = prop_oneof![Just(Rel::Eq), Just(Rel::Ne), Just(Rel::Prefix)];
+    let str_pred = (srel, sym).prop_map(|(r, s)| Predicate::field("s", r, s));
+    prop_oneof![2 => int_pred, 1 => str_pred]
+}
+
+fn arb_filter() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        6 => arb_pred().prop_map(Expr::Atom),
+        1 => Just(Expr::True),
+        1 => Just(Expr::False)
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Expr::not),
+        ]
+    })
+}
+
+fn arb_rules() -> impl Strategy<Value = Vec<Rule>> {
+    prop::collection::vec(arb_filter(), 1..8).prop_map(|fs| {
+        fs.into_iter()
+            .enumerate()
+            .map(|(i, filter)| Rule {
+                filter,
+                // Distinct actions so labels equal rule indices.
+                action: Action::Forward(vec![i as u16 + 1]),
+            })
+            .collect()
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = (i64, i64, String)> {
+    let sym = prop_oneof![Just("A"), Just("AB"), Just("ABC"), Just("Z"), Just("QQ")];
+    (-10i64..10, -10i64..10, sym.prop_map(String::from))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// BDD evaluation equals direct evaluation of the rule filters.
+    #[test]
+    fn bdd_equals_direct_eval(
+        rules in arb_rules(),
+        pkts in prop::collection::vec(arb_packet(), 1..10),
+    ) {
+        let bdd = BddBuilder::from_rules(&rules).build();
+        for (p, q, s) in &pkts {
+            let lookup = |op: &Operand| match op.key().as_str() {
+                "p" => Some(Value::Int(*p)),
+                "q" => Some(Value::Int(*q)),
+                "s" => Some(Value::Str(s.clone())),
+                _ => None,
+            };
+            let want: BTreeSet<u32> = rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.filter.eval_with(&lookup))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(
+                bdd.eval(&lookup),
+                &want,
+                "packet p={} q={} s={:?}\nrules: {:#?}",
+                p, q, s, rules
+            );
+        }
+    }
+
+    /// Construction is deterministic.
+    #[test]
+    fn construction_is_deterministic(rules in arb_rules()) {
+        let a = BddBuilder::from_rules(&rules).build();
+        let b = BddBuilder::from_rules(&rules).build();
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.terminal_count(), b.terminal_count());
+        prop_assert_eq!(a.root(), b.root());
+    }
+
+    /// An explicit variable order changes structure but not semantics.
+    #[test]
+    fn order_preserves_semantics(
+        rules in arb_rules(),
+        pkts in prop::collection::vec(arb_packet(), 1..6),
+    ) {
+        let default = BddBuilder::from_rules(&rules).build();
+        let reversed = BddBuilder::from_rules(&rules)
+            .with_order(VarOrder::from_keys(["s", "q", "p"]))
+            .build();
+        for (p, q, s) in &pkts {
+            let lookup = |op: &Operand| match op.key().as_str() {
+                "p" => Some(Value::Int(*p)),
+                "q" => Some(Value::Int(*q)),
+                "s" => Some(Value::Str(s.clone())),
+                _ => None,
+            };
+            prop_assert_eq!(default.eval(&lookup), reversed.eval(&lookup));
+        }
+    }
+
+    /// Identical rules collapse to one label and add no structure.
+    #[test]
+    fn duplicate_rules_share_everything(filter in arb_filter()) {
+        let one = vec![Rule { filter: filter.clone(), action: Action::Forward(vec![1]) }];
+        let many: Vec<Rule> = (0..5)
+            .map(|_| Rule { filter: filter.clone(), action: Action::Forward(vec![1]) })
+            .collect();
+        let a = BddBuilder::from_rules(&one).build();
+        let b = BddBuilder::from_rules(&many).build();
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.terminal_count(), b.terminal_count());
+    }
+}

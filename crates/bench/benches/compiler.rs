@@ -1,0 +1,88 @@
+//! Criterion benches for the compiler core: BDD construction and
+//! full dynamic compilation (rules → pipeline) on the three workload
+//! shapes of the evaluation, plus pipeline evaluation throughput.
+//! Backs Figs. 12/14 with microbenchmark-grade numbers.
+
+use camus_bdd::BddBuilder;
+use camus_core::compiler::Compiler;
+use camus_lang::ast::Rule;
+use camus_lang::parser::parse_rule;
+use camus_lang::value::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn ident_rules(n: usize) -> Vec<Rule> {
+    (0..n)
+        .map(|i| parse_rule(&format!("id == {i}: fwd({})", (i % 32) + 1)).unwrap())
+        .collect()
+}
+
+fn itch_rules(n: usize) -> Vec<Rule> {
+    (0..n)
+        .map(|i| {
+            parse_rule(&format!(
+                "stock == S{:04} and price > {}: fwd({})",
+                i % 100,
+                (i * 37) % 1000,
+                (i % 64) + 1
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench_bdd_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_build");
+    for n in [1_000usize, 10_000] {
+        let ident = ident_rules(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("identifier_eq", n), &ident, |b, rules| {
+            b.iter(|| BddBuilder::from_rules(rules).build().node_count())
+        });
+        let itch = itch_rules(n);
+        g.bench_with_input(BenchmarkId::new("itch_conj", n), &itch, |b, rules| {
+            b.iter(|| BddBuilder::from_rules(rules).build().node_count())
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_compile");
+    for n in [1_000usize, 10_000] {
+        let rules = itch_rules(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("itch", n), &rules, |b, rules| {
+            let compiler = Compiler::new();
+            b.iter(|| compiler.compile(rules).unwrap().pipeline.total_entries())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline_eval(c: &mut Criterion) {
+    let rules = itch_rules(5_000);
+    let compiled = Compiler::new().compile(&rules).unwrap();
+    let mut g = c.benchmark_group("pipeline_eval");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("itch_5k_rules", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let stock = format!("S{:04}", i % 128);
+            let price = (i % 2_000) as i64;
+            compiled.pipeline.evaluate(|op| match op.field_name() {
+                "stock" => Some(Value::Str(stock.clone())),
+                "price" => Some(Value::Int(price)),
+                _ => None,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bdd_construction, bench_full_compile, bench_pipeline_eval
+}
+criterion_main!(benches);

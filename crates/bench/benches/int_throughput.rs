@@ -1,0 +1,75 @@
+//! Criterion bench behind Fig. 9: the *measured* software filtering
+//! series — the real linear-scan engine at growing filter counts —
+//! against the compiled pipeline evaluating the same workload. The
+//! software engine degrades with filter count; the pipeline's lookup
+//! cost is bounded by its stage count.
+
+use camus_baselines::linear::LinearFilter;
+use camus_core::compiler::Compiler;
+use camus_lang::ast::{Expr, Rule};
+use camus_lang::parser::parse_expr;
+use camus_lang::value::Value;
+use camus_workloads::int::{IntFeed, IntFeedConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashMap;
+
+fn filters(n: usize) -> Vec<Expr> {
+    (0..n)
+        .map(|i| {
+            parse_expr(&format!(
+                "switch_id == {} and hop_latency > {}",
+                i % 100,
+                100 + (i / 100) % 1000
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn packets(n: usize) -> Vec<HashMap<String, Value>> {
+    let mut feed = IntFeed::new(IntFeedConfig::default());
+    feed.reports(n).iter().map(|r| r.fields().into_iter().collect()).collect()
+}
+
+fn bench_software_vs_pipeline(c: &mut Criterion) {
+    let pkts = packets(256);
+    let mut g = c.benchmark_group("int_filtering");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    for n in [10usize, 100, 1_000, 10_000] {
+        let lf = LinearFilter::new(&filters(n));
+        g.bench_with_input(BenchmarkId::new("software_linear", n), &lf, |b, lf| {
+            b.iter(|| {
+                pkts.iter().map(|p| usize::from(lf.matches_any(p))).sum::<usize>()
+            })
+        });
+        let rules: Vec<Rule> = filters(n)
+            .into_iter()
+            .map(|f| Rule { filter: f, action: camus_lang::ast::Action::Forward(vec![1]) })
+            .collect();
+        let compiled = Compiler::new().compile(&rules).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("camus_pipeline", n),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    pkts.iter()
+                        .map(|p| {
+                            let a = compiled
+                                .pipeline
+                                .evaluate(|op| p.get(&op.key()).cloned());
+                            usize::from(a.ports().is_some())
+                        })
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_software_vs_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench behind Fig. 8: per-packet processing cost of the
+//! dataplane model on the ITCH workloads — single-message packets and
+//! batched packets that trigger recirculation.
+
+use camus_apps::itch::ItchApp;
+use camus_dataplane::SwitchConfig;
+use camus_workloads::itch::{ItchFeed, ItchFeedConfig, WATCHED};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_switch_processing(c: &mut Criterion) {
+    let app = ItchApp::new();
+    let mut g = c.benchmark_group("itch_switch");
+
+    // Trace-like workload: one message per packet.
+    {
+        let mut sw = app
+            .switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default())
+            .unwrap();
+        let mut feed = ItchFeed::new(ItchFeedConfig::nasdaq_trace(1));
+        let packets: Vec<_> =
+            (0..512).map(|i| app.packet(i, &feed.packet())).collect();
+        g.throughput(Throughput::Elements(packets.len() as u64));
+        let mut t = 0u64;
+        g.bench_function("trace_1msg", |b| {
+            b.iter(|| {
+                let mut fwd = 0usize;
+                for p in &packets {
+                    t += 1;
+                    fwd += sw.process(p, 0, t).ports.len();
+                }
+                fwd
+            })
+        });
+    }
+
+    // Batched workload: multiple messages, recirculation passes.
+    {
+        let mut sw = app
+            .switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default())
+            .unwrap();
+        let mut feed = ItchFeed::new(ItchFeedConfig::synthetic(1));
+        let packets: Vec<_> =
+            (0..512).map(|i| app.packet(i, &feed.packet())).collect();
+        let msgs: usize = packets.iter().map(|p| p.message_count(&app.spec)).sum();
+        g.throughput(Throughput::Elements(msgs as u64));
+        let mut t = 0u64;
+        g.bench_function("batched_zipf", |b| {
+            b.iter(|| {
+                let mut fwd = 0usize;
+                for p in &packets {
+                    t += 1;
+                    fwd += sw.process(p, 0, t).ports.len();
+                }
+                fwd
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_switch_processing
+}
+criterion_main!(benches);

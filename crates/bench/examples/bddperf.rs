@@ -1,0 +1,46 @@
+//! Quick scaling probe for BDD construction (not a Criterion bench).
+use camus_bdd::BddBuilder;
+use camus_lang::parser::parse_rule;
+
+fn main() {
+    // Identifier routing: single-field exact matches.
+    for n in [1_000usize, 20_000, 100_000] {
+        let t0 = std::time::Instant::now();
+        let rules: Vec<_> = (0..n)
+            .map(|i| parse_rule(&format!("id == {i}: fwd({})", (i % 32) + 1)).unwrap())
+            .collect();
+        let bdd = BddBuilder::from_rules(&rules).build();
+        println!("eq n={n}: {:?}, nodes={}", t0.elapsed(), bdd.node_count());
+    }
+    // ITCH-style: symbol x price-threshold conjunctions.
+    for n in [1_000usize, 10_000, 50_000] {
+        let t0 = std::time::Instant::now();
+        let rules: Vec<_> = (0..n)
+            .map(|i| {
+                parse_rule(&format!(
+                    "stock == S{:04} and price > {}: fwd({})",
+                    i % 100,
+                    (i * 37) % 1000,
+                    (i % 64) + 1
+                ))
+                .unwrap()
+            })
+            .collect();
+        let bdd = BddBuilder::from_rules(&rules).build();
+        println!("itch n={n}: {:?}, nodes={}", t0.elapsed(), bdd.node_count());
+    }
+    // INT-style: switch x latency-threshold, all to one collector.
+    {
+        let t0 = std::time::Instant::now();
+        let rules: Vec<_> = (0..100)
+            .flat_map(|s| {
+                (0..1000).map(move |r| {
+                    parse_rule(&format!("switch_id == {s} and hop_latency > {}: fwd(1)", 100 + r))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let bdd = BddBuilder::from_rules(&rules).build();
+        println!("int n=100000: {:?}, nodes={}", t0.elapsed(), bdd.node_count());
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig. 9 — filtering INT packets from a 100 G link: achievable
+//! throughput vs number of installed filters (§VIII-E.2).
+//!
+//! Series:
+//! * **c** and **dpdk** — the calibrated software cost models of
+//!   [`camus_baselines::cost`] (plain C is syscall-bound; DPDK is
+//!   CPU-bound at ~16 Mpps and falls off the cache cliff past 10 K
+//!   filters),
+//! * **camus** — line rate, independent of filter count,
+//! * **rust-measured** — an honest measured point: the real
+//!   [`LinearFilter`] engine timed on this machine, to show the
+//!   software series' *shape* is not an artifact of the model.
+
+use super::Scale;
+use crate::output::{fmt_mpps, Table};
+use camus_baselines::cost::CostModel;
+use camus_baselines::linear::LinearFilter;
+use camus_lang::ast::Expr;
+use camus_lang::parser::parse_expr;
+use camus_lang::value::Value;
+use camus_workloads::int::{IntFeed, IntFeedConfig};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn filters(n: usize) -> Vec<Expr> {
+    (0..n)
+        .map(|i| {
+            parse_expr(&format!(
+                "switch_id == {} and hop_latency > {}",
+                i % 100,
+                100 + (i / 100) % 1000
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Measure the real linear-scan engine: packets filtered per second.
+fn measure_rust_pps(n_filters: usize, sample_packets: usize) -> f64 {
+    let lf = LinearFilter::new(&filters(n_filters));
+    let mut feed = IntFeed::new(IntFeedConfig::default());
+    let packets: Vec<HashMap<String, Value>> = feed
+        .reports(sample_packets)
+        .iter()
+        .map(|r| r.fields().into_iter().collect())
+        .collect();
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for p in &packets {
+        hits += usize::from(lf.matches_any(p));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(hits);
+    packets.len() as f64 / dt
+}
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    let model = CostModel::default();
+    let counts: &[usize] = match scale {
+        Scale::Quick => &[1, 10, 100, 1_000, 10_000],
+        Scale::Full => &[1, 10, 100, 1_000, 10_000, 50_000, 100_000],
+    };
+    let sample = scale.pick(2_000, 20_000);
+    let mut t = Table::new(
+        "Fig. 9: INT filtering throughput vs #filters",
+        &["filters", "c", "dpdk", "camus", "rust-measured"],
+    );
+    for &n in counts {
+        t.row([
+            n.to_string(),
+            fmt_mpps(model.c_pps(n)),
+            fmt_mpps(model.dpdk_pps(n)),
+            fmt_mpps(model.camus_pps(n)),
+            fmt_mpps(measure_rust_pps(n, sample)),
+        ]);
+    }
+    t.emit("fig9");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let m = CostModel::default();
+        // DPDK starts near 16 Mpps (the bare 100-instruction fast
+        // path), Camus is line rate and flat.
+        assert!((m.dpdk_pps(0) - 16e6).abs() / 16e6 < 0.01);
+        assert!(m.dpdk_pps(1) > 15e6);
+        assert_eq!(m.camus_pps(1), m.camus_pps(100_000));
+        // Software degrades drastically past 10K filters.
+        assert!(m.dpdk_pps(100_000) < m.dpdk_pps(10_000) / 5.0);
+        // Camus wins everywhere.
+        for n in [1usize, 100, 10_000, 100_000] {
+            assert!(m.camus_pps(n) > m.dpdk_pps(n));
+        }
+    }
+
+    #[test]
+    fn measured_rust_engine_degrades_with_filters() {
+        let fast = measure_rust_pps(1, 300);
+        let slow = measure_rust_pps(2_000, 300);
+        assert!(
+            slow < fast / 3.0,
+            "linear scan must slow with filters: {fast:.0} vs {slow:.0}"
+        );
+    }
+
+    #[test]
+    fn quick_run_emits_table() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables[0].rows.len(), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(scale) -> Vec<Table>`: `Scale::Quick` shrinks workload sizes
+//! for CI; `Scale::Full` matches the paper's parameters.
+
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig8;
+pub mod fig9;
+pub mod tab1;
+
+/// Workload sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale runs for tests and smoke checks.
+    Quick,
+    /// The paper's parameters (minutes-scale).
+    Full,
+}
+
+impl Scale {
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

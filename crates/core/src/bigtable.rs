@@ -1,0 +1,167 @@
+//! The naive "one big table" baseline of Fig. 12.
+//!
+//! §V-B: *"programmable switch ASICs only support matching a single
+//! entry in a table, but a packet might satisfy multiple rules. Hence,
+//! we would require a table entry for every possible combination of
+//! rules, resulting in an exponential number of entries in the worst
+//! case."*
+//!
+//! This module counts those entries: the number of non-empty rule
+//! subsets whose filters are jointly satisfiable (each such combination
+//! needs its own wide entry whose action is the merged forward). The
+//! count saturates at a configurable cap, since the whole point of the
+//! comparison is that it explodes.
+
+use camus_lang::ast::{Predicate, Rule};
+use camus_lang::dnf::{to_dnf, Dnf};
+use camus_lang::sets::conjunction_satisfiable;
+
+/// Result of a big-table sizing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BigTableSize {
+    /// Number of entries, valid when `capped` is false.
+    pub entries: u64,
+    /// The count hit the cap and enumeration stopped.
+    pub capped: bool,
+}
+
+/// Count the entries the naive single-table representation needs, up to
+/// `cap`. A combination `S` is counted when some packet satisfies every
+/// filter in `S` — checked via joint DNF satisfiability.
+pub fn big_table_entries(rules: &[Rule], cap: u64) -> BigTableSize {
+    let dnfs: Vec<Dnf> = rules.iter().map(|r| to_dnf(&r.filter)).collect();
+    let mut count: u64 = 0;
+    // Depth-first over subsets: extend the current satisfiable
+    // combination with rules of higher index. Memory stays O(depth):
+    // only the current path's joint conjunctions are held (capped in
+    // width — satisfiability is already proven by one witness).
+    fn dfs(
+        dnfs: &[Dnf],
+        from: usize,
+        joint: &[Vec<Predicate>],
+        count: &mut u64,
+        cap: u64,
+    ) -> bool {
+        for (j, d) in dnfs.iter().enumerate().skip(from) {
+            if d.is_false() {
+                continue;
+            }
+            let mut next: Vec<Vec<Predicate>> = Vec::new();
+            'combine: for a in joint {
+                for c in &d.terms {
+                    let mut atoms = a.clone();
+                    atoms.extend(c.atoms.iter().cloned());
+                    if conjunction_satisfiable(&atoms) {
+                        next.push(atoms);
+                        if next.len() >= 16 {
+                            break 'combine; // width cap
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                continue; // this combination never co-matches with j
+            }
+            *count += 1;
+            if *count >= cap {
+                return true; // capped
+            }
+            if dfs(dnfs, j + 1, &next, count, cap) {
+                return true;
+            }
+        }
+        false
+    }
+
+    // Seed with each single satisfiable rule.
+    for (i, d) in dnfs.iter().enumerate() {
+        if d.is_false() {
+            continue;
+        }
+        count += 1;
+        if count >= cap {
+            return BigTableSize { entries: cap, capped: true };
+        }
+        let joint: Vec<Vec<Predicate>> = d.terms.iter().map(|c| c.atoms.clone()).collect();
+        if dfs(&dnfs, i + 1, &joint, &mut count, cap) {
+            return BigTableSize { entries: cap, capped: true };
+        }
+    }
+    BigTableSize { entries: count, capped: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::parser::parse_rules;
+
+    fn entries(src: &str) -> u64 {
+        big_table_entries(&parse_rules(src).unwrap(), 1 << 32).entries
+    }
+
+    #[test]
+    fn disjoint_rules_are_linear() {
+        // Mutually exclusive filters: one entry per rule.
+        let n = entries(
+            "stock == A: fwd(1)\n\
+             stock == B: fwd(2)\n\
+             stock == C: fwd(3)\n",
+        );
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn nested_ranges_are_quadratic_ish() {
+        // price > 10, > 20, > 30 pairwise overlap: all subsets of a
+        // chain are satisfiable -> 2^3 - 1.
+        let n = entries("price > 10: fwd(1)\nprice > 20: fwd(2)\nprice > 30: fwd(3)\n");
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn identical_rules_explode_exponentially() {
+        // k identical filters -> 2^k - 1 combinations.
+        for k in 1..10u32 {
+            let src: String =
+                (0..k).map(|i| format!("price > 5: fwd({})\n", i + 1)).collect();
+            assert_eq!(entries(&src), (1u64 << k) - 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn partially_overlapping_mix() {
+        // a and b overlap; c is disjoint from both.
+        let n = entries(
+            "price > 10: fwd(1)\n\
+             price < 20: fwd(2)\n\
+             price > 100 and price < 50: fwd(3)\n", // unsatisfiable rule
+        );
+        // {1}, {2}, {1,2}; rule 3 is unsatisfiable and contributes none.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn cap_stops_enumeration() {
+        let src: String = (0..40).map(|i| format!("price > 5: fwd({})\n", i + 1)).collect();
+        let rules = parse_rules(&src).unwrap();
+        let r = big_table_entries(&rules, 10_000);
+        assert!(r.capped);
+        assert_eq!(r.entries, 10_000);
+    }
+
+    #[test]
+    fn empty_rule_set() {
+        assert_eq!(entries(""), 0);
+    }
+
+    #[test]
+    fn string_and_numeric_mix() {
+        let n = entries(
+            "stock == GOOGL and price > 50: fwd(1)\n\
+             stock == GOOGL and price > 80: fwd(2)\n\
+             stock == MSFT: fwd(3)\n",
+        );
+        // {1}, {2}, {1,2}, {3}.
+        assert_eq!(n, 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! The dynamic-compilation driver: rules in, pipeline out.
+//!
+//! Runs whenever the subscription set changes (§V): DNF-normalise the
+//! rule filters, build the multi-terminal BDD, slice it into tables
+//! (Algorithm 2), allocate multicast groups, and produce the resource
+//! report. Timing is recorded because recompilation latency is itself
+//! an evaluation target (Fig. 14).
+
+use crate::multicast::MulticastAllocator;
+use crate::pipeline::Pipeline;
+use crate::resources::{report, ResourceReport};
+use crate::statics::StaticPipeline;
+use crate::tables::{bdd_to_pipeline, TableError};
+use camus_bdd::{Bdd, BddBuilder, VarOrder};
+use camus_lang::ast::Rule;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Compiler tunables.
+#[derive(Debug, Clone)]
+pub struct CompilerConfig {
+    /// Hardware multicast-group budget (§VII-C).
+    pub multicast_limit: usize,
+    /// Validate that every referenced field exists in the static spec
+    /// (only applies when a [`StaticPipeline`] is attached).
+    pub validate_fields: bool,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            multicast_limit: MulticastAllocator::DEFAULT_LIMIT,
+            validate_fields: true,
+        }
+    }
+}
+
+/// Errors from dynamic compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    Table(TableError),
+    /// A rule references a field the application spec does not declare
+    /// as subscribable.
+    UnknownField { rule: usize, field: String },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Table(e) => write!(f, "{e}"),
+            CompileError::UnknownField { rule, field } => {
+                write!(f, "rule {rule} references unknown field `{field}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<TableError> for CompileError {
+    fn from(e: TableError) -> Self {
+        CompileError::Table(e)
+    }
+}
+
+/// The output of dynamic compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The reduced multi-terminal BDD (kept for inspection/export).
+    pub bdd: Bdd,
+    /// The control-plane entries, organised as pipeline stages.
+    pub pipeline: Pipeline,
+    /// Allocated multicast groups.
+    pub multicast: MulticastAllocator,
+    /// Resource usage (Table I).
+    pub report: ResourceReport,
+    /// Wall-clock dynamic-compile time (Fig. 14).
+    pub elapsed: Duration,
+}
+
+/// The dynamic compiler.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    order: Option<VarOrder>,
+    statics: Option<StaticPipeline>,
+    config: CompilerConfig,
+}
+
+impl Compiler {
+    pub fn new() -> Self {
+        Compiler { order: None, statics: None, config: CompilerConfig::default() }
+    }
+
+    /// Use an explicit BDD variable order.
+    pub fn with_order(mut self, order: VarOrder) -> Self {
+        self.order = Some(order);
+        self
+    }
+
+    /// Attach the static pipeline: its declaration-order variable order
+    /// and field widths are used, and rules are validated against it.
+    pub fn with_static(mut self, statics: StaticPipeline) -> Self {
+        self.order = Some(statics.var_order());
+        self.statics = Some(statics);
+        self
+    }
+
+    pub fn with_config(mut self, config: CompilerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Compile a rule set into a pipeline.
+    pub fn compile(&self, rules: &[Rule]) -> Result<Compiled, CompileError> {
+        let start = Instant::now();
+        if let (Some(statics), true) = (&self.statics, self.config.validate_fields) {
+            for (i, rule) in rules.iter().enumerate() {
+                for op in rule.filter.operands() {
+                    let field = op.field_name();
+                    if statics.spec.resolve(field).is_none() {
+                        return Err(CompileError::UnknownField {
+                            rule: i,
+                            field: field.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // BDD union/prune recursion depth is bounded by the longest
+        // variable chain — 10⁵+ for large exact-match alphabets — so
+        // the heavy lifting runs on a dedicated thread with a deep
+        // stack.
+        let order = self.order.clone();
+        let limit = self.config.multicast_limit;
+        let (bdd, pipeline, multicast) = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("camus-compile".into())
+                .stack_size(256 << 20)
+                .spawn_scoped(scope, move || {
+                    let mut builder = BddBuilder::from_rules(rules);
+                    if let Some(order) = order {
+                        builder = builder.with_order(order);
+                    }
+                    let bdd = builder.build();
+                    let mut multicast = MulticastAllocator::new(limit);
+                    let pipeline = bdd_to_pipeline(&bdd, &mut multicast)?;
+                    Ok::<_, TableError>((bdd, pipeline, multicast))
+                })
+                .expect("spawn compile thread")
+                .join()
+                .expect("compile thread panicked")
+        })?;
+        let widths: HashMap<String, u32> =
+            self.statics.as_ref().map(|s| s.widths()).unwrap_or_default();
+        let report = report(&pipeline, multicast.group_count(), &widths);
+        Ok(Compiled { bdd, pipeline, multicast, report, elapsed: start.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::ast::Action;
+    use camus_lang::parser::parse_rules;
+    use camus_lang::spec::itch_spec;
+    use camus_lang::value::Value;
+
+    #[test]
+    fn end_to_end_compile_and_evaluate() {
+        let rules = parse_rules(
+            "stock == GOOGL and price > 50: fwd(1)\n\
+             stock == GOOGL: fwd(2)\n",
+        )
+        .unwrap();
+        let c = Compiler::new().compile(&rules).unwrap();
+        assert!(c.report.total_entries > 0);
+        let act = c.pipeline.evaluate(|op| match op.field_name() {
+            "stock" => Some(Value::from("GOOGL")),
+            "price" => Some(Value::Int(60)),
+            _ => None,
+        });
+        assert_eq!(act, Action::Forward(vec![1, 2]));
+        assert_eq!(c.multicast.group_count(), 1);
+    }
+
+    #[test]
+    fn with_static_uses_spec_order_and_validates() {
+        let statics = crate::statics::compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules("stock == GOOGL and price > 50: fwd(1)\n").unwrap();
+        let c = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+        // Spec declares shares before price before stock, so the first
+        // stage present must not be stock.
+        assert_eq!(c.pipeline.stages[0].operand.key(), "price");
+        assert_eq!(c.pipeline.stages[1].operand.key(), "stock");
+
+        // Unknown fields are rejected.
+        let bad = parse_rules("bogus == 1: fwd(1)\n").unwrap();
+        let err = Compiler::new().with_static(statics).compile(&bad).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn stateful_rules_compile_with_spec() {
+        let statics = crate::statics::compile_static(&itch_spec()).unwrap();
+        let rules =
+            parse_rules("stock == GOOGL and avg(price) > 60: fwd(1)\n").unwrap();
+        let c = Compiler::new().with_static(statics).compile(&rules).unwrap();
+        // The aggregate is its own stage, ordered right after price.
+        let keys: Vec<String> =
+            c.pipeline.stages.iter().map(|s| s.operand.key()).collect();
+        assert_eq!(keys, vec!["avg(price)", "stock"]);
+    }
+
+    #[test]
+    fn widths_feed_resource_report() {
+        let statics = crate::statics::compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules("price > 50: fwd(1)\n").unwrap();
+        let c = Compiler::new().with_static(statics).compile(&rules).unwrap();
+        let stage = &c.report.stages[0];
+        assert!(stage.key_bits <= 32);
+    }
+
+    #[test]
+    fn elapsed_is_recorded() {
+        let rules = parse_rules("a == 1: fwd(1)\n").unwrap();
+        let c = Compiler::new().compile(&rules).unwrap();
+        assert!(c.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn multicast_limit_from_config() {
+        let rules = parse_rules(
+            "a > 0: fwd(1)\na > 0: fwd(2)\nb > 0: fwd(3)\nb > 0: fwd(4)\nc > 0: fwd(5)\nc > 0: fwd(6)\n",
+        )
+        .unwrap();
+        let cfg = CompilerConfig { multicast_limit: 1, validate_fields: true };
+        let err = Compiler::new().with_config(cfg).compile(&rules).unwrap_err();
+        assert!(matches!(err, CompileError::Table(TableError::MulticastExhausted { .. })));
+    }
+}

@@ -1,0 +1,273 @@
+//! Switch resource accounting (Table I of the paper).
+//!
+//! Models the memory cost of a compiled pipeline on a Tofino-class
+//! ASIC: exact-match stages consume SRAM, range/ternary stages consume
+//! TCAM, and each TCAM *range* entry expands into up to `2w−2`
+//! prefix/mask entries for a `w`-bit field (§V-E: "each range-match
+//! requires multiple TCAM entries (O(#bits))"). The low-resolution
+//! remap optimisation is reflected by clamping a field's key width to
+//! the bits needed to distinguish its boundary constants.
+
+use crate::pipeline::{MatchKind, MatchSpec, Pipeline};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-stage resource summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageReport {
+    pub field: String,
+    pub kind: MatchKind,
+    /// Logical control-plane entries.
+    pub entries: usize,
+    /// Distinct entry states.
+    pub states: usize,
+    /// Field key width in bits after low-resolution remapping.
+    pub key_bits: u32,
+    /// Physical entries after TCAM range expansion (equals `entries`
+    /// for SRAM stages).
+    pub expanded_entries: u64,
+}
+
+/// Whole-pipeline resource report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    pub stages: Vec<StageReport>,
+    /// Match stages plus the leaf stage.
+    pub tables: usize,
+    pub total_entries: usize,
+    pub sram_entries: u64,
+    pub tcam_entries: u64,
+    /// Bits of metadata needed to carry the BDD state between stages.
+    pub state_bits: u32,
+    pub multicast_groups: usize,
+    /// Estimated SRAM usage in bits (key + next-state per entry).
+    pub sram_bits: u64,
+    /// Estimated TCAM usage in bits (key + mask + next-state).
+    pub tcam_bits: u64,
+}
+
+impl ResourceReport {
+    /// One-line summary used by the Table I harness.
+    pub fn summary(&self) -> String {
+        format!(
+            "tables={} entries={} sram={:.1}KB tcam={:.1}KB mcast={} state_bits={}",
+            self.tables,
+            self.total_entries,
+            self.sram_bits as f64 / 8.0 / 1024.0,
+            self.tcam_bits as f64 / 8.0 / 1024.0,
+            self.multicast_groups,
+            self.state_bits,
+        )
+    }
+}
+
+/// Number of prefix (mask) entries needed to cover the integer range
+/// `[lo, hi]` inside a `width`-bit space — the classic range-to-prefix
+/// expansion. Out-of-domain bounds are clamped.
+pub fn range_prefix_count(lo: i64, hi: i64, width: u32) -> u64 {
+    let max = if width >= 63 { i64::MAX } else { (1i64 << width) - 1 };
+    let mut lo = lo.clamp(0, max) as u64;
+    let hi = hi.clamp(0, max) as u64;
+    if lo > hi {
+        return 0;
+    }
+    let mut count = 0u64;
+    loop {
+        // Largest power-of-two block aligned at `lo` that fits in the range.
+        let align = if lo == 0 { 1u64 << 63 } else { lo & lo.wrapping_neg() };
+        let len = hi - lo + 1; // hi, lo <= i64::MAX so no overflow
+        let fit = 1u64 << (63 - len.leading_zeros()); // largest 2^k <= len
+        let block = align.min(fit);
+        count += 1;
+        let next = lo + (block - 1);
+        if next >= hi {
+            return count;
+        }
+        lo = next + 1;
+    }
+}
+
+/// Build the resource report. `widths` maps operand keys to their
+/// on-wire field widths in bits; unknown fields default to 32 bits.
+pub fn report(
+    pipeline: &Pipeline,
+    multicast_groups: usize,
+    widths: &HashMap<String, u32>,
+) -> ResourceReport {
+    // State metadata: enough bits for the largest state id seen.
+    let max_state = pipeline
+        .stages
+        .iter()
+        .flat_map(|s| s.entries.iter().flat_map(|e| [e.state, e.next]))
+        .chain(pipeline.leaf.actions.keys().copied())
+        .max()
+        .unwrap_or(0);
+    let state_bits = 32 - u32::from(max_state).leading_zeros().min(31);
+    let state_bits = state_bits.max(1);
+
+    let mut stages = Vec::new();
+    let (mut sram_entries, mut tcam_entries) = (0u64, 0u64);
+    let (mut sram_bits, mut tcam_bits) = (0u64, 0u64);
+    for s in &pipeline.stages {
+        let key = s.operand.key();
+        let declared = widths.get(&key).copied().unwrap_or(32);
+        // Low-resolution remap (§V-E): the stage only needs to
+        // distinguish the boundary constants it actually uses.
+        let distinct: std::collections::BTreeSet<i64> = s
+            .entries
+            .iter()
+            .flat_map(|e| match &e.spec {
+                MatchSpec::IntRange(lo, hi) => vec![*lo, *hi],
+                MatchSpec::IntExact(v) => vec![*v],
+                _ => vec![],
+            })
+            .collect();
+        let needed_bits = if distinct.is_empty() {
+            declared
+        } else {
+            (64 - (distinct.len() as u64 + 1).leading_zeros()).max(1)
+        };
+        let key_bits = match s.kind {
+            MatchKind::Range => declared.min(needed_bits.max(8)),
+            _ => declared,
+        };
+
+        let expanded: u64 = s
+            .entries
+            .iter()
+            .map(|e| match &e.spec {
+                MatchSpec::IntRange(lo, hi) => range_prefix_count(*lo, *hi, key_bits),
+                _ => 1,
+            })
+            .sum();
+        let entry_key_bits = u64::from(state_bits + key_bits);
+        match s.kind {
+            MatchKind::Exact => {
+                sram_entries += s.entry_count() as u64;
+                sram_bits += (entry_key_bits + u64::from(state_bits)) * s.entry_count() as u64;
+            }
+            MatchKind::Range | MatchKind::Ternary => {
+                tcam_entries += expanded;
+                // TCAM stores value + mask.
+                tcam_bits += (2 * entry_key_bits + u64::from(state_bits)) * expanded;
+            }
+        }
+        stages.push(StageReport {
+            field: key,
+            kind: s.kind,
+            entries: s.entry_count(),
+            states: s.state_count(),
+            key_bits,
+            expanded_entries: expanded,
+        });
+    }
+
+    // Leaf table: SRAM, state -> action id.
+    let leaf_entries = pipeline.leaf.entry_count() as u64;
+    sram_entries += leaf_entries;
+    sram_bits += leaf_entries * u64::from(state_bits + 32);
+
+    ResourceReport {
+        tables: pipeline.stages.len() + 1,
+        total_entries: pipeline.total_entries(),
+        sram_entries,
+        tcam_entries,
+        state_bits,
+        multicast_groups,
+        sram_bits,
+        tcam_bits,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicast::MulticastAllocator;
+    use crate::tables::bdd_to_pipeline;
+    use camus_bdd::BddBuilder;
+    use camus_lang::parser::parse_rules;
+
+    #[test]
+    fn prefix_count_basics() {
+        // Full domain: one wildcard entry.
+        assert_eq!(range_prefix_count(0, 255, 8), 1);
+        // Single point: one entry.
+        assert_eq!(range_prefix_count(7, 7, 8), 1);
+        // [1, 254] in 8 bits is the classic worst case: 2*8-2 = 14.
+        assert_eq!(range_prefix_count(1, 254, 8), 14);
+        // Aligned block.
+        assert_eq!(range_prefix_count(16, 31, 8), 1);
+        // [0,0].
+        assert_eq!(range_prefix_count(0, 0, 8), 1);
+        // Empty after clamping.
+        assert_eq!(range_prefix_count(10, 5, 8), 0);
+    }
+
+    #[test]
+    fn prefix_count_clamps_out_of_domain() {
+        assert_eq!(range_prefix_count(-5, 3, 8), range_prefix_count(0, 3, 8));
+        assert_eq!(range_prefix_count(250, 9999, 8), range_prefix_count(250, 255, 8));
+        // Wide widths don't overflow.
+        assert!(range_prefix_count(1, i64::MAX - 1, 63) > 0);
+    }
+
+    #[test]
+    fn prefix_count_never_exceeds_2w_minus_2_nontrivially() {
+        for w in [4u32, 8, 12] {
+            let max = (1i64 << w) - 1;
+            for (lo, hi) in [(1, max - 1), (3, max - 3), (0, max), (5, 5)] {
+                let c = range_prefix_count(lo, hi, w);
+                assert!(c <= u64::from(2 * w), "w={w} lo={lo} hi={hi} c={c}");
+            }
+        }
+    }
+
+    fn report_for(src: &str) -> ResourceReport {
+        let rules = parse_rules(src).unwrap();
+        let bdd = BddBuilder::from_rules(&rules).build();
+        let mut mcast = MulticastAllocator::default();
+        let p = bdd_to_pipeline(&bdd, &mut mcast).unwrap();
+        report(&p, mcast.group_count(), &HashMap::new())
+    }
+
+    #[test]
+    fn exact_stage_counts_as_sram() {
+        let r = report_for("stock == A: fwd(1)\nstock == B: fwd(2)\n");
+        assert_eq!(r.tcam_entries, 0);
+        assert!(r.sram_entries > 0);
+        assert_eq!(r.tables, 2); // stock + leaf
+    }
+
+    #[test]
+    fn range_stage_counts_as_tcam_expanded() {
+        let r = report_for("price > 50: fwd(1)\n");
+        assert!(r.tcam_entries >= 2, "two ranges, each expanding: {r:?}");
+        assert!(r.tcam_bits > 0);
+    }
+
+    #[test]
+    fn multicast_groups_pass_through() {
+        let rules = parse_rules("a > 0: fwd(1)\na > 0: fwd(2)\n").unwrap();
+        let bdd = BddBuilder::from_rules(&rules).build();
+        let mut mcast = MulticastAllocator::default();
+        let p = bdd_to_pipeline(&bdd, &mut mcast).unwrap();
+        let r = report(&p, mcast.group_count(), &HashMap::new());
+        assert_eq!(r.multicast_groups, 1);
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let r = report_for("price > 50: fwd(1)\n");
+        let s = r.summary();
+        assert!(s.contains("tables="));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn state_bits_grow_with_states() {
+        let many: String = (0..200).map(|i| format!("id == {i}: fwd({})\n", i + 1)).collect();
+        let r = report_for(&many);
+        assert!(r.state_bits >= 7, "200+ states need >= 8 bits: {}", r.state_bits);
+    }
+}

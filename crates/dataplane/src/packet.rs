@@ -1,0 +1,232 @@
+//! Wire-format packets.
+//!
+//! A Camus packet is the application's fixed header stack (the
+//! `sequence` of the spec) followed by zero or more batched fixed-width
+//! messages (the `messages` header), exactly the ITCH/MoldUDP layout of
+//! §VIII-C.1. Packets are immutable byte buffers ([`bytes::Bytes`]);
+//! building one goes through [`PacketBuilder`].
+
+use bytes::Bytes;
+use camus_lang::spec::Spec;
+use camus_lang::value::Value;
+use std::collections::HashMap;
+
+/// An immutable packet with its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub bytes: Bytes,
+}
+
+impl Packet {
+    pub fn new(bytes: Bytes) -> Self {
+        Packet { bytes }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of whole batched messages this packet carries under a
+    /// given spec (fixed-width messages after the fixed stack).
+    pub fn message_count(&self, spec: &Spec) -> usize {
+        let Some(msg) = &spec.messages else { return 0 };
+        let Some(h) = spec.header(msg) else { return 0 };
+        let w = h.width_bytes();
+        if w == 0 {
+            return 0;
+        }
+        self.bytes.len().saturating_sub(spec.stack_width()) / w
+    }
+
+    /// Decode the fixed stack header `name` (must be in the sequence).
+    pub fn stack_header(&self, spec: &Spec, name: &str) -> Option<HashMap<String, Value>> {
+        let off = spec.stack_offset(name)?;
+        spec.decode_header(name, self.bytes.get(off..)?)
+    }
+
+    /// Decode batched message `i`.
+    pub fn message(&self, spec: &Spec, i: usize) -> Option<HashMap<String, Value>> {
+        let msg = spec.messages.as_ref()?;
+        let h = spec.header(msg)?;
+        let w = h.width_bytes();
+        let off = spec.stack_width() + i * w;
+        spec.decode_header(msg, self.bytes.get(off..off + w)?)
+    }
+
+    /// A copy of this packet keeping only the selected messages (egress
+    /// pruning, §VI-A). The fixed stack is preserved; `keep` indexes
+    /// messages.
+    pub fn prune_messages(&self, spec: &Spec, keep: &[usize]) -> Packet {
+        let stack = spec.stack_width();
+        let Some(msg) = &spec.messages else {
+            return self.clone();
+        };
+        let w = spec.header(msg).map_or(0, |h| h.width_bytes());
+        if w == 0 {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(stack + keep.len() * w);
+        out.extend_from_slice(&self.bytes[..stack.min(self.bytes.len())]);
+        for &i in keep {
+            let off = stack + i * w;
+            if let Some(slice) = self.bytes.get(off..off + w) {
+                out.extend_from_slice(slice);
+            }
+        }
+        Packet::new(Bytes::from(out))
+    }
+}
+
+/// Builds packets under a spec: set stack-header fields, append
+/// messages, finish.
+pub struct PacketBuilder<'a> {
+    spec: &'a Spec,
+    stack_values: HashMap<String, HashMap<String, Value>>,
+    messages: Vec<HashMap<String, Value>>,
+}
+
+impl<'a> PacketBuilder<'a> {
+    pub fn new(spec: &'a Spec) -> Self {
+        PacketBuilder { spec, stack_values: HashMap::new(), messages: Vec::new() }
+    }
+
+    /// Set a field of a fixed stack header.
+    pub fn stack_field(mut self, header: &str, field: &str, value: impl Into<Value>) -> Self {
+        self.stack_values
+            .entry(header.to_string())
+            .or_default()
+            .insert(field.to_string(), value.into());
+        self
+    }
+
+    /// Append a batched message given as field → value pairs.
+    pub fn message<I, S, V>(mut self, fields: I) -> Self
+    where
+        I: IntoIterator<Item = (S, V)>,
+        S: Into<String>,
+        V: Into<Value>,
+    {
+        self.messages
+            .push(fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect());
+        self
+    }
+
+    /// Encode to bytes. Panics only on type mismatches against the spec
+    /// (a programming error in the caller).
+    pub fn build(self) -> Packet {
+        let mut out = Vec::with_capacity(self.spec.stack_width() + self.messages.len() * 32);
+        for name in &self.spec.sequence {
+            let empty = HashMap::new();
+            let vals = self.stack_values.get(name).unwrap_or(&empty);
+            let bytes = self
+                .spec
+                .encode_header(name, vals)
+                .unwrap_or_else(|e| panic!("encoding stack header {name}: {e}"));
+            out.extend_from_slice(&bytes);
+        }
+        if let Some(msg) = &self.spec.messages {
+            for m in &self.messages {
+                let bytes = self
+                    .spec
+                    .encode_header(msg, m)
+                    .unwrap_or_else(|e| panic!("encoding message {msg}: {e}"));
+                out.extend_from_slice(&bytes);
+            }
+        } else {
+            assert!(self.messages.is_empty(), "spec has no batched message header");
+        }
+        Packet::new(Bytes::from(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::spec::itch_spec;
+
+    fn order(stock: &str, price: i64, shares: i64) -> Vec<(&'static str, Value)> {
+        vec![
+            ("stock", Value::from(stock)),
+            ("price", Value::Int(price)),
+            ("shares", Value::Int(shares)),
+        ]
+    }
+
+    #[test]
+    fn build_and_decode_roundtrip() {
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec)
+            .stack_field("moldudp", "seq", 42i64)
+            .stack_field("moldudp", "msg_count", 2i64)
+            .message(order("GOOGL", 1050, 100))
+            .message(order("MSFT", 300, 5))
+            .build();
+        assert_eq!(pkt.len(), spec.stack_width() + 2 * 20);
+        assert_eq!(pkt.message_count(&spec), 2);
+
+        let mold = pkt.stack_header(&spec, "moldudp").unwrap();
+        assert_eq!(mold["seq"], Value::Int(42));
+        assert_eq!(mold["msg_count"], Value::Int(2));
+
+        let m0 = pkt.message(&spec, 0).unwrap();
+        assert_eq!(m0["stock"], Value::from("GOOGL"));
+        assert_eq!(m0["price"], Value::Int(1050));
+        let m1 = pkt.message(&spec, 1).unwrap();
+        assert_eq!(m1["stock"], Value::from("MSFT"));
+        assert!(pkt.message(&spec, 2).is_none());
+    }
+
+    #[test]
+    fn empty_packet_has_no_messages() {
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).build();
+        assert_eq!(pkt.message_count(&spec), 0);
+        assert_eq!(pkt.len(), spec.stack_width());
+        assert!(!pkt.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_selected_messages() {
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec)
+            .message(order("A", 1, 1))
+            .message(order("B", 2, 2))
+            .message(order("C", 3, 3))
+            .build();
+        let pruned = pkt.prune_messages(&spec, &[0, 2]);
+        assert_eq!(pruned.message_count(&spec), 2);
+        assert_eq!(pruned.message(&spec, 0).unwrap()["stock"], Value::from("A"));
+        assert_eq!(pruned.message(&spec, 1).unwrap()["stock"], Value::from("C"));
+        // The original is untouched.
+        assert_eq!(pkt.message_count(&spec), 3);
+    }
+
+    #[test]
+    fn prune_to_empty() {
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("A", 1, 1)).build();
+        let pruned = pkt.prune_messages(&spec, &[]);
+        assert_eq!(pruned.message_count(&spec), 0);
+        assert_eq!(pruned.len(), spec.stack_width());
+    }
+
+    #[test]
+    fn short_buffer_is_rejected_gracefully() {
+        let spec = itch_spec();
+        let pkt = Packet::new(Bytes::from_static(&[0u8; 4]));
+        assert_eq!(pkt.message_count(&spec), 0);
+        assert!(pkt.stack_header(&spec, "moldudp").is_none());
+        assert!(pkt.message(&spec, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no batched message header")]
+    fn message_on_stack_only_spec_panics() {
+        let spec = camus_lang::spec::int_spec();
+        let _ = PacketBuilder::new(&spec).message(vec![("switch_id", 1i64)]).build();
+    }
+}

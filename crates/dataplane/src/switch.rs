@@ -1,0 +1,426 @@
+//! The full per-packet switch path (§VI).
+//!
+//! Ingress parses the packet (deep parsing with recirculation) and
+//! evaluates the compiled pipeline once per batched message, producing
+//! a port mask per message. The crossbar then replicates the packet —
+//! one copy per output port — and egress prunes from each copy the
+//! messages that port's subscribers did not ask for (§VI-A; on
+//! hardware the mask rides in an unused header field, here it is
+//! explicit). Non-forward actions (`answerDNS`, custom) are surfaced
+//! to the embedding application.
+//!
+//! Latency is modelled as a base pipeline traversal plus a penalty per
+//! recirculation pass, defaulting to the paper's sub-microsecond
+//! pipeline (§VIII-F).
+
+use crate::packet::Packet;
+use crate::parser::{DeepParser, ParseOutcome};
+use crate::state::StateStore;
+use camus_core::pipeline::Pipeline;
+use camus_core::statics::StaticPipeline;
+use camus_lang::ast::{Action, AggFunc, Operand, Port};
+use camus_lang::spec::Spec;
+use camus_lang::value::Value;
+use std::collections::HashMap;
+
+/// Hardware-model parameters.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Messages extracted per parser pass (PHV budget).
+    pub max_msgs_per_pass: usize,
+    /// Dedicated recirculation ports.
+    pub recirc_ports: usize,
+    /// One pipeline traversal, in nanoseconds (§VIII-F: < 1 μs).
+    pub base_latency_ns: u64,
+    /// Extra latency per recirculation pass.
+    pub recirc_latency_ns: u64,
+    /// Window for aggregates without an explicit `@counter`.
+    pub default_window_us: u64,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            max_msgs_per_pass: 4,
+            recirc_ports: 3,
+            base_latency_ns: 600,
+            recirc_latency_ns: 400,
+            default_window_us: 100,
+        }
+    }
+}
+
+/// Running counters exposed for the evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    pub packets: u64,
+    pub messages: u64,
+    pub truncated_messages: u64,
+    pub recirculation_passes: u64,
+    /// Messages that matched no subscription (dropped).
+    pub dropped_messages: u64,
+    /// Output packet copies emitted.
+    pub copies: u64,
+}
+
+/// The result of processing one packet.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchOutput {
+    /// One (port, pruned copy) per output port.
+    pub ports: Vec<(Port, Packet)>,
+    /// Non-forward actions raised by messages: `(message index, action)`.
+    pub actions: Vec<(usize, Action)>,
+    /// Modelled processing latency.
+    pub latency_ns: u64,
+    /// Parser passes used.
+    pub passes: usize,
+}
+
+/// A switch loaded with an application and a compiled pipeline.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    parser: DeepParser,
+    pipeline: Pipeline,
+    state: StateStore,
+    config: SwitchConfig,
+    stats: SwitchStats,
+    /// Aggregate operands appearing in the pipeline, cached.
+    aggregates: Vec<(String, AggFunc, String)>, // (key, func, field)
+}
+
+impl Switch {
+    /// Build from the static pipeline (application) and a dynamically
+    /// compiled rule pipeline.
+    pub fn new(statics: &StaticPipeline, pipeline: Pipeline, config: SwitchConfig) -> Self {
+        let mut state = StateStore::new(config.default_window_us);
+        for reg in &statics.registers {
+            state.allocate(&reg.name, reg.window_us);
+        }
+        Switch::with_spec(statics.spec.clone(), pipeline, state, config)
+    }
+
+    /// Build from a bare spec (tests and simple applications).
+    pub fn from_spec(spec: Spec, pipeline: Pipeline, config: SwitchConfig) -> Self {
+        let state = StateStore::new(config.default_window_us);
+        Switch::with_spec(spec, pipeline, state, config)
+    }
+
+    fn with_spec(spec: Spec, pipeline: Pipeline, state: StateStore, config: SwitchConfig) -> Self {
+        let aggregates = pipeline
+            .stages
+            .iter()
+            .filter_map(|s| match &s.operand {
+                Operand::Aggregate { func, field } => {
+                    Some((s.operand.key(), *func, field.clone()))
+                }
+                Operand::Field(_) => None,
+            })
+            .collect();
+        let parser = DeepParser::new(spec, config.max_msgs_per_pass, config.recirc_ports);
+        Switch { parser, pipeline, state, config, stats: SwitchStats::default(), aggregates }
+    }
+
+    /// Swap in a recompiled pipeline (dynamic reconfiguration,
+    /// §VIII-G.3). State registers persist across reconfigurations.
+    pub fn install(&mut self, pipeline: Pipeline) {
+        self.aggregates = pipeline
+            .stages
+            .iter()
+            .filter_map(|s| match &s.operand {
+                Operand::Aggregate { func, field } => {
+                    Some((s.operand.key(), *func, field.clone()))
+                }
+                Operand::Field(_) => None,
+            })
+            .collect();
+        self.pipeline = pipeline;
+    }
+
+    pub fn spec(&self) -> &Spec {
+        self.parser.spec()
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Process a packet arriving on `ingress` at absolute time
+    /// `now_us`.
+    pub fn process(&mut self, pkt: &Packet, ingress: Port, now_us: u64) -> SwitchOutput {
+        let outcome = self.parser.parse(pkt);
+        self.stats.packets += 1;
+        self.stats.truncated_messages += outcome.truncated as u64;
+        self.stats.recirculation_passes += (outcome.passes - 1) as u64;
+
+        let mut out = SwitchOutput {
+            passes: outcome.passes,
+            latency_ns: self.config.base_latency_ns
+                + self.config.recirc_latency_ns * (outcome.passes as u64 - 1),
+            ..Default::default()
+        };
+
+        // Per-port keep lists (the port mask of §VI-A).
+        let mut keep: HashMap<Port, Vec<usize>> = HashMap::new();
+
+        if outcome.messages.is_empty() {
+            // Stack-only application (e.g. INT): the packet itself is
+            // the message.
+            if pkt.message_count(self.parser.spec()) == 0 && !outcome.stack.is_empty() {
+                self.stats.messages += 1;
+                let action = self.eval_message(&outcome, None, now_us);
+                self.apply_action(action, 0, ingress, &mut keep, &mut out);
+            }
+        } else {
+            for mi in 0..outcome.messages.len() {
+                self.stats.messages += 1;
+                let action = self.eval_message(&outcome, Some(mi), now_us);
+                let index = outcome.messages[mi].index;
+                self.apply_action(action, index, ingress, &mut keep, &mut out);
+            }
+        }
+
+        // Crossbar replication + egress pruning: one copy per port.
+        let mut ports: Vec<Port> = keep.keys().copied().collect();
+        ports.sort_unstable();
+        for port in ports {
+            let indices = &keep[&port];
+            let copy = if self.parser.spec().messages.is_some() {
+                pkt.prune_messages(self.parser.spec(), indices)
+            } else {
+                pkt.clone()
+            };
+            self.stats.copies += 1;
+            out.ports.push((port, copy));
+        }
+        out
+    }
+
+    fn apply_action(
+        &mut self,
+        action: Action,
+        msg_index: usize,
+        ingress: Port,
+        keep: &mut HashMap<Port, Vec<usize>>,
+        out: &mut SwitchOutput,
+    ) {
+        match action {
+            Action::Forward(ports) => {
+                let mut any = false;
+                for p in ports {
+                    if p != ingress {
+                        keep.entry(p).or_default().push(msg_index);
+                        any = true;
+                    }
+                }
+                if !any {
+                    self.stats.dropped_messages += 1;
+                }
+            }
+            Action::Drop => self.stats.dropped_messages += 1,
+            other => out.actions.push((msg_index, other)),
+        }
+    }
+
+    /// Evaluate the pipeline for one message (or the bare stack),
+    /// updating aggregate registers first so the aggregate includes the
+    /// current observation.
+    fn eval_message(&mut self, outcome: &ParseOutcome, msg: Option<usize>, now_us: u64) -> Action {
+        // 1. Update every aggregate register with its field value.
+        let field_value = |key: &str| -> Option<Value> {
+            match msg {
+                Some(mi) => outcome.lookup(&outcome.messages[mi], key).cloned(),
+                None => outcome.stack.get(key).cloned(),
+            }
+        };
+        let mut agg_values: HashMap<String, Value> = HashMap::new();
+        for (key, func, field) in &self.aggregates {
+            if let Some(Value::Int(v)) = field_value(field) {
+                self.state.update(key, now_us, v);
+            }
+            agg_values.insert(key.clone(), Value::Int(self.state.read(key, now_us, *func)));
+        }
+        // 2. Evaluate the pipeline with message + stack + aggregates.
+        self.pipeline.evaluate(|op: &Operand| match op {
+            Operand::Field(_) => field_value(&op.key()),
+            Operand::Aggregate { .. } => agg_values.get(&op.key()).cloned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use camus_core::compiler::Compiler;
+    use camus_core::statics::compile_static;
+    use camus_lang::parser::parse_rules;
+    use camus_lang::spec::itch_spec;
+
+    fn itch_switch(rules_src: &str) -> Switch {
+        let statics = compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules(rules_src).unwrap();
+        let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+        Switch::new(&statics, compiled.pipeline, SwitchConfig::default())
+    }
+
+    fn order(stock: &str, price: i64) -> Vec<(&'static str, Value)> {
+        vec![("stock", Value::from(stock)), ("price", Value::Int(price))]
+    }
+
+    #[test]
+    fn forwards_matching_messages_to_ports() {
+        let mut sw = itch_switch(
+            "stock == GOOGL: fwd(1)\n\
+             stock == MSFT: fwd(2)\n",
+        );
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec)
+            .message(order("GOOGL", 10))
+            .message(order("MSFT", 20))
+            .message(order("FB", 30))
+            .build();
+        let out = sw.process(&pkt, 0, 0);
+        assert_eq!(out.ports.len(), 2);
+        let (p1, c1) = &out.ports[0];
+        assert_eq!(*p1, 1);
+        assert_eq!(c1.message_count(&spec), 1);
+        assert_eq!(c1.message(&spec, 0).unwrap()["stock"], Value::from("GOOGL"));
+        let (p2, c2) = &out.ports[1];
+        assert_eq!(*p2, 2);
+        assert_eq!(c2.message(&spec, 0).unwrap()["stock"], Value::from("MSFT"));
+        assert_eq!(sw.stats().dropped_messages, 1); // FB
+        assert_eq!(sw.stats().messages, 3);
+    }
+
+    #[test]
+    fn multicast_message_reaches_both_subscribers() {
+        let mut sw = itch_switch(
+            "stock == GOOGL: fwd(1)\n\
+             price > 5: fwd(2)\n",
+        );
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 10)).build();
+        let out = sw.process(&pkt, 0, 0);
+        let ports: Vec<Port> = out.ports.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![1, 2]);
+        // Both copies carry the single message.
+        for (_, c) in &out.ports {
+            assert_eq!(c.message_count(&spec), 1);
+        }
+    }
+
+    #[test]
+    fn never_forwards_to_ingress_port() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 10)).build();
+        let out = sw.process(&pkt, 1, 0);
+        assert!(out.ports.is_empty());
+        assert_eq!(sw.stats().dropped_messages, 1);
+    }
+
+    #[test]
+    fn recirculation_latency_model() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let mut b = PacketBuilder::new(&spec);
+        for _ in 0..10 {
+            b = b.message(order("GOOGL", 1));
+        }
+        let out = sw.process(&b.build(), 0, 0);
+        // 10 messages, 4 per pass -> 3 passes -> base + 2*recirc.
+        assert_eq!(out.passes, 3);
+        assert_eq!(out.latency_ns, 600 + 2 * 400);
+        assert_eq!(sw.stats().recirculation_passes, 2);
+        // All 10 messages forwarded in one copy.
+        assert_eq!(out.ports[0].1.message_count(&spec), 10);
+    }
+
+    #[test]
+    fn truncation_counts() {
+        let statics = compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules("stock == GOOGL: fwd(1)\n").unwrap();
+        let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+        let cfg = SwitchConfig { max_msgs_per_pass: 2, recirc_ports: 1, ..Default::default() };
+        let mut sw = Switch::new(&statics, compiled.pipeline, cfg);
+        let spec = itch_spec();
+        let mut b = PacketBuilder::new(&spec);
+        for _ in 0..7 {
+            b = b.message(order("GOOGL", 1));
+        }
+        let out = sw.process(&b.build(), 0, 0);
+        assert_eq!(sw.stats().truncated_messages, 3);
+        assert_eq!(out.ports[0].1.message_count(&spec), 4);
+    }
+
+    #[test]
+    fn stateful_average_gates_forwarding() {
+        // §II example: forward GOOGL only when avg(price) > 60.
+        let mut sw = itch_switch("stock == GOOGL and avg(price) > 60: fwd(1)\n");
+        let spec = itch_spec();
+        let pkt = |price: i64| PacketBuilder::new(&spec).message(order("GOOGL", price)).build();
+        // First message: avg = 50 -> no match.
+        let out = sw.process(&pkt(50), 0, 0);
+        assert!(out.ports.is_empty());
+        // Second message at price 90 -> avg = 70 -> match.
+        let out = sw.process(&pkt(90), 0, 10);
+        assert_eq!(out.ports.len(), 1);
+        // After the 100 μs default window tumbles, a 50 alone fails again.
+        let out = sw.process(&pkt(50), 0, 200);
+        assert!(out.ports.is_empty());
+    }
+
+    #[test]
+    fn stack_only_application_forwards_whole_packet() {
+        // INT-style spec without batched messages.
+        let spec = camus_lang::spec::int_spec();
+        let statics = compile_static(&spec).unwrap();
+        let rules =
+            parse_rules("switch_id == 2 and hop_latency > 100: fwd(3)\n").unwrap();
+        let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+        let mut sw = Switch::new(&statics, compiled.pipeline, SwitchConfig::default());
+        let pkt = PacketBuilder::new(&spec)
+            .stack_field("int_report", "switch_id", 2i64)
+            .stack_field("int_report", "hop_latency", 500i64)
+            .build();
+        let out = sw.process(&pkt, 0, 0);
+        assert_eq!(out.ports.len(), 1);
+        assert_eq!(out.ports[0].0, 3);
+        assert_eq!(out.ports[0].1, pkt); // forwarded intact
+        // Non-matching report is dropped.
+        let quiet = PacketBuilder::new(&spec)
+            .stack_field("int_report", "switch_id", 2i64)
+            .stack_field("int_report", "hop_latency", 50i64)
+            .build();
+        let out = sw.process(&quiet, 0, 1);
+        assert!(out.ports.is_empty());
+    }
+
+    #[test]
+    fn custom_actions_are_surfaced() {
+        let mut sw = itch_switch("stock == GOOGL: mirror(9)\n");
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 1)).build();
+        let out = sw.process(&pkt, 0, 0);
+        assert!(out.ports.is_empty());
+        assert_eq!(out.actions, vec![(0, Action::Custom("mirror".into(), vec![9]))]);
+    }
+
+    #[test]
+    fn install_swaps_pipeline_keeps_state() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 1)).build();
+        assert_eq!(sw.process(&pkt, 0, 0).ports.len(), 1);
+        // Reconfigure: now only MSFT is interesting.
+        let statics = compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules("stock == MSFT: fwd(2)\n").unwrap();
+        let compiled = Compiler::new().with_static(statics).compile(&rules).unwrap();
+        sw.install(compiled.pipeline);
+        assert!(sw.process(&pkt, 0, 1).ports.is_empty());
+    }
+}

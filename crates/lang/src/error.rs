@@ -1,0 +1,62 @@
+//! Error types shared across the language front-end.
+
+use std::fmt;
+
+/// Convenient result alias for language operations.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// Errors produced while lexing, parsing, or type-checking subscriptions
+/// and header specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// An unexpected character in the input stream.
+    Lex { pos: usize, msg: String },
+    /// A syntactic error: what was found and what was expected.
+    Parse { pos: usize, msg: String },
+    /// A semantic error: unknown field, relation not applicable to the
+    /// operand type, aggregate over a string field, and so on.
+    Semantic(String),
+    /// A header-spec error (duplicate header, bad annotation, width 0...).
+    Spec(String),
+}
+
+impl LangError {
+    pub(crate) fn lex(pos: usize, msg: impl Into<String>) -> Self {
+        LangError::Lex { pos, msg: msg.into() }
+    }
+    pub(crate) fn parse(pos: usize, msg: impl Into<String>) -> Self {
+        LangError::Parse { pos, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            LangError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            LangError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            LangError::Spec(msg) => write!(f, "spec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_position() {
+        let e = LangError::lex(7, "bad char");
+        assert_eq!(e.to_string(), "lex error at byte 7: bad char");
+        let e = LangError::parse(3, "expected ')'");
+        assert_eq!(e.to_string(), "parse error at byte 3: expected ')'");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LangError::Semantic("x".into()));
+    }
+}

@@ -1,0 +1,256 @@
+//! The logically centralised controller (Fig. 2, §III).
+//!
+//! Input: the topology, the application's static pipeline, and the
+//! per-host subscription filters. The controller runs Algorithm 1 to
+//! obtain per-switch rule lists, compiles each with the Camus compiler
+//! (in parallel), and instantiates the dataplane switches. It also
+//! supports *dynamic reconfiguration* (§VIII-G.3): on a subscription
+//! change it recomputes and reinstalls only the pipelines, preserving
+//! switch state.
+
+use crate::sim::Network;
+use camus_core::compiler::{CompileError, Compiler};
+use camus_core::statics::StaticPipeline;
+use camus_dataplane::{Switch, SwitchConfig};
+use camus_lang::ast::Expr;
+use camus_routing::algorithm1::{route_hierarchical, RoutingConfig, RoutingResult};
+use camus_routing::compile::{compile_network, NetworkCompile};
+use camus_routing::topology::HierNet;
+use std::time::Duration;
+
+/// Controller configuration and handles.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    pub statics: StaticPipeline,
+    pub routing: RoutingConfig,
+    pub switch_config: SwitchConfig,
+    pub link_latency_ns: u64,
+}
+
+/// A deployed network plus the artefacts the evaluation wants to see.
+pub struct Deployment {
+    pub network: Network,
+    pub routing: RoutingResult,
+    /// Per-switch compile results (entry counts, times).
+    pub compile: NetworkCompile,
+}
+
+impl Controller {
+    pub fn new(statics: StaticPipeline, routing: RoutingConfig) -> Self {
+        Controller {
+            statics,
+            routing,
+            switch_config: SwitchConfig::default(),
+            link_latency_ns: 1_000, // 1 μs per hop by default
+        }
+    }
+
+    fn compiler(&self) -> Compiler {
+        Compiler::new().with_static(self.statics.clone())
+    }
+
+    /// Compute routing, compile every switch, and build the network.
+    pub fn deploy(
+        &self,
+        topology: HierNet,
+        subs: &[Vec<Expr>],
+    ) -> Result<Deployment, CompileError> {
+        let routing = route_hierarchical(&topology, subs, self.routing);
+        let compile = compile_network(&routing, &self.compiler())?;
+        let mut switches = Vec::with_capacity(topology.switch_count());
+        for sc in &compile.switches {
+            switches.push(Switch::new(
+                &self.statics,
+                sc.compiled.pipeline.clone(),
+                self.switch_config.clone(),
+            ));
+        }
+        let network = Network::new(topology, switches, self.link_latency_ns);
+        Ok(Deployment { network, routing, compile })
+    }
+
+    /// Recompute and reinstall pipelines after a subscription change,
+    /// preserving switch state. Returns the recompile wall-clock time
+    /// (the Fig. 14 measurement).
+    pub fn reconfigure(
+        &self,
+        deployment: &mut Deployment,
+        subs: &[Vec<Expr>],
+    ) -> Result<Duration, CompileError> {
+        let routing = route_hierarchical(&deployment.network.topology, subs, self.routing);
+        let compile = compile_network(&routing, &self.compiler())?;
+        for sc in &compile.switches {
+            deployment.network.switches[sc.switch].install(sc.compiled.pipeline.clone());
+        }
+        let elapsed = compile.elapsed;
+        deployment.routing = routing;
+        deployment.compile = compile;
+        Ok(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_core::statics::compile_static;
+    use camus_dataplane::PacketBuilder;
+    use camus_lang::parser::parse_expr;
+    use camus_lang::spec::itch_spec;
+    use camus_lang::value::Value;
+    use camus_routing::algorithm1::Policy;
+    use camus_routing::topology::paper_fat_tree;
+
+    fn controller(policy: Policy) -> Controller {
+        let statics = compile_static(&itch_spec()).unwrap();
+        Controller::new(statics, RoutingConfig::new(policy))
+    }
+
+    fn subs(net: &HierNet, f: impl Fn(usize) -> Vec<&'static str>) -> Vec<Vec<Expr>> {
+        (0..net.host_count())
+            .map(|h| f(h).into_iter().map(|s| parse_expr(s).unwrap()).collect())
+            .collect()
+    }
+
+    fn googl_packet(price: i64) -> camus_dataplane::Packet {
+        let spec = itch_spec();
+        PacketBuilder::new(&spec)
+            .message(vec![
+                ("stock", Value::from("GOOGL")),
+                ("price", Value::Int(price)),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn end_to_end_delivery_across_fat_tree() {
+        // Publisher at host 0 (pod 0), subscriber at host 15 (pod 3).
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
+            let mut d = controller(policy).deploy(net.clone(), &subs).unwrap();
+            d.network.publish(0, googl_packet(10), 0);
+            d.network.run(None);
+            let got = d.network.deliveries(15);
+            assert_eq!(got.len(), 1, "{policy:?}");
+            assert_eq!(got[0].values["stock"], Value::from("GOOGL"));
+            assert!(got[0].latency_ns() > 0);
+            // Nobody else hears it.
+            for h in 0..15 {
+                assert!(d.network.deliveries(h).is_empty(), "{policy:?} host {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_to_multiple_pods_no_duplicates() {
+        let net = paper_fat_tree();
+        // Hosts 3 (pod 0), 7 (pod 1), 12 (pod 3) subscribe.
+        let subs = subs(&net, |h| {
+            if [3, 7, 12].contains(&h) { vec!["price > 5"] } else { vec![] }
+        });
+        for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
+            let mut d = controller(policy).deploy(net.clone(), &subs).unwrap();
+            d.network.publish(0, googl_packet(10), 0);
+            d.network.run(None);
+            for h in [3usize, 7, 12] {
+                assert_eq!(d.network.deliveries(h).len(), 1, "{policy:?} host {h}");
+            }
+            let total: usize = (0..16).map(|h| d.network.deliveries(h).len()).sum();
+            assert_eq!(total, 3, "{policy:?}: no duplicate deliveries");
+        }
+    }
+
+    #[test]
+    fn non_matching_messages_do_not_leave_tor() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 1 { vec!["price > 100"] } else { vec![] });
+        // TR: a price-10 message from host 0 dies at ToR 0.
+        let mut d = controller(Policy::TrafficReduction).deploy(net.clone(), &subs).unwrap();
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.all_deliveries().count(), 0);
+        let stats = d.network.stats();
+        assert_eq!(stats.layer_messages(&net, 1), 0, "nothing at agg layer");
+        assert_eq!(stats.layer_messages(&net, 2), 0, "nothing at core layer");
+    }
+
+    #[test]
+    fn mr_policy_sends_everything_up() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 1 { vec!["price > 100"] } else { vec![] });
+        let mut d = controller(Policy::MemoryReduction).deploy(net.clone(), &subs).unwrap();
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.all_deliveries().count(), 0);
+        // The message still ascended (MR's F_up = true).
+        assert!(d.network.stats().layer_messages(&net, 0) > 0);
+    }
+
+    #[test]
+    fn same_tor_delivery_stays_local() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 1 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = controller(Policy::TrafficReduction).deploy(net.clone(), &subs).unwrap();
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(1).len(), 1);
+        // Host 0 and 1 share ToR 0: two link hops, no agg/core traffic.
+        assert_eq!(d.network.stats().layer_messages(&net, 1), 0);
+        assert_eq!(d.network.stats().layer_messages(&net, 2), 0);
+    }
+
+    #[test]
+    fn per_message_pruning_across_network() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| match h {
+            5 => vec!["stock == GOOGL"],
+            9 => vec!["stock == MSFT"],
+            _ => vec![],
+        });
+        let mut d = controller(Policy::TrafficReduction).deploy(net.clone(), &subs).unwrap();
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec)
+            .message(vec![("stock", Value::from("GOOGL")), ("price", Value::Int(1))])
+            .message(vec![("stock", Value::from("MSFT")), ("price", Value::Int(2))])
+            .message(vec![("stock", Value::from("FB")), ("price", Value::Int(3))])
+            .build();
+        d.network.publish(0, pkt, 0);
+        d.network.run(None);
+        let h5 = d.network.deliveries(5);
+        assert_eq!(h5.len(), 1);
+        assert_eq!(h5[0].values["stock"], Value::from("GOOGL"));
+        let h9 = d.network.deliveries(9);
+        assert_eq!(h9.len(), 1);
+        assert_eq!(h9[0].values["stock"], Value::from("MSFT"));
+    }
+
+    #[test]
+    fn reconfigure_switches_subscriptions() {
+        let net = paper_fat_tree();
+        let sub_a = subs(&net, |h| if h == 2 { vec!["stock == GOOGL"] } else { vec![] });
+        let sub_b = subs(&net, |h| if h == 2 { vec!["stock == MSFT"] } else { vec![] });
+        let ctrl = controller(Policy::TrafficReduction);
+        let mut d = ctrl.deploy(net.clone(), &sub_a).unwrap();
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(2).len(), 1);
+        // Reconfigure: GOOGL no longer interesting.
+        let elapsed = ctrl.reconfigure(&mut d, &sub_b).unwrap();
+        assert!(elapsed.as_nanos() > 0);
+        d.network.publish(0, googl_packet(10), 1_000_000);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(2).len(), 1, "no new GOOGL delivery");
+    }
+
+    #[test]
+    fn bounded_run_leaves_pending_events() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |_| vec!["price > 0"]);
+        let mut d = controller(Policy::TrafficReduction).deploy(net.clone(), &subs).unwrap();
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(Some(1)); // 1 ns horizon: nothing can complete
+        assert!(d.network.pending() > 0);
+        d.network.run(None);
+        assert_eq!(d.network.pending(), 0);
+    }
+}

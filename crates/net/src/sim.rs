@@ -1,0 +1,288 @@
+//! The event-driven packet-level simulator.
+//!
+//! Discrete events move packets between switches and hosts over links
+//! with a fixed propagation latency. Each switch runs its own
+//! [`camus_dataplane::Switch`]; message-level multicast, egress pruning
+//! and recirculation latency all come from the dataplane model.
+//!
+//! Port conventions (matching [`camus_routing::topology`]):
+//!
+//! * a switch's *down* ports are numbered `0..down.len()`,
+//! * all physical up links form the single logical port
+//!   [`LOGICAL_UP`]; when a pipeline forwards there, the simulator
+//!   ascends via the *designated* up link (the paper also allows
+//!   random or round-robin; designated ascent pairs with
+//!   single-parent subscription propagation to keep multicast
+//!   duplicate-free),
+//! * a packet that arrived from above enters on `LOGICAL_UP`, so the
+//!   dataplane's "never forward to the ingress port" rule doubles as
+//!   the "never re-ascend" rule of §IV-C, keeping forwarding loop-free.
+
+use camus_dataplane::{Packet, Switch};
+use camus_lang::ast::Port;
+use camus_lang::value::Value;
+use camus_routing::topology::{DownTarget, HierNet, HostId, SwitchId, LOGICAL_UP};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A message delivered to a host.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    pub host: HostId,
+    /// Simulation time of delivery (ns).
+    pub time_ns: u64,
+    /// Time the enclosing packet was published (ns).
+    pub published_ns: u64,
+    /// The message's attribute values (or the stack attributes for
+    /// message-less applications).
+    pub values: HashMap<String, Value>,
+}
+
+impl Delivered {
+    pub fn latency_ns(&self) -> u64 {
+        self.time_ns - self.published_ns
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Messages crossing each directed switch egress `(switch, port)`.
+    pub link_messages: HashMap<(SwitchId, Port), u64>,
+    /// Packets delivered to hosts.
+    pub deliveries: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl NetworkStats {
+    /// Messages that crossed links adjacent to switches of `layer`
+    /// (egress side) — Fig. 13d reports this for the core layer.
+    pub fn layer_messages(&self, net: &HierNet, layer: usize) -> u64 {
+        self.link_messages
+            .iter()
+            .filter(|((s, _), _)| net.switches[*s].layer == layer)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+}
+
+#[derive(Debug)]
+enum Dest {
+    Switch { id: SwitchId, ingress: Port },
+    Host(HostId),
+}
+
+struct Event {
+    time_ns: u64,
+    seq: u64, // tie-breaker for determinism
+    dest: Dest,
+    packet: Packet,
+    published_ns: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time_ns, self.seq) == (other.time_ns, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+/// The simulated network: topology + per-switch dataplanes.
+pub struct Network {
+    pub topology: HierNet,
+    pub switches: Vec<Switch>,
+    /// Link propagation latency in nanoseconds.
+    pub link_latency_ns: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now_ns: u64,
+    deliveries: Vec<Vec<Delivered>>,
+    stats: NetworkStats,
+}
+
+impl Network {
+    pub fn new(topology: HierNet, switches: Vec<Switch>, link_latency_ns: u64) -> Self {
+        assert_eq!(topology.switch_count(), switches.len());
+        let hosts = topology.host_count();
+        Network {
+            topology,
+            switches,
+            link_latency_ns,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now_ns: 0,
+            deliveries: vec![Vec::new(); hosts],
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Publish a packet from a host at an absolute time.
+    pub fn publish(&mut self, host: HostId, packet: Packet, time_ns: u64) {
+        let (s, p) = self.topology.access[host];
+        self.push(Event {
+            time_ns: time_ns + self.link_latency_ns,
+            seq: 0,
+            dest: Dest::Switch { id: s, ingress: p },
+            packet,
+            published_ns: time_ns,
+        });
+    }
+
+    fn push(&mut self, mut ev: Event) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    /// Run until the event queue drains (or `until_ns`, if given).
+    pub fn run(&mut self, until_ns: Option<u64>) {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if let Some(limit) = until_ns {
+                if ev.time_ns > limit {
+                    // Past the horizon: keep it pending and stop.
+                    self.queue.push(Reverse(ev));
+                    break;
+                }
+            }
+            self.now_ns = self.now_ns.max(ev.time_ns);
+            self.stats.events += 1;
+            match ev.dest {
+                Dest::Host(h) => self.deliver(h, &ev),
+                Dest::Switch { id, ingress } => self.forward(id, ingress, ev),
+            }
+        }
+    }
+
+    fn deliver(&mut self, host: HostId, ev: &Event) {
+        self.stats.deliveries += 1;
+        let spec = {
+            // All switches share the application spec; take it from the
+            // host's access switch.
+            let (s, _) = self.topology.access[host];
+            self.switches[s].spec().clone()
+        };
+        let n = ev.packet.message_count(&spec);
+        if n == 0 {
+            // Stack-only application: record the stack attributes.
+            let mut values = HashMap::new();
+            for name in &spec.sequence {
+                if let Some(vals) = ev.packet.stack_header(&spec, name) {
+                    values.extend(vals);
+                }
+            }
+            self.deliveries[host].push(Delivered {
+                host,
+                time_ns: ev.time_ns,
+                published_ns: ev.published_ns,
+                values,
+            });
+        } else {
+            for i in 0..n {
+                if let Some(values) = ev.packet.message(&spec, i) {
+                    self.deliveries[host].push(Delivered {
+                        host,
+                        time_ns: ev.time_ns,
+                        published_ns: ev.published_ns,
+                        values,
+                    });
+                }
+            }
+        }
+    }
+
+    fn forward(&mut self, id: SwitchId, ingress: Port, ev: Event) {
+        let now_us = ev.time_ns / 1_000;
+        let out = self.switches[id].process(&ev.packet, ingress, now_us);
+        let depart = ev.time_ns + out.latency_ns;
+        let counted: Vec<(Port, Packet, u64)> = out
+            .ports
+            .into_iter()
+            .map(|(port, copy)| {
+                // Stack-only packets count as one message.
+                let n = (copy.message_count(self.switches[id].spec()) as u64).max(1);
+                (port, copy, n)
+            })
+            .collect();
+        for (port, copy, msgs) in counted {
+            if port == LOGICAL_UP {
+                // Ascend via the designated up link. (The paper allows
+                // random/round-robin here; deterministic designated
+                // ascent is what pairs with single-parent subscription
+                // propagation to keep multicast duplicate-free, see
+                // DESIGN.md.)
+                let Some((peer, peer_port)) = self.topology.designated_up(id) else {
+                    continue;
+                };
+                *self.stats.link_messages.entry((id, LOGICAL_UP)).or_insert(0) +=
+                    msgs;
+                self.push(Event {
+                    time_ns: depart + self.link_latency_ns,
+                    seq: 0,
+                    dest: Dest::Switch { id: peer, ingress: peer_port },
+                    packet: copy,
+                    published_ns: ev.published_ns,
+                });
+            } else {
+                match self.topology.switches[id].down.get(port as usize) {
+                    Some(DownTarget::Host(h)) => {
+                        *self.stats.link_messages.entry((id, port)).or_insert(0) +=
+                            msgs;
+                        self.push(Event {
+                            time_ns: depart + self.link_latency_ns,
+                            seq: 0,
+                            dest: Dest::Host(*h),
+                            packet: copy,
+                            published_ns: ev.published_ns,
+                        });
+                    }
+                    Some(DownTarget::Switch(c, _)) => {
+                        *self.stats.link_messages.entry((id, port)).or_insert(0) +=
+                            msgs;
+                        // Arrives at the child from above: ingress is
+                        // the child's logical up port.
+                        self.push(Event {
+                            time_ns: depart + self.link_latency_ns,
+                            seq: 0,
+                            dest: Dest::Switch { id: *c, ingress: LOGICAL_UP },
+                            packet: copy,
+                            published_ns: ev.published_ns,
+                        });
+                    }
+                    None => {} // dangling port: drop
+                }
+            }
+        }
+    }
+
+    pub fn deliveries(&self, host: HostId) -> &[Delivered] {
+        &self.deliveries[host]
+    }
+
+    pub fn all_deliveries(&self) -> impl Iterator<Item = &Delivered> {
+        self.deliveries.iter().flatten()
+    }
+
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Are any events still pending (only after a bounded `run`)?
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}

@@ -1,0 +1,372 @@
+//! Algorithm 1: routing in a hierarchical (Fat-Tree) network.
+//!
+//! Computes the filter sets `F_p^s` for every switch `s` and port `p`
+//! from the per-host subscriptions, under one of the two policies of
+//! §IV-C (illustrated in Fig. 3):
+//!
+//! * **MR (memory reduction)** — down-port sets are exact, and every
+//!   up set is the single `true` filter: all traffic is pushed through
+//!   the core, but switches store few rules.
+//! * **TR (traffic reduction)** — the up set contains exactly the
+//!   subscriptions of the hosts *outside* the switch's subtree, so no
+//!   unnecessary traffic ascends, at the cost of storing filters from
+//!   the whole network.
+//!
+//! The α-discretisation approximation of §IV-D is applied to every
+//! filter that is *aggregated upward* (anything above the access
+//! ports); access-port sets are never approximated, preserving the
+//! soundness condition of §IV-C.
+
+use crate::topology::{HierNet, SwitchId, LOGICAL_UP};
+use camus_lang::approx::{approximate_expr, ApproxConfig};
+use camus_lang::ast::{Action, Expr, Port, Rule};
+use std::collections::{HashMap, HashSet};
+
+/// The two routing policies of §IV-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    MemoryReduction,
+    TrafficReduction,
+}
+
+/// Routing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingConfig {
+    pub policy: Policy,
+    /// Discretisation unit for aggregated filters; `1` disables the
+    /// approximation.
+    pub alpha: i64,
+    /// Also widen equality constraints when approximating.
+    pub widen_eq: bool,
+}
+
+impl RoutingConfig {
+    pub fn new(policy: Policy) -> Self {
+        RoutingConfig { policy, alpha: 1, widen_eq: false }
+    }
+
+    pub fn with_alpha(mut self, alpha: i64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    fn approx(&self) -> Option<ApproxConfig> {
+        (self.alpha > 1).then(|| {
+            let mut c = ApproxConfig::new(self.alpha);
+            c.widen_eq = self.widen_eq;
+            c
+        })
+    }
+}
+
+/// An ordered, deduplicated filter set (one `F_p^s`).
+#[derive(Debug, Clone, Default)]
+pub struct FilterSet {
+    filters: Vec<Expr>,
+    seen: HashSet<Expr>,
+}
+
+impl FilterSet {
+    pub fn insert(&mut self, f: Expr) {
+        if self.seen.insert(f.clone()) {
+            self.filters.push(f);
+        }
+    }
+
+    pub fn extend<'a, I: IntoIterator<Item = &'a Expr>>(&mut self, it: I) {
+        for f in it {
+            self.insert(f.clone());
+        }
+    }
+
+    pub fn filters(&self) -> &[Expr] {
+        &self.filters
+    }
+
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+}
+
+/// The computed routing policy: `F_p^s` for every switch and port.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingResult {
+    /// Per switch: port → filter set. [`LOGICAL_UP`] keys the up set.
+    pub filters: Vec<HashMap<Port, FilterSet>>,
+}
+
+impl RoutingResult {
+    /// The per-switch rule list handed to the Camus compiler: one
+    /// `filter: fwd(port)` rule per filter (§IV-D's intermediate
+    /// representation).
+    pub fn switch_rules(&self, s: SwitchId) -> Vec<Rule> {
+        let mut ports: Vec<&Port> = self.filters[s].keys().collect();
+        ports.sort_unstable();
+        let mut out = Vec::new();
+        for &port in ports {
+            for f in self.filters[s][&port].filters() {
+                out.push(Rule { filter: f.clone(), action: Action::Forward(vec![port]) });
+            }
+        }
+        out
+    }
+
+    /// Number of filters stored by switch `s` (all ports).
+    pub fn switch_filter_count(&self, s: SwitchId) -> usize {
+        self.filters[s].values().map(|f| f.len()).sum()
+    }
+
+    /// Total and per-layer filter counts (the Fig. 13 metric).
+    pub fn per_layer_counts(&self, net: &HierNet) -> HashMap<usize, usize> {
+        let mut out = HashMap::new();
+        for (s, _) in self.filters.iter().enumerate() {
+            *out.entry(net.switches[s].layer).or_insert(0) += self.switch_filter_count(s);
+        }
+        out
+    }
+}
+
+/// Run Algorithm 1 over a hierarchical network. `subs[h]` is host `h`'s
+/// subscription filters.
+pub fn route_hierarchical(
+    net: &HierNet,
+    subs: &[Vec<Expr>],
+    cfg: RoutingConfig,
+) -> RoutingResult {
+    assert_eq!(subs.len(), net.host_count(), "one subscription list per host");
+    let approx = cfg.approx();
+    let widen = |f: &Expr| -> Expr {
+        match &approx {
+            Some(c) => approximate_expr(f, *c).0,
+            None => f.clone(),
+        }
+    };
+
+    let mut filters: Vec<HashMap<Port, FilterSet>> =
+        vec![HashMap::new(); net.switch_count()];
+
+    // Access ports: exact subscription sets (soundness, §IV-C).
+    for (h, &(s, p)) in net.access.iter().enumerate() {
+        filters[s].entry(p).or_default().extend(subs[h].iter());
+    }
+
+    // Bottom-up: each switch's union of down sets ascends along the
+    // distribution tree (approximated when α > 1): to the *designated*
+    // parent only, except that the level below the top replicates to
+    // every top-layer switch, so the peak of any ascent can serve every
+    // subscriber. Single-parent propagation is what keeps multicast
+    // forwarding duplicate-free in a multi-rooted Fat Tree.
+    let top = net.top_layer();
+    for src in net.bottom_up() {
+        let mut union: Vec<Expr> = Vec::new();
+        let mut seen = HashSet::new();
+        for port in 0..net.switches[src].down.len() {
+            if let Some(set) = filters[src].get(&(port as Port)) {
+                for f in set.filters() {
+                    if seen.insert(f.clone()) {
+                        union.push(f.clone());
+                    }
+                }
+            }
+        }
+        let parents: Vec<(SwitchId, Port)> = match net.designated_up(src) {
+            None => vec![],
+            Some(designated) => {
+                if net.switches[designated.0].layer == top {
+                    net.switches[src].up.clone() // replicate to all top switches
+                } else {
+                    vec![designated]
+                }
+            }
+        };
+        for (dst, q) in parents {
+            let entry = filters[dst].entry(q).or_default();
+            for f in &union {
+                entry.insert(widen(f));
+            }
+        }
+    }
+
+    // Up sets, per policy.
+    match cfg.policy {
+        Policy::MemoryReduction => {
+            for (s, sw) in net.switches.iter().enumerate() {
+                if !sw.up.is_empty() {
+                    filters[s].entry(LOGICAL_UP).or_default().insert(Expr::True);
+                }
+            }
+        }
+        Policy::TrafficReduction => {
+            // §IV-C: under TR, `F_up` "matches the exact and therefore
+            // minimal set of packets that are of interest to hosts
+            // reachable through (one of) the up port" — i.e. the hosts
+            // *outside* the switch's subtree. (The paper's pseudo-code
+            // derives this from the first up link's parent, which in a
+            // multi-parent Fat Tree re-imports the subtree's own
+            // subscriptions through the sibling aggregate; we compute
+            // the partition directly to honour the minimality claim.)
+            for (src, sw) in net.switches.iter().enumerate() {
+                if sw.up.is_empty() {
+                    continue; // top layer: no up port
+                }
+                // Outside the switch's *distribution-tree* subtree: a
+                // subscriber below the switch physically but designated
+                // through a sibling still needs the packet to ascend.
+                let below: HashSet<usize> = net.designated_below(src).into_iter().collect();
+                let mut up = FilterSet::default();
+                for h in 0..net.host_count() {
+                    if !below.contains(&h) {
+                        for f in &subs[h] {
+                            up.insert(widen(f));
+                        }
+                    }
+                }
+                if !up.is_empty() {
+                    filters[src].insert(LOGICAL_UP, up);
+                }
+            }
+        }
+    }
+
+    RoutingResult { filters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::paper_fat_tree;
+    use camus_lang::parser::parse_expr;
+
+    fn subs_for(net: &HierNet, make: impl Fn(usize) -> Vec<&'static str>) -> Vec<Vec<Expr>> {
+        (0..net.host_count())
+            .map(|h| make(h).into_iter().map(|s| parse_expr(s).unwrap()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn access_ports_are_exact() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |h| if h == 0 { vec!["stock == GOOGL"] } else { vec![] });
+        for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
+            let r = route_hierarchical(&net, &subs, RoutingConfig::new(policy).with_alpha(10));
+            let (s, p) = net.access[0];
+            let set = &r.filters[s][&p];
+            assert_eq!(set.filters(), &[parse_expr("stock == GOOGL").unwrap()]);
+        }
+    }
+
+    #[test]
+    fn mr_up_sets_are_true() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |_| vec!["price > 5"]);
+        let r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::MemoryReduction));
+        for (s, sw) in net.switches.iter().enumerate() {
+            if sw.up.is_empty() {
+                assert!(!r.filters[s].contains_key(&LOGICAL_UP), "core has no up set");
+            } else {
+                assert_eq!(r.filters[s][&LOGICAL_UP].filters(), &[Expr::True]);
+            }
+        }
+    }
+
+    #[test]
+    fn tr_up_sets_cover_outside_subscriptions() {
+        let net = paper_fat_tree();
+        // Host 15 (last pod) subscribes; ToR 0's up set must cover it.
+        let subs = subs_for(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
+        let up = &r.filters[0][&LOGICAL_UP];
+        assert_eq!(up.filters(), &[parse_expr("stock == GOOGL").unwrap()]);
+        // ...and must NOT appear on ToR 0's up set if only host 0 (own
+        // subtree) subscribes.
+        let subs = subs_for(&net, |h| if h == 0 { vec!["stock == GOOGL"] } else { vec![] });
+        let r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
+        assert!(r.filters[0].get(&LOGICAL_UP).is_none_or(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn tr_stores_more_filters_than_mr() {
+        let net = paper_fat_tree();
+        let subs: Vec<Vec<Expr>> = (0..net.host_count())
+            .map(|h| vec![parse_expr(&format!("id == {h}")).unwrap()])
+            .collect();
+        let mr = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::MemoryReduction));
+        let tr = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
+        let total = |r: &RoutingResult| -> usize {
+            (0..net.switch_count()).map(|s| r.switch_filter_count(s)).sum()
+        };
+        assert!(
+            total(&tr) > total(&mr),
+            "TR ({}) must store more than MR ({})",
+            total(&tr),
+            total(&mr)
+        );
+    }
+
+    #[test]
+    fn aggregation_dedups_identical_filters() {
+        let net = paper_fat_tree();
+        // Every host subscribes to the same thing: aggregate sets stay
+        // size 1.
+        let subs = subs_for(&net, |_| vec!["stock == GOOGL"]);
+        let r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::MemoryReduction));
+        // Agg switch 8, down port 0 (towards ToR 0).
+        assert_eq!(r.filters[8][&0].len(), 1);
+    }
+
+    #[test]
+    fn alpha_aggregates_similar_filters_upward() {
+        let net = paper_fat_tree();
+        // Hosts under ToR 0 subscribe to slightly different thresholds.
+        let subs: Vec<Vec<Expr>> = (0..net.host_count())
+            .map(|h| vec![parse_expr(&format!("price > {}", 51 + h)).unwrap()])
+            .collect();
+        let exact = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::MemoryReduction));
+        let approx = route_hierarchical(
+            &net,
+            &subs,
+            RoutingConfig::new(Policy::MemoryReduction).with_alpha(100),
+        );
+        // At an agg's down port the 2 ToR-hosts' filters collapse to 1.
+        assert_eq!(exact.filters[8][&0].len(), 2);
+        assert_eq!(approx.filters[8][&0].len(), 1);
+        // Access ports stay exact.
+        let (s, p) = net.access[0];
+        assert_eq!(approx.filters[s][&p].filters()[0], parse_expr("price > 51").unwrap());
+    }
+
+    #[test]
+    fn switch_rules_use_port_actions() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |h| if h == 0 { vec!["a == 1"] } else { vec![] });
+        let r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
+        let rules = r.switch_rules(0);
+        assert!(rules.iter().any(|r| r.action == Action::Forward(vec![0])));
+        // Rules are port-sorted and well formed.
+        for rule in &rules {
+            assert!(rule.action.ports().is_some());
+        }
+    }
+
+    #[test]
+    fn per_layer_counts_cover_all_layers() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |_| vec!["x > 1"]);
+        let r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
+        let counts = r.per_layer_counts(&net);
+        assert!(counts[&0] > 0);
+        assert!(counts[&1] > 0);
+        assert!(counts[&2] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one subscription list per host")]
+    fn wrong_subscription_arity_panics() {
+        let net = paper_fat_tree();
+        route_hierarchical(&net, &[], RoutingConfig::new(Policy::MemoryReduction));
+    }
+}

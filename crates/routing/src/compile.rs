@@ -1,0 +1,187 @@
+//! Network-wide compilation: run the Camus compiler for every switch.
+//!
+//! The controller recompiles runtime table entries whenever
+//! subscriptions or topology change (§VIII-G.3); Fig. 13 plots the
+//! resulting per-layer FIB sizes and Fig. 14 the recompile times.
+//! Switch compilations are independent, so they run in parallel on a
+//! crossbeam scope.
+
+use crate::algorithm1::RoutingResult;
+use crate::topology::HierNet;
+use camus_core::compiler::Compiler;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-switch compile outcome retained by the controller.
+#[derive(Debug)]
+pub struct SwitchCompile {
+    pub switch: usize,
+    pub entries: usize,
+    pub elapsed: Duration,
+    pub compiled: camus_core::compiler::Compiled,
+}
+
+/// Aggregate of a network-wide compilation run.
+#[derive(Debug)]
+pub struct NetworkCompile {
+    pub switches: Vec<SwitchCompile>,
+    /// Wall-clock time for the whole parallel run (the Fig. 14 metric).
+    pub elapsed: Duration,
+}
+
+impl NetworkCompile {
+    /// Total table entries per topology layer (Fig. 13).
+    pub fn entries_per_layer(&self, net: &HierNet) -> HashMap<usize, usize> {
+        let mut out = HashMap::new();
+        for sc in &self.switches {
+            *out.entry(net.switches[sc.switch].layer).or_insert(0) += sc.entries;
+        }
+        out
+    }
+
+    /// Largest per-switch entry count (the Fig. 15 metric).
+    pub fn max_entries(&self) -> usize {
+        self.switches.iter().map(|s| s.entries).max().unwrap_or(0)
+    }
+
+    pub fn total_entries(&self) -> usize {
+        self.switches.iter().map(|s| s.entries).sum()
+    }
+}
+
+/// Compile every switch of a hierarchical routing result in parallel.
+pub fn compile_network(
+    result: &RoutingResult,
+    compiler: &Compiler,
+) -> Result<NetworkCompile, camus_core::compiler::CompileError> {
+    let start = Instant::now();
+    let n = result.filters.len();
+    let mut slots: Vec<Option<Result<SwitchCompile, camus_core::compiler::CompileError>>> =
+        (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let chunk = n.div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()));
+        for (ci, chunk_slots) in slots.chunks_mut(chunk.max(1)).enumerate() {
+            let base = ci * chunk.max(1);
+            scope.spawn(move |_| {
+                for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                    let s = base + off;
+                    let t0 = Instant::now();
+                    let rules = result.switch_rules(s);
+                    let res = compiler.compile(&rules).map(|compiled| SwitchCompile {
+                        switch: s,
+                        entries: compiled.pipeline.total_entries(),
+                        elapsed: t0.elapsed(),
+                        compiled,
+                    });
+                    *slot = Some(res);
+                }
+            });
+        }
+    })
+    .expect("compile threads do not panic");
+    let mut switches = Vec::with_capacity(n);
+    for slot in slots {
+        switches.push(slot.expect("all switches compiled")?);
+    }
+    Ok(NetworkCompile { switches, elapsed: start.elapsed() })
+}
+
+/// Compile a list of per-switch rule sets (general-topology FIBs) in
+/// parallel, returning only the entry counts — the Fig. 15 measurement.
+pub fn compile_fib_entries(
+    fibs: &[Vec<camus_lang::ast::Rule>],
+    compiler: &Compiler,
+) -> Result<Vec<usize>, camus_core::compiler::CompileError> {
+    let n = fibs.len();
+    let mut slots: Vec<Option<Result<usize, camus_core::compiler::CompileError>>> =
+        (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let chunk = n.div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()));
+        for (ci, chunk_slots) in slots.chunks_mut(chunk.max(1)).enumerate() {
+            let base = ci * chunk.max(1);
+            scope.spawn(move |_| {
+                for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                    let res = compiler
+                        .compile(&fibs[base + off])
+                        .map(|c| c.pipeline.total_entries());
+                    *slot = Some(res);
+                }
+            });
+        }
+    })
+    .expect("compile threads do not panic");
+    slots.into_iter().map(|s| s.expect("all fibs compiled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::{route_hierarchical, Policy, RoutingConfig};
+    use crate::spanning::{spanning_tree, tree_fibs, Graph, TreeAlgo};
+    use crate::topology::paper_fat_tree;
+    use camus_lang::ast::Expr;
+    use camus_lang::parser::parse_expr;
+
+    fn subs(n: usize) -> Vec<Vec<Expr>> {
+        (0..n)
+            .map(|h| {
+                vec![
+                    parse_expr(&format!("id == {h}")).unwrap(),
+                    parse_expr(&format!("price > {}", h * 10)).unwrap(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn network_compile_produces_entries_everywhere() {
+        let net = paper_fat_tree();
+        let r = route_hierarchical(
+            &net,
+            &subs(net.host_count()),
+            RoutingConfig::new(Policy::TrafficReduction),
+        );
+        let nc = compile_network(&r, &Compiler::new()).unwrap();
+        assert_eq!(nc.switches.len(), net.switch_count());
+        assert!(nc.total_entries() > 0);
+        let per_layer = nc.entries_per_layer(&net);
+        assert!(per_layer[&0] > 0 && per_layer[&1] > 0 && per_layer[&2] > 0);
+        assert!(nc.max_entries() <= nc.total_entries());
+        assert!(nc.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn mr_uses_fewer_entries_above_tor() {
+        let net = paper_fat_tree();
+        let hosts = subs(net.host_count());
+        let mr = compile_network(
+            &route_hierarchical(&net, &hosts, RoutingConfig::new(Policy::MemoryReduction)),
+            &Compiler::new(),
+        )
+        .unwrap();
+        let tr = compile_network(
+            &route_hierarchical(&net, &hosts, RoutingConfig::new(Policy::TrafficReduction)),
+            &Compiler::new(),
+        )
+        .unwrap();
+        let mr_agg = mr.entries_per_layer(&net)[&1];
+        let tr_agg = tr.entries_per_layer(&net)[&1];
+        assert!(mr_agg < tr_agg, "MR agg layer {mr_agg} < TR agg layer {tr_agg}");
+    }
+
+    #[test]
+    fn fib_compile_counts_for_trees() {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)] {
+            g.add_edge(u, v);
+        }
+        let tree = spanning_tree(&g, TreeAlgo::MstPlusPlus);
+        let node_subs: Vec<Vec<Expr>> = (0..6)
+            .map(|i| vec![parse_expr(&format!("id == {i}")).unwrap()])
+            .collect();
+        let fibs = tree_fibs(&tree, &node_subs);
+        let entries = compile_fib_entries(&fibs, &Compiler::new()).unwrap();
+        assert_eq!(entries.len(), 6);
+        assert!(entries.iter().all(|&e| e > 0));
+    }
+}

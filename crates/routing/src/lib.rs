@@ -1,0 +1,36 @@
+//! # camus-routing — routing on packet subscriptions
+//!
+//! The controller half of Camus (§IV of the paper): turning the
+//! end-point subscription sets into a *global routing policy* — an
+//! assignment of filter sets `F_p^s` to every port `p` of every switch
+//! `s` — and then into per-switch rule lists for the compiler.
+//!
+//! * [`topology`] models hierarchical (Fat-Tree-like) data-center
+//!   networks: layered switches with *up* and *down* links, hosts
+//!   attached to ToR ports. The logical **up** port abstraction of
+//!   §IV-C is preserved: a switch's up links are one logical port.
+//! * [`algorithm1`] implements Algorithm 1 with both policies:
+//!   memory-reduction (**MR**, `F_up = {true}`) and traffic-reduction
+//!   (**TR**, `F_up` = exactly the subscriptions outside the subtree),
+//!   plus the α-discretisation approximation of §IV-D applied to
+//!   aggregated (non-access) filter sets.
+//! * [`spanning`] implements routing for general topologies (§IV-E):
+//!   spanning trees via Prim's algorithm with unit weights (**MST**) or
+//!   the degree-product heuristic `w(u,v) = deg(u)·deg(v)` (**MST++**),
+//!   and the per-edge partition of subscriptions into FIBs.
+//! * [`verify`] checks the §IV-C correctness conditions — completeness
+//!   (every port's filter set covers the subscriptions of the hosts it
+//!   reaches) and soundness (access ports match exactly) — by sampled
+//!   semantic evaluation.
+//! * [`compile`] runs the Camus compiler for every switch (in parallel
+//!   with crossbeam) and aggregates per-layer entry counts and compile
+//!   times (Figs. 13 and 14).
+
+pub mod algorithm1;
+pub mod compile;
+pub mod spanning;
+pub mod topology;
+pub mod verify;
+
+pub use algorithm1::{route_hierarchical, Policy, RoutingConfig, RoutingResult};
+pub use topology::{HierNet, HostId, SwitchId, LOGICAL_UP};

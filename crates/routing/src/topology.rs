@@ -1,0 +1,381 @@
+//! Hierarchical data-center topologies (§III, §IV-B).
+//!
+//! A [`HierNet`] is a layered network: layer 0 switches (ToR) attach
+//! hosts, higher layers interconnect. Links are classified *up* or
+//! *down* by layer, which is all Algorithm 1 needs. Following §IV-C,
+//! the upward physical ports of a switch form a single logical **up**
+//! port ([`LOGICAL_UP`]); a packet received on an upward port is never
+//! forwarded back up.
+
+use camus_lang::ast::Port;
+use serde::{Deserialize, Serialize};
+
+pub type SwitchId = usize;
+pub type HostId = usize;
+
+/// The logical up port (§IV-C: "Camus treats the upward ports of a
+/// switch ... as a single logical up port").
+pub const LOGICAL_UP: Port = u16::MAX;
+
+/// What a downward port connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DownTarget {
+    Host(HostId),
+    /// `(switch, its local upward-port index)` — used to map traffic
+    /// back onto the peer's port space.
+    Switch(SwitchId, usize),
+}
+
+/// One switch in the hierarchy.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HierSwitch {
+    /// 0 = ToR; parents have strictly larger layer numbers.
+    pub layer: usize,
+    /// Down links, indexed by local port number `0..`.
+    pub down: Vec<DownTarget>,
+    /// Up links: `(peer switch, peer's down-port index)`.
+    pub up: Vec<(SwitchId, Port)>,
+}
+
+impl HierSwitch {
+    /// Number of physical ports (down ports plus one per up link).
+    pub fn port_count(&self) -> usize {
+        self.down.len() + self.up.len()
+    }
+}
+
+/// A hierarchical network with hosts attached at the bottom layer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HierNet {
+    pub switches: Vec<HierSwitch>,
+    /// Host attachment: `host -> (switch, down-port)`.
+    pub access: Vec<(SwitchId, Port)>,
+}
+
+impl HierNet {
+    /// Switch ids sorted bottom-up (ToR first), as Algorithm 1 iterates.
+    pub fn bottom_up(&self) -> Vec<SwitchId> {
+        let mut ids: Vec<SwitchId> = (0..self.switches.len()).collect();
+        ids.sort_by_key(|&s| self.switches[s].layer);
+        ids
+    }
+
+    /// Switch ids sorted top-down (core first).
+    pub fn top_down(&self) -> Vec<SwitchId> {
+        let mut ids = self.bottom_up();
+        ids.reverse();
+        ids
+    }
+
+    pub fn host_count(&self) -> usize {
+        self.access.len()
+    }
+
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The highest layer number (core layer).
+    pub fn top_layer(&self) -> usize {
+        self.switches.iter().map(|s| s.layer).max().unwrap_or(0)
+    }
+
+    /// Hosts attached under `switch` through `port` — the reachable set
+    /// used by the §IV-C correctness conditions. For an up port this is
+    /// every host *not* below the switch.
+    pub fn hosts_through(&self, switch: SwitchId, port: Port) -> Vec<HostId> {
+        if port == LOGICAL_UP {
+            let below = self.hosts_below(switch);
+            return (0..self.access.len()).filter(|h| !below.contains(h)).collect();
+        }
+        match self.switches[switch].down.get(port as usize) {
+            Some(DownTarget::Host(h)) => vec![*h],
+            Some(DownTarget::Switch(s, _)) => self.hosts_below(*s),
+            None => vec![],
+        }
+    }
+
+    /// All hosts in the subtree rooted at `switch`.
+    pub fn hosts_below(&self, switch: SwitchId) -> Vec<HostId> {
+        let mut out = Vec::new();
+        let mut stack = vec![switch];
+        while let Some(s) = stack.pop() {
+            for d in &self.switches[s].down {
+                match d {
+                    DownTarget::Host(h) => out.push(*h),
+                    DownTarget::Switch(c, _) => stack.push(*c),
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The designated up link of a switch: its first up link (§IV-C's
+    /// pseudo-code also uses the first up link). Subscription
+    /// propagation and upward forwarding both follow designated links,
+    /// which makes the distribution structure a tree — the property
+    /// that keeps multicast forwarding duplicate-free in a multi-rooted
+    /// Fat Tree.
+    pub fn designated_up(&self, s: SwitchId) -> Option<(SwitchId, Port)> {
+        self.switches[s].up.first().copied()
+    }
+
+    /// The designated chain of a host: its access switch followed by
+    /// successive designated parents up to a top-layer switch.
+    pub fn designated_chain(&self, host: HostId) -> Vec<SwitchId> {
+        let mut chain = vec![self.access[host].0];
+        while let Some((up, _)) = self.designated_up(*chain.last().unwrap()) {
+            chain.push(up);
+        }
+        chain
+    }
+
+    /// Hosts whose designated chain passes through `switch` — the
+    /// subscribers this switch serves on the distribution tree. For a
+    /// top-layer switch this is every host (the second-to-top level
+    /// replicates its subscriptions to *all* top switches, so any of
+    /// them can serve as the peak of a path). Always a subset of
+    /// [`HierNet::hosts_below`] for non-top switches.
+    pub fn designated_below(&self, switch: SwitchId) -> Vec<HostId> {
+        if self.switches[switch].layer == self.top_layer() && self.top_layer() > 0 {
+            return (0..self.access.len()).collect();
+        }
+        (0..self.access.len())
+            .filter(|&h| self.designated_chain(h).contains(&switch))
+            .collect()
+    }
+
+    /// Hosts served by the down port `(switch, port)` on the
+    /// distribution tree: the host itself for an access port, or the
+    /// hosts whose designated chain uses the edge `child → switch`.
+    /// When `switch` is a top-layer switch, the edge from `child`
+    /// serves every host whose chain ascends from `child` into the top
+    /// layer (the child replicates to all top switches).
+    pub fn designated_through(&self, switch: SwitchId, port: Port) -> Vec<HostId> {
+        let top = self.top_layer();
+        match self.switches[switch].down.get(port as usize) {
+            Some(DownTarget::Host(h)) => vec![*h],
+            Some(DownTarget::Switch(c, _)) => {
+                let at_top = self.switches[switch].layer == top;
+                (0..self.access.len())
+                    .filter(|&h| {
+                        let chain = self.designated_chain(h);
+                        chain.windows(2).any(|w| {
+                            w[0] == *c
+                                && (w[1] == switch
+                                    || (at_top && self.switches[w[1]].layer == top))
+                        })
+                    })
+                    .collect()
+            }
+            None => vec![],
+        }
+    }
+
+    /// Sanity-check link symmetry and layering. Used by tests and the
+    /// builders.
+    pub fn validate(&self) -> Result<(), String> {
+        for (sid, sw) in self.switches.iter().enumerate() {
+            for &(peer, peer_port) in &sw.up {
+                let p = self
+                    .switches
+                    .get(peer)
+                    .ok_or_else(|| format!("switch {sid} up-links to missing {peer}"))?;
+                if p.layer <= sw.layer {
+                    return Err(format!("up link {sid}->{peer} does not ascend"));
+                }
+                match p.down.get(peer_port as usize) {
+                    Some(DownTarget::Switch(back, _)) if *back == sid => {}
+                    other => {
+                        return Err(format!(
+                            "asymmetric link {sid}->{peer} port {peer_port}: {other:?}"
+                        ))
+                    }
+                }
+            }
+            for (port, d) in sw.down.iter().enumerate() {
+                if let DownTarget::Switch(c, up_idx) = d {
+                    let child = self
+                        .switches
+                        .get(*c)
+                        .ok_or_else(|| format!("switch {sid} down-links to missing {c}"))?;
+                    if child.layer >= sw.layer {
+                        return Err(format!("down link {sid}->{c} does not descend"));
+                    }
+                    match child.up.get(*up_idx) {
+                        Some(&(back, back_port)) if back == sid && back_port as usize == port => {}
+                        other => {
+                            return Err(format!(
+                                "asymmetric down link {sid}:{port}->{c}: {other:?}"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        for (h, &(s, p)) in self.access.iter().enumerate() {
+            match self.switches.get(s).and_then(|sw| sw.down.get(p as usize)) {
+                Some(DownTarget::Host(hh)) if *hh == h => {}
+                other => return Err(format!("host {h} access mismatch: {other:?}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build a three-layer hierarchical topology: `pods` pods of
+/// `tors_per_pod` ToR and `aggs_per_pod` aggregation switches (full
+/// bipartite inside a pod), `cores` core switches each connected to
+/// every aggregation switch, and `hosts_per_tor` hosts per ToR.
+///
+/// `three_layer(4, 2, 2, 4, 2)` reproduces the paper's Fig. 3 testbed:
+/// 20 switches and 16 hosts.
+pub fn three_layer(
+    pods: usize,
+    tors_per_pod: usize,
+    aggs_per_pod: usize,
+    cores: usize,
+    hosts_per_tor: usize,
+) -> HierNet {
+    let n_tor = pods * tors_per_pod;
+    let n_agg = pods * aggs_per_pod;
+    let mut net = HierNet::default();
+    // Ids: ToRs first, then aggs, then cores.
+    for _ in 0..n_tor {
+        net.switches.push(HierSwitch { layer: 0, ..Default::default() });
+    }
+    for _ in 0..n_agg {
+        net.switches.push(HierSwitch { layer: 1, ..Default::default() });
+    }
+    for _ in 0..cores {
+        net.switches.push(HierSwitch { layer: 2, ..Default::default() });
+    }
+    // Hosts.
+    for t in 0..n_tor {
+        for _ in 0..hosts_per_tor {
+            let h = net.access.len();
+            let port = net.switches[t].down.len() as Port;
+            net.switches[t].down.push(DownTarget::Host(h));
+            net.access.push((t, port));
+        }
+    }
+    // ToR <-> agg inside each pod.
+    for pod in 0..pods {
+        for ti in 0..tors_per_pod {
+            let t = pod * tors_per_pod + ti;
+            for ai in 0..aggs_per_pod {
+                let a = n_tor + pod * aggs_per_pod + ai;
+                let up_idx = net.switches[t].up.len();
+                let a_port = net.switches[a].down.len() as Port;
+                net.switches[a].down.push(DownTarget::Switch(t, up_idx));
+                net.switches[t].up.push((a, a_port));
+            }
+        }
+    }
+    // agg <-> core (full mesh).
+    for pod in 0..pods {
+        for ai in 0..aggs_per_pod {
+            let a = n_tor + pod * aggs_per_pod + ai;
+            for c in 0..cores {
+                let core = n_tor + n_agg + c;
+                let up_idx = net.switches[a].up.len();
+                let c_port = net.switches[core].down.len() as Port;
+                net.switches[core].down.push(DownTarget::Switch(a, up_idx));
+                net.switches[a].up.push((core, c_port));
+            }
+        }
+    }
+    debug_assert_eq!(net.validate(), Ok(()));
+    net
+}
+
+/// The exact topology of the paper's Fig. 3 / Mininet evaluation:
+/// 20 switches (8 ToR, 8 aggregation, 4 core) and 16 hosts.
+pub fn paper_fat_tree() -> HierNet {
+    three_layer(4, 2, 2, 4, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_dimensions() {
+        let net = paper_fat_tree();
+        assert_eq!(net.switch_count(), 20);
+        assert_eq!(net.host_count(), 16);
+        assert_eq!(net.top_layer(), 2);
+        assert_eq!(net.validate(), Ok(()));
+        let layers: Vec<usize> =
+            (0..3).map(|l| net.switches.iter().filter(|s| s.layer == l).count()).collect();
+        assert_eq!(layers, vec![8, 8, 4]);
+    }
+
+    #[test]
+    fn bottom_up_orders_by_layer() {
+        let net = paper_fat_tree();
+        let order = net.bottom_up();
+        let layers: Vec<usize> = order.iter().map(|&s| net.switches[s].layer).collect();
+        let mut sorted = layers.clone();
+        sorted.sort_unstable();
+        assert_eq!(layers, sorted);
+        let td = net.top_down();
+        assert_eq!(net.switches[td[0]].layer, 2);
+    }
+
+    #[test]
+    fn hosts_below_tor_and_agg() {
+        let net = paper_fat_tree();
+        assert_eq!(net.hosts_below(0), vec![0, 1]); // first ToR
+        // First agg (id 8) covers pod 0: ToRs 0 and 1 -> hosts 0..4.
+        assert_eq!(net.hosts_below(8), vec![0, 1, 2, 3]);
+        // A core covers everything.
+        assert_eq!(net.hosts_below(16).len(), 16);
+    }
+
+    #[test]
+    fn hosts_through_ports() {
+        let net = paper_fat_tree();
+        // ToR 0, port 0 -> host 0.
+        assert_eq!(net.hosts_through(0, 0), vec![0]);
+        // ToR 0 up -> everything but hosts 0 and 1.
+        let up = net.hosts_through(0, LOGICAL_UP);
+        assert_eq!(up.len(), 14);
+        assert!(!up.contains(&0) && !up.contains(&1));
+        // Agg 8 down port 0 -> ToR 0's hosts.
+        assert_eq!(net.hosts_through(8, 0), vec![0, 1]);
+        // Core up -> nothing outside (it is the top).
+        assert!(net.hosts_through(16, LOGICAL_UP).is_empty());
+        // Out-of-range port -> nothing.
+        assert!(net.hosts_through(0, 99).is_empty());
+    }
+
+    #[test]
+    fn up_links_ascend_layers() {
+        let net = three_layer(2, 2, 2, 2, 1);
+        assert_eq!(net.validate(), Ok(()));
+        for sw in &net.switches {
+            for &(peer, _) in &sw.up {
+                assert!(net.switches[peer].layer > sw.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let mut net = paper_fat_tree();
+        net.switches[0].up[0].1 = 99; // corrupt peer port
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn single_pod_no_core() {
+        let net = three_layer(1, 4, 2, 0, 3);
+        assert_eq!(net.switch_count(), 6);
+        assert_eq!(net.host_count(), 12);
+        assert_eq!(net.validate(), Ok(()));
+        assert_eq!(net.top_layer(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Content-request streams for the hICN experiment (Fig. 11).
+//!
+//! Two client behaviours from §VIII-E.3: streaming clients that request
+//! the *same* hot identifier repeatedly, and a scanning client pulling
+//! *many different* identifiers that are unlikely to be cached.
+//! Popularity across the catalogue is Zipf (standard for CDN/ICN
+//! studies).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A content request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Content identifier (maps to the hICN name / embedded IPv6 id).
+    pub content_id: u64,
+    /// Issue time, ns.
+    pub time_ns: u64,
+}
+
+/// Request-stream configuration.
+#[derive(Debug, Clone)]
+pub struct ContentConfig {
+    /// Catalogue size (the paper's Table I hICN row uses 1 M ids).
+    pub catalogue: usize,
+    /// Zipf exponent for popularity.
+    pub skew: f64,
+    /// Mean inter-request gap in ns.
+    pub gap_ns: u64,
+    pub seed: u64,
+}
+
+impl Default for ContentConfig {
+    fn default() -> Self {
+        ContentConfig { catalogue: 100_000, skew: 0.9, gap_ns: 10_000, seed: 0x41C }
+    }
+}
+
+/// Generates a Zipf-popular request stream.
+pub struct ContentStream {
+    cfg: ContentConfig,
+    rng: StdRng,
+    dist: Zipf,
+    now_ns: u64,
+}
+
+impl ContentStream {
+    pub fn new(cfg: ContentConfig) -> Self {
+        assert!(cfg.catalogue > 0);
+        ContentStream {
+            dist: Zipf::new(cfg.catalogue, cfg.skew),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now_ns: 0,
+            cfg,
+        }
+    }
+
+    /// Next request from the popularity distribution.
+    pub fn next_popular(&mut self) -> Request {
+        self.now_ns += self.rng.gen_range(1..=2 * self.cfg.gap_ns.max(1));
+        Request { content_id: self.dist.sample(&mut self.rng) as u64, time_ns: self.now_ns }
+    }
+
+    /// Next request from the *cold* scan: sequential unique ids beyond
+    /// the hot set, modelling the client that pulls content unlikely to
+    /// be cached.
+    pub fn next_cold(&mut self, scan_pos: &mut u64) -> Request {
+        self.now_ns += self.rng.gen_range(1..=2 * self.cfg.gap_ns.max(1));
+        let id = self.cfg.catalogue as u64 + *scan_pos;
+        *scan_pos += 1;
+        Request { content_id: id, time_ns: self.now_ns }
+    }
+
+    pub fn popular(&mut self, n: usize) -> Vec<Request> {
+        (0..n).map(|_| self.next_popular()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popular_requests_concentrate_on_hot_ids() {
+        let mut s = ContentStream::new(ContentConfig {
+            catalogue: 1_000,
+            skew: 1.1,
+            ..Default::default()
+        });
+        let reqs = s.popular(10_000);
+        let hot = reqs.iter().filter(|r| r.content_id < 10).count();
+        assert!(hot > 2_000, "top-10 ids should dominate: {hot}");
+    }
+
+    #[test]
+    fn cold_requests_are_unique_and_outside_catalogue() {
+        let mut s = ContentStream::new(ContentConfig::default());
+        let mut pos = 0u64;
+        let ids: Vec<u64> = (0..100).map(|_| s.next_cold(&mut pos).content_id).collect();
+        let set: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert!(ids.iter().all(|&i| i >= 100_000));
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut s = ContentStream::new(ContentConfig::default());
+        let reqs = s.popular(100);
+        for w in reqs.windows(2) {
+            assert!(w[1].time_ns > w[0].time_ns);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ContentStream::new(ContentConfig::default()).popular(50);
+        let b = ContentStream::new(ContentConfig::default()).popular(50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! AS-like topology generation for the Fig. 15 experiments.
+//!
+//! The paper routes on two SNAP graphs: **CAIDA** (AS-level, 2007:
+//! 26 475 nodes, 106 762 edges) and **AS-733** (2000: 6 474 nodes,
+//! 13 233 edges). The data sets are not vendored here, so we generate
+//! graphs with the same node counts and closely matching edge counts
+//! using preferential attachment (Barabási–Albert), which reproduces
+//! the heavy-tailed degree distribution of AS graphs — the property
+//! the MST vs MST++ comparison depends on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected edge list over nodes `0..n`.
+#[derive(Debug, Clone)]
+pub struct EdgeList {
+    pub n: usize,
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl EdgeList {
+    /// Degree of each node.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            d[u] += 1;
+            d[v] += 1;
+        }
+        d
+    }
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+/// The result is connected and has `(n - m0) * m + m0 - 1` edges where
+/// `m0 = m + 1` seed nodes start as a path.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(m >= 1 && n > m + 1, "need n > m+1 seed nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m0 = m + 1;
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity((n - m0) * m + m0);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * ((n - m0) * m + m0));
+    for i in 0..m0 - 1 {
+        edges.push((i, i + 1));
+        endpoints.push(i);
+        endpoints.push(i + 1);
+    }
+    for v in m0..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 50 * m {
+                // Degenerate corner (tiny graphs): fall back to uniform.
+                let t = rng.gen_range(0..v);
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        for t in targets {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    EdgeList { n, edges }
+}
+
+/// A CAIDA-2007-scale graph: 26 475 nodes, ~106 k edges (m = 4).
+pub fn caida_like(seed: u64) -> EdgeList {
+    preferential_attachment(26_475, 4, seed)
+}
+
+/// An AS-733-scale graph: 6 474 nodes, ~13 k edges (m = 2).
+pub fn as733_like(seed: u64) -> EdgeList {
+    preferential_attachment(6_474, 2, seed)
+}
+
+/// Scaled-down variants for tests and quick runs.
+pub fn caida_like_scaled(scale: usize, seed: u64) -> EdgeList {
+    preferential_attachment((26_475 / scale).max(10), 4, seed)
+}
+
+pub fn as733_like_scaled(scale: usize, seed: u64) -> EdgeList {
+    preferential_attachment((6_474 / scale).max(10), 2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_counts_match_targets() {
+        let g = as733_like(1);
+        assert_eq!(g.n, 6_474);
+        // Paper's AS-733: 13 233 edges; BA with m=2 gives ~12 946.
+        let e = g.edges.len() as f64;
+        assert!((e - 13_233.0).abs() / 13_233.0 < 0.05, "edges {e}");
+    }
+
+    #[test]
+    fn caida_scale_edges() {
+        let g = caida_like_scaled(10, 1);
+        // m=4: edges ≈ 4n.
+        assert!((g.edges.len() as f64 / g.n as f64 - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = preferential_attachment(2_000, 2, 7);
+        let mut d = g.degrees();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        // The hubs dominate: top node degree far above the median.
+        assert!(d[0] > 8 * d[g.n / 2], "max {} median {}", d[0], d[g.n / 2]);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = preferential_attachment(500, 3, 3);
+        let mut adj = vec![Vec::new(); g.n];
+        for &(u, v) in &g.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let mut seen = vec![false; g.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        assert_eq!(count, g.n);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = preferential_attachment(300, 2, 9);
+        assert!(g.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = preferential_attachment(100, 2, 5).edges;
+        let b = preferential_attachment(100, 2, 5).edges;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > m+1")]
+    fn tiny_graph_panics() {
+        preferential_attachment(3, 3, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! A Nasdaq-like ITCH market-data feed.
+//!
+//! Stands in for the paper's proprietary Nasdaq trace of
+//! 2017-08-30 (§VIII-E.1). Two workload shapes, matching the paper's:
+//!
+//! * **trace-like** — one Add-Order message per packet, symbol
+//!   popularity Zipf-skewed, with the subscribed symbol (GOOGL)
+//!   appearing in 0.5 % of messages;
+//! * **synthetic batched** — multiple messages per packet with
+//!   Zipf-distributed batch sizes, GOOGL in 5 % of messages.
+//!
+//! Messages are attribute maps ready for
+//! `camus_dataplane::PacketBuilder` under [`camus_lang::spec::itch_spec`].
+
+use crate::zipf::Zipf;
+use camus_lang::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One Add-Order message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItchOrder {
+    pub stock: String,
+    pub price: i64,
+    pub shares: i64,
+    /// `B`uy or `S`ell.
+    pub side: char,
+}
+
+impl ItchOrder {
+    /// Field/value pairs for the `itch_order` header of the built-in
+    /// ITCH spec.
+    pub fn fields(&self) -> Vec<(String, Value)> {
+        vec![
+            ("msg_type".into(), Value::Int('A' as i64)),
+            ("stock".into(), Value::Str(self.stock.clone())),
+            ("price".into(), Value::Int(self.price)),
+            ("shares".into(), Value::Int(self.shares)),
+            ("side".into(), Value::Int(self.side as i64)),
+        ]
+    }
+}
+
+/// Feed configuration.
+#[derive(Debug, Clone)]
+pub struct ItchFeedConfig {
+    /// Size of the symbol universe (the paper uses 100 symbols for
+    /// Table I).
+    pub n_symbols: usize,
+    /// Popularity skew across symbols.
+    pub symbol_skew: f64,
+    /// Fraction of messages about the watched symbol (`GOOGL`).
+    pub match_rate: f64,
+    /// Price range (integer ticks).
+    pub max_price: i64,
+    /// Zipf exponent for batch sizes; `None` = one message per packet.
+    pub batch: Option<BatchConfig>,
+    pub seed: u64,
+}
+
+/// Batched (multi-message) packets: Zipf-distributed sizes in
+/// `1..=max`.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    pub max_per_packet: usize,
+    pub skew: f64,
+}
+
+impl ItchFeedConfig {
+    /// The trace-like workload: 1 msg/packet, 0.5 % GOOGL.
+    pub fn nasdaq_trace(seed: u64) -> Self {
+        ItchFeedConfig {
+            n_symbols: 100,
+            symbol_skew: 1.0,
+            match_rate: 0.005,
+            max_price: 2_000,
+            batch: None,
+            seed,
+        }
+    }
+
+    /// The synthetic workload: Zipf batches, 5 % GOOGL.
+    pub fn synthetic(seed: u64) -> Self {
+        ItchFeedConfig {
+            n_symbols: 100,
+            symbol_skew: 1.0,
+            match_rate: 0.05,
+            max_price: 2_000,
+            batch: Some(BatchConfig { max_per_packet: 8, skew: 1.0 }),
+            seed,
+        }
+    }
+}
+
+/// The watched symbol of the paper's experiments.
+pub const WATCHED: &str = "GOOGL";
+
+/// The feed generator: an infinite iterator of packets, each a vector
+/// of orders.
+pub struct ItchFeed {
+    cfg: ItchFeedConfig,
+    rng: StdRng,
+    symbols: Vec<String>,
+    symbol_dist: Zipf,
+    batch_dist: Option<Zipf>,
+}
+
+impl ItchFeed {
+    pub fn new(cfg: ItchFeedConfig) -> Self {
+        assert!(cfg.n_symbols >= 2, "need the watched symbol plus others");
+        // Symbol 0 is the watched symbol; the rest are synthetic.
+        let symbols: Vec<String> = std::iter::once(WATCHED.to_string())
+            .chain((1..cfg.n_symbols).map(|i| format!("S{i:04}")))
+            .collect();
+        ItchFeed {
+            symbol_dist: Zipf::new(cfg.n_symbols - 1, cfg.symbol_skew),
+            batch_dist: cfg
+                .batch
+                .map(|b| Zipf::new(b.max_per_packet, b.skew)),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            symbols,
+            cfg,
+        }
+    }
+
+    /// Generate a single order. The watched symbol appears with
+    /// exactly the configured `match_rate`.
+    pub fn order(&mut self) -> ItchOrder {
+        let stock = if self.rng.gen_bool(self.cfg.match_rate) {
+            self.symbols[0].clone()
+        } else {
+            self.symbols[1 + self.symbol_dist.sample(&mut self.rng)].clone()
+        };
+        ItchOrder {
+            stock,
+            price: self.rng.gen_range(1..=self.cfg.max_price),
+            shares: self.rng.gen_range(1..=1_000),
+            side: if self.rng.gen_bool(0.5) { 'B' } else { 'S' },
+        }
+    }
+
+    /// Generate the next packet's worth of orders.
+    pub fn packet(&mut self) -> Vec<ItchOrder> {
+        let n = match &self.batch_dist {
+            Some(d) => d.sample(&mut self.rng) + 1,
+            None => 1,
+        };
+        (0..n).map(|_| self.order()).collect()
+    }
+
+    /// Generate `n` packets.
+    pub fn packets(&mut self, n: usize) -> Vec<Vec<ItchOrder>> {
+        (0..n).map(|_| self.packet()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_workload_is_single_message() {
+        let mut f = ItchFeed::new(ItchFeedConfig::nasdaq_trace(1));
+        for _ in 0..100 {
+            assert_eq!(f.packet().len(), 1);
+        }
+    }
+
+    #[test]
+    fn synthetic_workload_batches() {
+        let mut f = ItchFeed::new(ItchFeedConfig::synthetic(1));
+        let sizes: Vec<usize> = f.packets(500).iter().map(|p| p.len()).collect();
+        assert!(sizes.iter().any(|&s| s > 1), "some batches exceed one message");
+        assert!(sizes.iter().all(|&s| (1..=8).contains(&s)));
+        // Zipf: singletons are the modal size.
+        let mut counts = [0usize; 9];
+        for &s in &sizes {
+            counts[s] += 1;
+        }
+        assert!(counts[1] >= *counts[2..].iter().max().unwrap(), "{counts:?}");
+    }
+
+    #[test]
+    fn match_rates_are_calibrated() {
+        for (cfg, want, tol) in [
+            (ItchFeedConfig::nasdaq_trace(7), 0.005, 0.004),
+            (ItchFeedConfig::synthetic(7), 0.05, 0.02),
+        ] {
+            let mut f = ItchFeed::new(cfg);
+            let mut total = 0usize;
+            let mut watched = 0usize;
+            for _ in 0..5_000 {
+                for o in f.packet() {
+                    total += 1;
+                    if o.stock == WATCHED {
+                        watched += 1;
+                    }
+                }
+            }
+            let rate = watched as f64 / total as f64;
+            assert!((rate - want).abs() < tol, "rate {rate:.4} want {want}");
+        }
+    }
+
+    #[test]
+    fn orders_are_well_formed() {
+        let mut f = ItchFeed::new(ItchFeedConfig::nasdaq_trace(3));
+        for _ in 0..200 {
+            let o = f.order();
+            assert!(o.price >= 1 && o.price <= 2_000);
+            assert!(o.shares >= 1 && o.shares <= 1_000);
+            assert!(o.side == 'B' || o.side == 'S');
+            assert!(o.stock.len() <= 8, "fits the 8-byte stock field");
+            let fields = o.fields();
+            assert_eq!(fields.len(), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ItchFeed::new(ItchFeedConfig::synthetic(5)).packets(50);
+        let b = ItchFeed::new(ItchFeedConfig::synthetic(5)).packets(50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+//! # camus-workloads — synthetic workload generators
+//!
+//! Deterministic (seeded) stand-ins for the data sets the paper's
+//! evaluation uses but that are not redistributable:
+//!
+//! * [`zipf`] — a Zipf/zeta sampler (several workloads are Zipf-skewed).
+//! * [`siena`] — a generator in the spirit of the *Siena Synthetic
+//!   Benchmark Generator* the paper uses for Figs. 12 and 13:
+//!   subscription filters with a configurable number of attributes,
+//!   predicates per filter, operator mix and constant skew.
+//! * [`itch`] — a Nasdaq-like ITCH 5.0 feed: Add-Order messages over a
+//!   skewed symbol universe, with the paper's two workload shapes
+//!   (trace-like single-message packets with a 0.5 % match rate, and a
+//!   Zipf-batched synthetic feed with a 5 % match rate, §VIII-E.1).
+//! * [`int`] — in-band network telemetry reports where <1 % of packets
+//!   exceed the hop-latency threshold (§VIII-E.2).
+//! * [`graphs`] — preferential-attachment AS-like graphs parameterised
+//!   to the SNAP data sets of Fig. 15 (CAIDA 2007: 26 475 nodes /
+//!   106 762 edges; AS-733: 6 474 nodes / 13 233 edges).
+//! * [`content`] — Zipf-popular content-request streams for the hICN
+//!   experiment (Fig. 11).
+
+pub mod content;
+pub mod graphs;
+pub mod int;
+pub mod itch;
+pub mod siena;
+pub mod zipf;
+
+pub use zipf::Zipf;

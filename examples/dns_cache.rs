@@ -1,0 +1,46 @@
+//! The in-network DNS resolver (§VIII-C.5): the switch answers cached
+//! names with the custom `answerDNS` action and forwards everything
+//! else to the real resolver.
+//!
+//! ```sh
+//! cargo run --example dns_cache
+//! ```
+
+use camus::dataplane::SwitchConfig;
+use camus_apps::dns::{DnsApp, Resolution};
+use camus_lang::value::{format_ipv4, parse_ipv4};
+
+fn main() {
+    let mut app = DnsApp::new(9); // port 9 leads to the DNS server
+    for i in 100..110u32 {
+        app.add_entry(&format!("h{i}"), parse_ipv4(&format!("10.0.0.{i}")).unwrap());
+    }
+    println!("switch rules (one subscription per DNS entry):");
+    for r in app.rules().iter().take(4) {
+        println!("  {r}");
+    }
+    println!("  ... plus the fallback `true: fwd(9)`\n");
+
+    let mut sw = app.switch(SwitchConfig::default()).expect("compiles");
+    for (txid, name) in
+        [(1, "h105"), (2, "h109"), (3, "h200"), (4, "www"), (5, "h100")]
+    {
+        let q = app.query(txid, name);
+        match app.resolve(&mut sw, &q, txid as u64) {
+            Resolution::Answered { name, ip, txid } => {
+                println!("query {txid}: {name} -> {} (answered at the switch)", format_ipv4(ip))
+            }
+            Resolution::Forwarded(port) => {
+                println!("query {txid}: {name} -> forwarded to resolver on port {port}")
+            }
+            Resolution::Dropped => println!("query {txid}: {name} -> dropped"),
+        }
+    }
+
+    let stats = sw.stats();
+    println!(
+        "\n{} queries processed; {} answered in-network — load removed from the resolver fleet",
+        stats.packets,
+        stats.packets - stats.copies
+    );
+}

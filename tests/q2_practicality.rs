@@ -1,0 +1,205 @@
+//! Q2 — architecture practicality (§VIII-D). The paper's result for
+//! all three scenarios is "it works — unexciting, but exactly what
+//! we'd hope to see":
+//!
+//! 1. multiple packet-subscription applications co-exist on one
+//!    switch,
+//! 2. packet subscriptions co-exist with traditional IP traffic
+//!    (brownfield deployment),
+//! 3. packet subscriptions *generalise* IP: classic forwarding is just
+//!    a set of `ip.dst` rules.
+
+use camus_core::compiler::Compiler;
+use camus_core::statics::compile_static;
+use camus_dataplane::{PacketBuilder, Switch, SwitchConfig};
+use camus_lang::parser::parse_rules;
+use camus_lang::spec::Spec;
+use camus_lang::value::Value;
+
+/// A combined application spec: an app-demux tag, INT report fields,
+/// and an ITCH-like order — two subscription applications plus plain
+/// IPv4, sharing one pipeline (§VIII-D.1/2).
+fn combined_spec() -> Spec {
+    Spec::parse(
+        r#"
+        header demux {
+            @field bit<8> app;
+        }
+        header ipv4 {
+            bit<8>  ttl;
+            @field bit<32> dst;
+        }
+        header int_report {
+            @field bit<32> switch_id;
+            @field bit<32> hop_latency;
+        }
+        header itch_order {
+            @field_exact str<8> stock;
+            @field bit<32> price;
+        }
+        sequence demux ipv4 int_report itch_order
+        "#,
+    )
+    .unwrap()
+}
+
+const APP_IP: i64 = 0;
+const APP_INT: i64 = 1;
+const APP_ITCH: i64 = 2;
+
+fn combined_switch() -> (Spec, Switch) {
+    let spec = combined_spec();
+    let statics = compile_static(&spec).unwrap();
+    // Rules from three tenants, demuxed by app tag:
+    let rules = parse_rules(
+        "app == 0 and dst == 10.0.0.5: fwd(5)\n\
+         app == 0 and dst == 10.0.0.6: fwd(6)\n\
+         app == 1 and switch_id == 2 and hop_latency > 100: fwd(7)\n\
+         app == 2 and stock == GOOGL and price > 50: fwd(8)\n",
+    )
+    .unwrap();
+    let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+    (spec.clone(), Switch::new(&statics, compiled.pipeline, SwitchConfig::default()))
+}
+
+#[test]
+fn multiple_applications_coexist_on_one_switch() {
+    let (spec, mut sw) = combined_switch();
+    // An INT anomaly report goes to the INT collector only.
+    let int_pkt = PacketBuilder::new(&spec)
+        .stack_field("demux", "app", APP_INT)
+        .stack_field("int_report", "switch_id", 2i64)
+        .stack_field("int_report", "hop_latency", 500i64)
+        .build();
+    let out = sw.process(&int_pkt, 0, 0);
+    assert_eq!(out.ports.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![7]);
+
+    // An ITCH order goes to the trading desk only.
+    let itch_pkt = PacketBuilder::new(&spec)
+        .stack_field("demux", "app", APP_ITCH)
+        .stack_field("itch_order", "stock", "GOOGL")
+        .stack_field("itch_order", "price", 60i64)
+        .build();
+    let out = sw.process(&itch_pkt, 0, 1);
+    assert_eq!(out.ports.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![8]);
+
+    // Cross-application false positives don't happen even when field
+    // values would match the other app's rules.
+    let confusing = PacketBuilder::new(&spec)
+        .stack_field("demux", "app", APP_INT)
+        .stack_field("int_report", "switch_id", 2i64)
+        .stack_field("int_report", "hop_latency", 500i64)
+        .stack_field("itch_order", "stock", "GOOGL")
+        .stack_field("itch_order", "price", 60i64)
+        .build();
+    let out = sw.process(&confusing, 0, 2);
+    assert_eq!(out.ports.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![7]);
+}
+
+#[test]
+fn ip_traffic_coexists_with_subscriptions() {
+    let (spec, mut sw) = combined_switch();
+    // Plain IPv4 traffic keeps flowing while ITCH/INT rules are live.
+    for (dst, port) in [("10.0.0.5", 5u16), ("10.0.0.6", 6)] {
+        let pkt = PacketBuilder::new(&spec)
+            .stack_field("demux", "app", APP_IP)
+            .stack_field("ipv4", "ttl", 64i64)
+            .stack_field(
+                "ipv4",
+                "dst",
+                i64::from(camus_lang::value::parse_ipv4(dst).unwrap()),
+            )
+            .build();
+        let out = sw.process(&pkt, 0, 0);
+        assert_eq!(out.ports.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![port]);
+    }
+    // Unknown destinations drop (no default route in this pipeline).
+    let pkt = PacketBuilder::new(&spec)
+        .stack_field("demux", "app", APP_IP)
+        .stack_field(
+            "ipv4",
+            "dst",
+            i64::from(camus_lang::value::parse_ipv4("10.0.0.9").unwrap()),
+        )
+        .build();
+    assert!(sw.process(&pkt, 0, 0).ports.is_empty());
+}
+
+#[test]
+fn kafka_workload_runs_over_subscription_ip() {
+    // §VIII-D.3: "we used [packet subscriptions] to implement
+    // traditional IP forwarding ... a cluster of four servers running
+    // an unmodified Kafka application" — here: the pub/sub shim's
+    // traffic rides the IP network built from subscriptions.
+    use camus_apps::ip::IpNetwork;
+    use camus_routing::algorithm1::Policy;
+    use camus_routing::topology::paper_fat_tree;
+    let mut net = IpNetwork::deploy(paper_fat_tree(), Policy::TrafficReduction);
+    // A 4-server "Kafka cluster" exchanging heartbeats pairwise.
+    let cluster = [0usize, 4, 8, 12];
+    let mut t = 0u64;
+    for &a in &cluster {
+        for &b in &cluster {
+            if a != b {
+                t += 1_000_000;
+                net.send(a, b, t);
+            }
+        }
+    }
+    for &h in &cluster {
+        assert_eq!(net.deployment.network.deliveries(h).len(), 3, "host {h}");
+    }
+    // Nothing leaked to non-cluster hosts.
+    let leaked: usize = (0..16)
+        .filter(|h| !cluster.contains(h))
+        .map(|h| net.deployment.network.deliveries(h).len())
+        .sum();
+    assert_eq!(leaked, 0);
+}
+
+#[test]
+fn eight_applications_all_compile() {
+    // Q1 smoke check at the integration level: every application's
+    // spec + representative rules make it through the full compiler.
+    use camus_apps as apps;
+    let cases: Vec<(Spec, &str)> = vec![
+        (camus_lang::spec::itch_spec(), "stock == GOOGL and price > 50: fwd(1)"),
+        (camus_lang::spec::int_spec(), "switch_id == 2 and hop_latency > 100: fwd(1)"),
+        (apps::ila::ila_spec(), "dst_identifier == 51966: fwd(3)"),
+        (apps::hicn::hicn_spec(), "content_id == 7: fwd(1)"),
+        (apps::dns::dns_spec(), "name == h105: answerDNS(10.0.0.105)"),
+        (apps::linear_road::linear_road_spec(),
+         "x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)"),
+        (apps::pubsub::pubsub_spec(), "topic == trades and key > 10: fwd(2)"),
+        (apps::ip::ip_spec(), "dst == 10.0.0.1: fwd(1)"),
+    ];
+    for (spec, rule) in cases {
+        let statics = compile_static(&spec).unwrap();
+        let rules = parse_rules(rule).unwrap();
+        let compiled = Compiler::new().with_static(statics).compile(&rules);
+        assert!(compiled.is_ok(), "rule {rule:?}: {compiled:?}");
+        assert!(compiled.unwrap().pipeline.total_entries() > 0);
+    }
+}
+
+#[test]
+fn stateful_subscription_behaves_across_reconfiguration() {
+    // Combined check: aggregates keep their windows across a pipeline
+    // reinstall (dynamic reconfiguration, §VIII-G.3).
+    let spec = camus_lang::spec::itch_spec();
+    let statics = compile_static(&spec).unwrap();
+    let rules = parse_rules("avg(price) > 100: fwd(1)\n").unwrap();
+    let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+    let mut sw = Switch::new(&statics, compiled.pipeline.clone(), SwitchConfig::default());
+    let pkt = |price: i64| {
+        PacketBuilder::new(&spec)
+            .message(vec![("stock", Value::from("GOOGL")), ("price", Value::Int(price))])
+            .build()
+    };
+    // Prime the average high within one window.
+    assert_eq!(sw.process(&pkt(200), 0, 0).ports.len(), 1);
+    // Reinstall the same rules; the very next packet still sees the
+    // warm window (avg of 200 and 40 = 120 > 100).
+    sw.install(compiled.pipeline);
+    assert_eq!(sw.process(&pkt(40), 0, 10).ports.len(), 1);
+}
