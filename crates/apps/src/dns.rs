@@ -77,8 +77,7 @@ impl DnsApp {
     }
 
     pub fn switch(&self, config: SwitchConfig) -> Result<Switch, CompileError> {
-        let compiled =
-            Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
+        let compiled = Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
         Ok(Switch::new(&self.statics, compiled.pipeline, config))
     }
 
@@ -100,11 +99,7 @@ impl DnsApp {
                 let hdr = pkt.stack_header(&self.spec, "dns_query").unwrap_or_default();
                 let name = hdr.get("name").and_then(|v| v.as_str().map(String::from));
                 let txid = hdr.get("txid").and_then(|v| v.as_int()).unwrap_or(0);
-                return Resolution::Answered {
-                    name: name.unwrap_or_default(),
-                    ip: *ip,
-                    txid,
-                };
+                return Resolution::Answered { name: name.unwrap_or_default(), ip: *ip, txid };
             }
         }
         match out.ports.first() {

@@ -304,12 +304,8 @@ mod tests {
     use camus_workloads::content::{ContentConfig, ContentStream};
 
     fn mixed_workload(n_hot: usize, n_cold: usize) -> Vec<Request> {
-        let mut s = ContentStream::new(ContentConfig {
-            catalogue: 50,
-            skew: 1.3,
-            gap_ns: 3_000,
-            seed: 9,
-        });
+        let mut s =
+            ContentStream::new(ContentConfig { catalogue: 50, skew: 1.3, gap_ns: 3_000, seed: 9 });
         let mut reqs = Vec::new();
         let mut cold_pos = 0u64;
         for i in 0..(n_hot + n_cold) {
@@ -336,13 +332,10 @@ mod tests {
 
     #[test]
     fn meter_promotes_hot_content() {
-        let mut sim = HicnSim::new(HicnConfig {
-            hot_threshold: 2,
-            meter_window: 8,
-            ..Default::default()
-        });
+        let mut sim =
+            HicnSim::new(HicnConfig { hot_threshold: 2, meter_window: 8, ..Default::default() });
         let mut t = 0;
-        let mut req = |id: u64, t: &mut u64| {
+        let req = |id: u64, t: &mut u64| {
             *t += 1_000;
             Request { content_id: id, time_ns: *t }
         };

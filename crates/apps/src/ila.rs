@@ -76,15 +76,13 @@ impl IlaApp {
     /// Compile the current bindings into a switch (or reinstall on an
     /// existing one with [`Switch::install`]).
     pub fn switch(&self, config: SwitchConfig) -> Result<Switch, CompileError> {
-        let compiled =
-            Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
+        let compiled = Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
         Ok(Switch::new(&self.statics, compiled.pipeline, config))
     }
 
     /// Recompile after bindings changed and install onto a switch.
     pub fn reinstall(&self, sw: &mut Switch) -> Result<(), CompileError> {
-        let compiled =
-            Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
+        let compiled = Compiler::new().with_static(self.statics.clone()).compile(&self.rules())?;
         sw.install(compiled.pipeline);
         Ok(())
     }

@@ -59,9 +59,7 @@ impl IpNetwork {
         let statics = compile_static(&spec).expect("IPv4 spec compiles");
         let controller = Controller::new(statics.clone(), RoutingConfig::new(policy));
         let filters: Vec<Vec<Expr>> = (0..topology.host_count())
-            .map(|h| {
-                vec![parse_expr(&format!("dst == {}", format_ipv4(Self::addr(h)))).unwrap()]
-            })
+            .map(|h| vec![parse_expr(&format!("dst == {}", format_ipv4(Self::addr(h)))).unwrap()])
             .collect();
         let deployment = controller.deploy(topology, &filters).expect("IP rules compile");
         IpNetwork { spec, statics, deployment }
@@ -130,10 +128,7 @@ mod tests {
     fn ip_rules_compile_to_exact_sram_entries() {
         let net = IpNetwork::deploy(paper_fat_tree(), Policy::TrafficReduction);
         for sc in &net.deployment.compile.switches {
-            assert_eq!(
-                sc.compiled.report.tcam_entries, 0,
-                "destination matching is pure SRAM"
-            );
+            assert_eq!(sc.compiled.report.tcam_entries, 0, "destination matching is pure SRAM");
         }
     }
 }

@@ -48,9 +48,11 @@ impl ItchApp {
 
     /// Build a MoldUDP packet from generated orders.
     pub fn packet(&self, seq: i64, orders: &[ItchOrder]) -> Packet {
-        let mut b = PacketBuilder::new(&self.spec)
-            .stack_field("moldudp", "seq", seq)
-            .stack_field("moldudp", "msg_count", orders.len() as i64);
+        let mut b = PacketBuilder::new(&self.spec).stack_field("moldudp", "seq", seq).stack_field(
+            "moldudp",
+            "msg_count",
+            orders.len() as i64,
+        );
         for o in orders {
             b = b.message(o.fields());
         }
@@ -80,9 +82,8 @@ mod tests {
     #[test]
     fn filters_feed_for_watched_symbol() {
         let app = ItchApp::new();
-        let mut sw = app
-            .switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default())
-            .unwrap();
+        let mut sw =
+            app.switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default()).unwrap();
         let mut feed = ItchFeed::new(ItchFeedConfig::synthetic(42));
         let mut sent = 0usize;
         let mut received = 0usize;
@@ -95,10 +96,7 @@ mod tests {
                 received += copy.message_count(&app.spec);
                 // Every delivered message is for the watched symbol.
                 for m in 0..copy.message_count(&app.spec) {
-                    assert_eq!(
-                        copy.message(&app.spec, m).unwrap()["stock"],
-                        Value::from(WATCHED)
-                    );
+                    assert_eq!(copy.message(&app.spec, m).unwrap()["stock"], Value::from(WATCHED));
                 }
             }
         }
@@ -109,18 +107,14 @@ mod tests {
     #[test]
     fn price_threshold_is_enforced() {
         let app = ItchApp::new();
-        let mut sw = app
-            .switch(&[ItchApp::subscription("GOOGL", 500, 1)], SwitchConfig::default())
-            .unwrap();
+        let mut sw =
+            app.switch(&[ItchApp::subscription("GOOGL", 500, 1)], SwitchConfig::default()).unwrap();
         let lo = ItchOrder { stock: "GOOGL".into(), price: 400, shares: 1, side: 'B' };
         let hi = ItchOrder { stock: "GOOGL".into(), price: 600, shares: 1, side: 'B' };
         let out = sw.process(&app.packet(0, &[lo, hi]), 0, 0);
         assert_eq!(out.ports.len(), 1);
         assert_eq!(out.ports[0].1.message_count(&app.spec), 1);
-        assert_eq!(
-            out.ports[0].1.message(&app.spec, 0).unwrap()["price"],
-            Value::Int(600)
-        );
+        assert_eq!(out.ports[0].1.message(&app.spec, 0).unwrap()["price"], Value::Int(600));
     }
 
     #[test]
@@ -128,8 +122,7 @@ mod tests {
         let app = ItchApp::new();
         let rules = ItchApp::table1_rules(100, 1_000, 200);
         assert_eq!(rules.len(), 100);
-        let compiled =
-            Compiler::new().with_static(app.statics.clone()).compile(&rules).unwrap();
+        let compiled = Compiler::new().with_static(app.statics.clone()).compile(&rules).unwrap();
         let r = &compiled.report;
         assert!(r.total_entries > 0);
         // Well within a Tofino-class budget (Table I's point).

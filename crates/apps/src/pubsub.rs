@@ -87,8 +87,7 @@ impl PubSub {
         let controller = Controller::new(statics.clone(), RoutingConfig::new(policy));
         let subs: Vec<Vec<Subscription>> = vec![Vec::new(); topology.host_count()];
         let filters: Vec<Vec<Expr>> = vec![Vec::new(); topology.host_count()];
-        let deployment =
-            controller.deploy(topology, &filters).expect("empty deployment compiles");
+        let deployment = controller.deploy(topology, &filters).expect("empty deployment compiles");
         PubSub { spec, statics, deployment, subs, controller, clock_ns: 0 }
     }
 
@@ -127,8 +126,7 @@ impl PubSub {
             .map(|d| {
                 let topic = d.values["topic"].as_str().unwrap_or_default().to_string();
                 let key = d.values["key"].as_int().unwrap_or(0);
-                let payload =
-                    d.values["payload"].as_str().unwrap_or_default().to_string();
+                let payload = d.values["payload"].as_str().unwrap_or_default().to_string();
                 (topic, key, payload)
             })
             .collect()

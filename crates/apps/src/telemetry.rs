@@ -30,10 +30,8 @@ impl IntApp {
 
     /// The paper's example filter: high-latency events at one switch.
     pub fn latency_filter(switch_id: i64, threshold: i64, port: u16) -> Rule {
-        parse_rule(&format!(
-            "switch_id == {switch_id} and hop_latency > {threshold}: fwd({port})"
-        ))
-        .expect("well-formed INT filter")
+        parse_rule(&format!("switch_id == {switch_id} and hop_latency > {threshold}: fwd({port})"))
+            .expect("well-formed INT filter")
     }
 
     /// The Table I workload: `switches × latency-range` filters.
@@ -76,13 +74,11 @@ mod tests {
     #[test]
     fn filters_anomalous_reports_only() {
         let app = IntApp::new();
-        let mut sw = app
-            .switch(&[IntApp::latency_filter(2, 100, 1)], SwitchConfig::default())
-            .unwrap();
+        let mut sw =
+            app.switch(&[IntApp::latency_filter(2, 100, 1)], SwitchConfig::default()).unwrap();
         let mut feed = IntFeed::new(IntFeedConfig { n_switches: 4, ..Default::default() });
         let reports = feed.reports(5_000);
-        let expected =
-            reports.iter().filter(|r| r.switch_id == 2 && r.hop_latency > 100).count();
+        let expected = reports.iter().filter(|r| r.switch_id == 2 && r.hop_latency > 100).count();
         let mut forwarded = 0usize;
         for (i, r) in reports.iter().enumerate() {
             let out = sw.process(&app.packet(r), 0, i as u64);
@@ -117,8 +113,7 @@ mod tests {
         // nested thresholds collapse: `∪ₖ (lat > 100+k)` = `lat > 100`.
         let rules = IntApp::table1_rules(20, 50, 1);
         assert_eq!(rules.len(), 1_000);
-        let compiled =
-            Compiler::new().with_static(app.statics.clone()).compile(&rules).unwrap();
+        let compiled = Compiler::new().with_static(app.statics.clone()).compile(&rules).unwrap();
         assert!(
             compiled.report.total_entries < 200,
             "1000 same-collector rules must compress: {}",

@@ -25,11 +25,7 @@ pub struct KafkaModel {
 
 impl Default for KafkaModel {
     fn default() -> Self {
-        KafkaModel {
-            max_msgs_per_s: 1.0e6,
-            base_latency_s: 250e-6,
-            fanout_cost_s: 1e-6,
-        }
+        KafkaModel { max_msgs_per_s: 1.0e6, base_latency_s: 250e-6, fanout_cost_s: 1e-6 }
     }
 }
 

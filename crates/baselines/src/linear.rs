@@ -36,24 +36,19 @@ impl LinearFilter {
     /// Does any filter match? Early-exits on the first hit.
     pub fn matches_any(&self, pkt: &HashMap<String, Value>) -> bool {
         let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
-        self.dnfs.iter().any(|d| d.eval_with(&lookup))
+        self.dnfs.iter().any(|d| d.eval_with(lookup))
     }
 
     /// Indices of all matching filters (the full pub/sub question).
     pub fn matching(&self, pkt: &HashMap<String, Value>) -> Vec<usize> {
         let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
-        self.dnfs
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.eval_with(&lookup))
-            .map(|(i, _)| i)
-            .collect()
+        self.dnfs.iter().enumerate().filter(|(_, d)| d.eval_with(lookup)).map(|(i, _)| i).collect()
     }
 
     /// Count matches without allocating (benchmark-friendly).
     pub fn match_count(&self, pkt: &HashMap<String, Value>) -> usize {
         let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
-        self.dnfs.iter().filter(|d| d.eval_with(&lookup)).count()
+        self.dnfs.iter().filter(|d| d.eval_with(lookup)).count()
     }
 }
 
@@ -109,7 +104,7 @@ mod tests {
             let want: Vec<usize> = filters
                 .iter()
                 .enumerate()
-                .filter(|(_, f)| f.eval_with(&lookup))
+                .filter(|(_, f)| f.eval_with(lookup))
                 .map(|(i, _)| i)
                 .collect();
             assert_eq!(lf.matching(&p), want);

@@ -81,9 +81,7 @@ mod tests {
     use super::*;
 
     fn uniform_jobs(n: usize, gap_s: f64, service_s: f64) -> Vec<Job> {
-        (0..n)
-            .map(|i| Job { arrival_s: i as f64 * gap_s, service_s })
-            .collect()
+        (0..n).map(|i| Job { arrival_s: i as f64 * gap_s, service_s }).collect()
     }
 
     #[test]

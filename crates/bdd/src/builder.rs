@@ -186,9 +186,7 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn lookup_for<'a>(vals: &'a [(&'a str, Value)]) -> impl Fn(&Operand) -> Option<Value> + 'a {
-        move |op: &Operand| {
-            vals.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
-        }
+        move |op: &Operand| vals.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
     }
 
     #[test]
@@ -203,31 +201,19 @@ mod tests {
         let bdd = BddBuilder::from_rules(&rules).build();
 
         // shares=1, stock=GOOGL matches rules 0 and 1.
-        let m = bdd.eval(lookup_for(&[
-            ("shares", Value::Int(1)),
-            ("stock", Value::from("GOOGL")),
-        ]));
+        let m = bdd.eval(lookup_for(&[("shares", Value::Int(1)), ("stock", Value::from("GOOGL"))]));
         assert_eq!(m, &BTreeSet::from([0, 1]));
 
         // shares=9, stock=FB matches rule 2 only.
-        let m = bdd.eval(lookup_for(&[
-            ("shares", Value::Int(9)),
-            ("stock", Value::from("FB")),
-        ]));
+        let m = bdd.eval(lookup_for(&[("shares", Value::Int(9)), ("stock", Value::from("FB"))]));
         assert_eq!(m, &BTreeSet::from([2]));
 
         // shares=9, stock=GOOGL matches rule 1 only.
-        let m = bdd.eval(lookup_for(&[
-            ("shares", Value::Int(9)),
-            ("stock", Value::from("GOOGL")),
-        ]));
+        let m = bdd.eval(lookup_for(&[("shares", Value::Int(9)), ("stock", Value::from("GOOGL"))]));
         assert_eq!(m, &BTreeSet::from([1]));
 
         // Nothing of interest.
-        let m = bdd.eval(lookup_for(&[
-            ("shares", Value::Int(2)),
-            ("stock", Value::from("MSFT")),
-        ]));
+        let m = bdd.eval(lookup_for(&[("shares", Value::Int(2)), ("stock", Value::from("MSFT"))]));
         assert!(m.is_empty());
     }
 
@@ -283,10 +269,9 @@ mod tests {
         // One rule with three disjuncts sharing the price tail: the
         // three chains end in the same terminal, so the price subgraph
         // is hash-consed into a single node.
-        let rules = parse_rules(
-            "(stock == A or stock == B or stock == C) and price > 10: fwd(1)\n",
-        )
-        .unwrap();
+        let rules =
+            parse_rules("(stock == A or stock == B or stock == C) and price > 10: fwd(1)\n")
+                .unwrap();
         let bdd = BddBuilder::from_rules(&rules).build();
         // Exactly one price node should exist among reachable nodes.
         let price_nodes = bdd
@@ -378,10 +363,10 @@ mod tests {
                 let expect: BTreeSet<RuleId> = rules
                     .iter()
                     .enumerate()
-                    .filter(|(_, r)| r.filter.eval_with(&lookup))
+                    .filter(|(_, r)| r.filter.eval_with(lookup))
                     .map(|(i, _)| i as RuleId)
                     .collect();
-                let got = bdd.eval(&lookup);
+                let got = bdd.eval(lookup);
                 assert_eq!(
                     got, &expect,
                     "trial {trial}: packet stock={stock} price={price} shares={shares}\n\
@@ -395,9 +380,8 @@ mod tests {
     fn node_count_scales_with_sharing() {
         // 50 disjoint exact-match rules build a linear chain: node
         // count stays O(n), far below the naive 2^n.
-        let rules: Vec<Rule> = (0..50)
-            .map(|i| parse_rule(&format!("id == {i}: fwd(1)")).unwrap())
-            .collect();
+        let rules: Vec<Rule> =
+            (0..50).map(|i| parse_rule(&format!("id == {i}: fwd(1)")).unwrap()).collect();
         let bdd = BddBuilder::from_rules(&rules).build();
         assert!(bdd.node_count() <= 50, "got {}", bdd.node_count());
     }

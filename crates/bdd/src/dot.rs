@@ -51,10 +51,8 @@ mod tests {
 
     #[test]
     fn dot_output_mentions_predicates_and_terminals() {
-        let rules = parse_rules(
-            "shares == 1 and stock == GOOGL: fwd(1)\nstock == GOOGL: fwd(2)\n",
-        )
-        .unwrap();
+        let rules = parse_rules("shares == 1 and stock == GOOGL: fwd(1)\nstock == GOOGL: fwd(2)\n")
+            .unwrap();
         let bdd = BddBuilder::from_rules(&rules).build();
         let dot = to_dot(&bdd);
         assert!(dot.starts_with("digraph bdd {"));

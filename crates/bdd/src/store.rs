@@ -301,9 +301,7 @@ impl Bdd {
             }
             path.push(cur);
             match self.nodes[cur as usize].lo {
-                NodeRef::Node(l)
-                    if self.groups[self.nodes[l as usize].var.0 as usize] == group =>
-                {
+                NodeRef::Node(l) if self.groups[self.nodes[l as usize].var.0 as usize] == group => {
                     cur = l;
                 }
                 other => break other,
@@ -334,8 +332,10 @@ impl Bdd {
         }
         let out = match (a, b) {
             (NodeRef::Term(ta), NodeRef::Term(tb)) => {
-                let set: BTreeSet<RuleId> =
-                    self.terminals[ta.0 as usize].union(&self.terminals[tb.0 as usize]).copied().collect();
+                let set: BTreeSet<RuleId> = self.terminals[ta.0 as usize]
+                    .union(&self.terminals[tb.0 as usize])
+                    .copied()
+                    .collect();
                 self.term(set)
             }
             _ => {
@@ -590,7 +590,7 @@ mod tests {
         let root = bdd.mk(PredId(2), e, t);
         bdd.set_root(root);
         bdd.shrink();
-        let m = bdd.eval(|op| (op.field_name() == "price").then(|| Value::Int(100)));
+        let m = bdd.eval(|op| (op.field_name() == "price").then_some(Value::Int(100)));
         assert_eq!(m, &BTreeSet::from([0]));
     }
 }

@@ -79,11 +79,11 @@ proptest! {
             let want: BTreeSet<u32> = rules
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.filter.eval_with(&lookup))
+                .filter(|(_, r)| r.filter.eval_with(lookup))
                 .map(|(i, _)| i as u32)
                 .collect();
             prop_assert_eq!(
-                bdd.eval(&lookup),
+                bdd.eval(lookup),
                 &want,
                 "packet p={} q={} s={:?}\nrules: {:#?}",
                 p, q, s, rules
@@ -118,7 +118,7 @@ proptest! {
                 "s" => Some(Value::Str(s.clone())),
                 _ => None,
             };
-            prop_assert_eq!(default.eval(&lookup), reversed.eval(&lookup));
+            prop_assert_eq!(default.eval(lookup), reversed.eval(lookup));
         }
     }
 

@@ -11,9 +11,7 @@ use camus_lang::value::Value;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn ident_rules(n: usize) -> Vec<Rule> {
-    (0..n)
-        .map(|i| parse_rule(&format!("id == {i}: fwd({})", (i % 32) + 1)).unwrap())
-        .collect()
+    (0..n).map(|i| parse_rule(&format!("id == {i}: fwd({})", (i % 32) + 1)).unwrap()).collect()
 }
 
 fn itch_rules(n: usize) -> Vec<Rule> {

@@ -38,31 +38,23 @@ fn bench_software_vs_pipeline(c: &mut Criterion) {
     for n in [10usize, 100, 1_000, 10_000] {
         let lf = LinearFilter::new(&filters(n));
         g.bench_with_input(BenchmarkId::new("software_linear", n), &lf, |b, lf| {
-            b.iter(|| {
-                pkts.iter().map(|p| usize::from(lf.matches_any(p))).sum::<usize>()
-            })
+            b.iter(|| pkts.iter().map(|p| usize::from(lf.matches_any(p))).sum::<usize>())
         });
         let rules: Vec<Rule> = filters(n)
             .into_iter()
             .map(|f| Rule { filter: f, action: camus_lang::ast::Action::Forward(vec![1]) })
             .collect();
         let compiled = Compiler::new().compile(&rules).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("camus_pipeline", n),
-            &compiled,
-            |b, compiled| {
-                b.iter(|| {
-                    pkts.iter()
-                        .map(|p| {
-                            let a = compiled
-                                .pipeline
-                                .evaluate(|op| p.get(&op.key()).cloned());
-                            usize::from(a.ports().is_some())
-                        })
-                        .sum::<usize>()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("camus_pipeline", n), &compiled, |b, compiled| {
+            b.iter(|| {
+                pkts.iter()
+                    .map(|p| {
+                        let a = compiled.pipeline.evaluate(|op| p.get(&op.key()).cloned());
+                        usize::from(a.ports().is_some())
+                    })
+                    .sum::<usize>()
+            })
+        });
     }
     g.finish();
 }

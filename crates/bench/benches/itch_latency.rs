@@ -13,12 +13,10 @@ fn bench_switch_processing(c: &mut Criterion) {
 
     // Trace-like workload: one message per packet.
     {
-        let mut sw = app
-            .switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default())
-            .unwrap();
+        let mut sw =
+            app.switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default()).unwrap();
         let mut feed = ItchFeed::new(ItchFeedConfig::nasdaq_trace(1));
-        let packets: Vec<_> =
-            (0..512).map(|i| app.packet(i, &feed.packet())).collect();
+        let packets: Vec<_> = (0..512).map(|i| app.packet(i, &feed.packet())).collect();
         g.throughput(Throughput::Elements(packets.len() as u64));
         let mut t = 0u64;
         g.bench_function("trace_1msg", |b| {
@@ -35,12 +33,10 @@ fn bench_switch_processing(c: &mut Criterion) {
 
     // Batched workload: multiple messages, recirculation passes.
     {
-        let mut sw = app
-            .switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default())
-            .unwrap();
+        let mut sw =
+            app.switch(&[ItchApp::subscription(WATCHED, 0, 1)], SwitchConfig::default()).unwrap();
         let mut feed = ItchFeed::new(ItchFeedConfig::synthetic(1));
-        let packets: Vec<_> =
-            (0..512).map(|i| app.packet(i, &feed.packet())).collect();
+        let packets: Vec<_> = (0..512).map(|i| app.packet(i, &feed.packet())).collect();
         let msgs: usize = packets.iter().map(|p| p.message_count(&app.spec)).sum();
         g.throughput(Throughput::Elements(msgs as u64));
         let mut t = 0u64;

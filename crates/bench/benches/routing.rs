@@ -33,14 +33,10 @@ fn bench_routing(c: &mut Criterion) {
     let mut g = c.benchmark_group("algorithm1");
     for n in [256usize, 1_024] {
         let s = subs(n);
-        for (name, policy) in
-            [("mr", Policy::MemoryReduction), ("tr", Policy::TrafficReduction)]
-        {
+        for (name, policy) in [("mr", Policy::MemoryReduction), ("tr", Policy::TrafficReduction)] {
             g.bench_with_input(BenchmarkId::new(name, n), &s, |b, s| {
                 b.iter(|| {
-                    route_hierarchical(&net, s, RoutingConfig::new(policy))
-                        .switch_rules(0)
-                        .len()
+                    route_hierarchical(&net, s, RoutingConfig::new(policy)).switch_rules(0).len()
                 })
             });
         }

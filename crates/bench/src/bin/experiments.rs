@@ -13,7 +13,7 @@
 use camus_bench::experiments::{self, Scale};
 
 const IDS: &[&str] =
-    &["fig8", "fig9", "fig11", "fig12", "tab1", "fig13", "fig14", "fig15"];
+    &["fig8", "fig9", "fig11", "fig12", "tab1", "fig13", "fig14", "fig15", "churn"];
 
 fn run_one(id: &str, scale: Scale) -> bool {
     let t0 = std::time::Instant::now();
@@ -26,6 +26,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "fig13" => !experiments::fig13::run(scale).is_empty(),
         "fig14" => !experiments::fig14::run(scale).is_empty(),
         "fig15" => !experiments::fig15::run(scale).is_empty(),
+        "churn" => !experiments::churn::run(scale).is_empty(),
         _ => return false,
     };
     eprintln!("[{id}] done in {:.1?}\n", t0.elapsed());
@@ -36,17 +37,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(|s| s.as_str())
-        .collect();
+    let targets: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with('-')).map(|s| s.as_str()).collect();
     if targets.is_empty() {
         eprintln!("usage: experiments [--quick] <all|{}>", IDS.join("|"));
         std::process::exit(2);
     }
-    let list: Vec<&str> =
-        if targets.contains(&"all") { IDS.to_vec() } else { targets };
+    let list: Vec<&str> = if targets.contains(&"all") { IDS.to_vec() } else { targets };
     for id in list {
         if !run_one(id, scale) {
             eprintln!("unknown experiment `{id}`; available: all {}", IDS.join(" "));

@@ -15,12 +15,7 @@ use camus_workloads::content::{ContentConfig, ContentStream, Request};
 /// Build the three-client mix: two hot streams + one cold scanner.
 fn workload(total: usize, seed: u64) -> (Vec<Request>, u64) {
     let catalogue = 64;
-    let mut s = ContentStream::new(ContentConfig {
-        catalogue,
-        skew: 1.2,
-        gap_ns: 2_500,
-        seed,
-    });
+    let mut s = ContentStream::new(ContentConfig { catalogue, skew: 1.2, gap_ns: 2_500, seed });
     let mut reqs = Vec::with_capacity(total);
     let mut cold_pos = 0u64;
     for i in 0..total {
@@ -33,7 +28,11 @@ fn workload(total: usize, seed: u64) -> (Vec<Request>, u64) {
     (reqs, catalogue as u64)
 }
 
-fn split_cold(served: &[Served], requests: &[Request], catalogue: u64) -> (Vec<Served>, Vec<Served>) {
+fn split_cold(
+    served: &[Served],
+    requests: &[Request],
+    catalogue: u64,
+) -> (Vec<Served>, Vec<Served>) {
     let mut cold = Vec::new();
     let mut hot = Vec::new();
     for (s, r) in served.iter().zip(requests) {
@@ -106,10 +105,7 @@ mod tests {
         let p95_b = latency_quantile(&cold_b, 0.95) as f64;
         let p95_c = latency_quantile(&cold_c, 0.95) as f64;
         let reduction = 1.0 - p95_c / p95_b;
-        assert!(
-            reduction > 0.0,
-            "cold p95 must improve: {p95_b} -> {p95_c} ({reduction:.2})"
-        );
+        assert!(reduction > 0.0, "cold p95 must improve: {p95_b} -> {p95_c} ({reduction:.2})");
     }
 
     #[test]

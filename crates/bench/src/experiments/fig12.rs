@@ -37,10 +37,7 @@ pub fn siena_rules(n: usize, k: usize, seed: u64) -> Vec<Rule> {
         .filters(n)
         .into_iter()
         .enumerate()
-        .map(|(i, filter)| Rule {
-            filter,
-            action: Action::Forward(vec![(i % 48) as u16 + 1]),
-        })
+        .map(|(i, filter)| Rule { filter, action: Action::Forward(vec![(i % 48) as u16 + 1]) })
         .collect()
 }
 

@@ -51,11 +51,14 @@ fn host_subscriptions(total: usize, seed: u64) -> (Vec<Vec<Expr>>, SienaGenerato
 fn layer_entries(total: usize, policy: Policy, alpha: i64) -> [usize; 3] {
     let net = paper_fat_tree();
     let (subs, _) = host_subscriptions(total, 0xF13);
-    let routing =
-        route_hierarchical(&net, &subs, RoutingConfig::new(policy).with_alpha(alpha));
+    let routing = route_hierarchical(&net, &subs, RoutingConfig::new(policy).with_alpha(alpha));
     let compiled = compile_network(&routing, &Compiler::new()).expect("fig13 compiles");
     let per = compiled.entries_per_layer(&net);
-    [per.get(&0).copied().unwrap_or(0), per.get(&1).copied().unwrap_or(0), per.get(&2).copied().unwrap_or(0)]
+    [
+        per.get(&0).copied().unwrap_or(0),
+        per.get(&1).copied().unwrap_or(0),
+        per.get(&2).copied().unwrap_or(0),
+    ]
 }
 
 pub fn run(scale: Scale) -> Vec<Table> {
@@ -109,10 +112,8 @@ fn core_traffic(n_filters: usize, packets: usize, alpha: i64) -> u64 {
     let net = paper_fat_tree();
     let (subs, mut generator) = host_subscriptions(n_filters, 0xD13);
     let statics = compile_static(&generator.spec()).expect("siena spec compiles");
-    let controller = Controller::new(
-        statics,
-        RoutingConfig::new(Policy::TrafficReduction).with_alpha(alpha),
-    );
+    let controller =
+        Controller::new(statics, RoutingConfig::new(Policy::TrafficReduction).with_alpha(alpha));
     let mut d = controller.deploy(net.clone(), &subs).expect("fig13d deploys");
     let spec = generator.spec();
     // Publications correlate with subscriptions (publishers produce
@@ -123,10 +124,8 @@ fn core_traffic(n_filters: usize, packets: usize, alpha: i64) -> u64 {
     // runs so the traffic comparison is apples-to-apples.
     use camus_lang::approx::{approximate_expr, ApproxConfig};
     let all_filters: Vec<_> = subs.iter().flatten().cloned().collect();
-    let widened: Vec<_> = all_filters
-        .iter()
-        .map(|f| approximate_expr(f, ApproxConfig::new(100)).0)
-        .collect();
+    let widened: Vec<_> =
+        all_filters.iter().map(|f| approximate_expr(f, ApproxConfig::new(100)).0).collect();
     for i in 0..packets {
         let vals = if i % 4 == 0 || all_filters.is_empty() {
             generator.packet()
@@ -165,10 +164,7 @@ mod tests {
         let exact = layer_entries(256, Policy::MemoryReduction, 1);
         let approx = layer_entries(256, Policy::MemoryReduction, 100);
         let sum = |x: [usize; 3]| x.iter().sum::<usize>();
-        assert!(
-            sum(approx) < sum(exact),
-            "α=100 must shrink: {exact:?} -> {approx:?}"
-        );
+        assert!(sum(approx) < sum(exact), "α=100 must shrink: {exact:?} -> {approx:?}");
     }
 
     #[test]

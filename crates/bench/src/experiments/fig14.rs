@@ -43,8 +43,7 @@ pub fn recompile_time(total: usize, vars: usize, policy: Policy, alpha: i64) -> 
     let net = paper_fat_tree();
     let subs = subscriptions(total, vars, 0xF14);
     let t0 = std::time::Instant::now();
-    let routing =
-        route_hierarchical(&net, &subs, RoutingConfig::new(policy).with_alpha(alpha));
+    let routing = route_hierarchical(&net, &subs, RoutingConfig::new(policy).with_alpha(alpha));
     let compiled = compile_network(&routing, &Compiler::new()).expect("fig14 compiles");
     std::hint::black_box(compiled.total_entries());
     t0.elapsed()
@@ -86,10 +85,7 @@ mod tests {
         // at our test size we just require a real speedup.
         let exact = recompile_time(512, 3, Policy::TrafficReduction, 1);
         let approx = recompile_time(512, 3, Policy::TrafficReduction, 10);
-        assert!(
-            approx < exact,
-            "α=10 {approx:?} must be faster than exact {exact:?}"
-        );
+        assert!(approx < exact, "α=10 {approx:?} must be faster than exact {exact:?}");
     }
 
     #[test]

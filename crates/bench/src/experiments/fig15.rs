@@ -42,9 +42,7 @@ fn assign_subs(
         for _ in 0..rules_per_node {
             let a = rng.gen_range(0..1_000);
             let b = rng.gen_range(0..100);
-            subs[v].push(
-                parse_expr(&format!("attr0 > {a} and attr1 == {b}")).unwrap(),
-            );
+            subs[v].push(parse_expr(&format!("attr0 > {a} and attr1 == {b}")).unwrap());
         }
     }
     subs
@@ -54,11 +52,7 @@ fn assign_subs(
 /// Computes FIB *sizes* first (O(n)) and materialises + compiles only
 /// the largest candidates — at CAIDA scale building every FIB would
 /// take gigabytes.
-pub fn max_fib_entries(
-    graph: &Graph,
-    algo: TreeAlgo,
-    subs: &[Vec<Expr>],
-) -> usize {
+pub fn max_fib_entries(graph: &Graph, algo: TreeAlgo, subs: &[Vec<Expr>]) -> usize {
     let tree = spanning_tree(graph, algo);
     let sizes = tree_fib_sizes(&tree, subs);
     let mut idx: Vec<usize> = (0..sizes.len()).collect();
@@ -68,11 +62,7 @@ pub fn max_fib_entries(
         .take(8)
         .map(|i| {
             let fib = tree_fib_for(&tree, subs, i);
-            compiler
-                .compile(&fib)
-                .expect("fig15 FIB compiles")
-                .pipeline
-                .total_entries()
+            compiler.compile(&fib).expect("fig15 FIB compiles").pipeline.total_entries()
         })
         .max()
         .unwrap_or(0)
@@ -120,11 +110,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
                     median(mstpp_runs).to_string(),
                 ]);
             }
-            t.emit(&format!(
-                "fig15_{}_{}",
-                name.to_lowercase().replace('-', "_"),
-                rules_per_node
-            ));
+            t.emit(&format!("fig15_{}_{}", name.to_lowercase().replace('-', "_"), rules_per_node));
             tables.push(t);
         }
     }
@@ -144,10 +130,7 @@ mod tests {
         let subs = assign_subs(g.node_count(), 40, 10, &mut rng);
         let mst = max_fib_entries(&g, TreeAlgo::Mst, &subs);
         let mstpp = max_fib_entries(&g, TreeAlgo::MstPlusPlus, &subs);
-        assert!(
-            mstpp <= mst,
-            "MST++ max entries {mstpp} must not exceed MST {mst}"
-        );
+        assert!(mstpp <= mst, "MST++ max entries {mstpp} must not exceed MST {mst}");
     }
 
     #[test]
@@ -159,8 +142,7 @@ mod tests {
         let small = assign_subs(g.node_count(), 5, 1, &mut rng1);
         let large = assign_subs(g.node_count(), 20, 10, &mut rng2);
         assert!(
-            max_fib_entries(&g, TreeAlgo::Mst, &large)
-                > max_fib_entries(&g, TreeAlgo::Mst, &small)
+            max_fib_entries(&g, TreeAlgo::Mst, &large) > max_fib_entries(&g, TreeAlgo::Mst, &small)
         );
     }
 

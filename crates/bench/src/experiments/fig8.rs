@@ -88,8 +88,7 @@ fn run_workload(cfg: ItchFeedConfig, packets: usize) -> WorkloadResult {
         // Camus side: real dataplane processing.
         let pkt = app.packet(i as i64, &orders);
         let out = switch.process(&pkt, 0, (t_pub * 1e6) as u64);
-        let camus_path =
-            t_pub + (2.0 * LINK_NS + out.latency_ns as f64 + HOST_RX_NS) * 1e-9;
+        let camus_path = t_pub + (2.0 * LINK_NS + out.latency_ns as f64 + HOST_RX_NS) * 1e-9;
         for (_, copy) in &out.ports {
             for _ in 0..copy.message_count(&app.spec) {
                 camus_jobs.push(Job { arrival_s: camus_path, service_s });
@@ -105,9 +104,7 @@ fn run_workload(cfg: ItchFeedConfig, packets: usize) -> WorkloadResult {
         sojourn_s: base_interesting.iter().map(|&j| base_all.sojourn_s[j] + path_s).collect(),
     };
     let camus_q = simulate_fifo(&camus_jobs);
-    let camus = QueueResult {
-        sojourn_s: camus_q.sojourn_s.iter().map(|s| s + path_s).collect(),
-    };
+    let camus = QueueResult { sojourn_s: camus_q.sojourn_s.iter().map(|s| s + path_s).collect() };
     WorkloadResult { baseline, camus }
 }
 
@@ -156,11 +153,7 @@ mod tests {
             assert_eq!(r.baseline.sojourn_s.len(), r.camus.sojourn_s.len());
             let b99 = r.baseline.quantile(0.99);
             let c99 = r.camus.quantile(0.99);
-            assert!(
-                c99 < b99,
-                "camus p99 {c99:e} must beat baseline p99 {b99:e} ({:?})",
-                cfg
-            );
+            assert!(c99 < b99, "camus p99 {c99:e} must beat baseline p99 {b99:e} ({:?})", cfg);
         }
     }
 

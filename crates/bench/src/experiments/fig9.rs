@@ -39,11 +39,8 @@ fn filters(n: usize) -> Vec<Expr> {
 fn measure_rust_pps(n_filters: usize, sample_packets: usize) -> f64 {
     let lf = LinearFilter::new(&filters(n_filters));
     let mut feed = IntFeed::new(IntFeedConfig::default());
-    let packets: Vec<HashMap<String, Value>> = feed
-        .reports(sample_packets)
-        .iter()
-        .map(|r| r.fields().into_iter().collect())
-        .collect();
+    let packets: Vec<HashMap<String, Value>> =
+        feed.reports(sample_packets).iter().map(|r| r.fields().into_iter().collect()).collect();
     let t0 = Instant::now();
     let mut hits = 0usize;
     for p in &packets {
@@ -102,10 +99,7 @@ mod tests {
     fn measured_rust_engine_degrades_with_filters() {
         let fast = measure_rust_pps(1, 300);
         let slow = measure_rust_pps(2_000, 300);
-        assert!(
-            slow < fast / 3.0,
-            "linear scan must slow with filters: {fast:.0} vs {slow:.0}"
-        );
+        assert!(slow < fast / 3.0, "linear scan must slow with filters: {fast:.0} vs {slow:.0}");
     }
 
     #[test]

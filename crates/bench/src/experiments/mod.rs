@@ -2,6 +2,7 @@
 //! `run(scale) -> Vec<Table>`: `Scale::Quick` shrinks workload sizes
 //! for CI; `Scale::Full` matches the paper's parameters.
 
+pub mod churn;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -45,9 +45,7 @@ fn hicn_report(ids: usize) -> (usize, ResourceReport) {
     let spec = camus_apps::hicn::hicn_spec();
     let statics = compile_static(&spec).unwrap();
     let mut rules: Vec<Rule> = (0..ids)
-        .map(|i| {
-            parse_rule(&format!("content_id == {i}: fwd({})", (i % 31) + 1)).unwrap()
-        })
+        .map(|i| parse_rule(&format!("content_id == {i}: fwd({})", (i % 31) + 1)).unwrap())
         .collect();
     rules.push(parse_rule("true: fwd(32)").unwrap());
     let compiled = Compiler::new().with_static(statics).compile(&rules).unwrap();

@@ -35,13 +35,7 @@ pub fn big_table_entries(rules: &[Rule], cap: u64) -> BigTableSize {
     // combination with rules of higher index. Memory stays O(depth):
     // only the current path's joint conjunctions are held (capped in
     // width — satisfiability is already proven by one witness).
-    fn dfs(
-        dnfs: &[Dnf],
-        from: usize,
-        joint: &[Vec<Predicate>],
-        count: &mut u64,
-        cap: u64,
-    ) -> bool {
+    fn dfs(dnfs: &[Dnf], from: usize, joint: &[Vec<Predicate>], count: &mut u64, cap: u64) -> bool {
         for (j, d) in dnfs.iter().enumerate().skip(from) {
             if d.is_false() {
                 continue;
@@ -122,8 +116,7 @@ mod tests {
     fn identical_rules_explode_exponentially() {
         // k identical filters -> 2^k - 1 combinations.
         for k in 1..10u32 {
-            let src: String =
-                (0..k).map(|i| format!("price > 5: fwd({})\n", i + 1)).collect();
+            let src: String = (0..k).map(|i| format!("price > 5: fwd({})\n", i + 1)).collect();
             assert_eq!(entries(&src), (1u64 << k) - 1, "k={k}");
         }
     }

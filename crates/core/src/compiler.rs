@@ -28,10 +28,7 @@ pub struct CompilerConfig {
 
 impl Default for CompilerConfig {
     fn default() -> Self {
-        CompilerConfig {
-            multicast_limit: MulticastAllocator::DEFAULT_LIMIT,
-            validate_fields: true,
-        }
+        CompilerConfig { multicast_limit: MulticastAllocator::DEFAULT_LIMIT, validate_fields: true }
     }
 }
 
@@ -41,7 +38,17 @@ pub enum CompileError {
     Table(TableError),
     /// A rule references a field the application spec does not declare
     /// as subscribable.
-    UnknownField { rule: usize, field: String },
+    UnknownField {
+        rule: usize,
+        field: String,
+    },
+    /// A parallel compile worker panicked while compiling one unit
+    /// (switch / FIB); the panic is caught so one bad switch cannot
+    /// abort the whole controller.
+    Panicked {
+        unit: usize,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -50,6 +57,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Table(e) => write!(f, "{e}"),
             CompileError::UnknownField { rule, field } => {
                 write!(f, "rule {rule} references unknown field `{field}`")
+            }
+            CompileError::Panicked { unit, message } => {
+                write!(f, "compile of unit {unit} panicked: {message}")
             }
         }
     }
@@ -202,12 +212,10 @@ mod tests {
     #[test]
     fn stateful_rules_compile_with_spec() {
         let statics = crate::statics::compile_static(&itch_spec()).unwrap();
-        let rules =
-            parse_rules("stock == GOOGL and avg(price) > 60: fwd(1)\n").unwrap();
+        let rules = parse_rules("stock == GOOGL and avg(price) > 60: fwd(1)\n").unwrap();
         let c = Compiler::new().with_static(statics).compile(&rules).unwrap();
         // The aggregate is its own stage, ordered right after price.
-        let keys: Vec<String> =
-            c.pipeline.stages.iter().map(|s| s.operand.key()).collect();
+        let keys: Vec<String> = c.pipeline.stages.iter().map(|s| s.operand.key()).collect();
         assert_eq!(keys, vec!["avg(price)", "stock"]);
     }
 

@@ -122,9 +122,8 @@ pub struct StageTable {
 
 impl StageTable {
     pub fn new(operand: Operand, kind: MatchKind, mut entries: Vec<TableEntry>) -> Self {
-        entries.sort_by(|a, b| {
-            a.state.cmp(&b.state).then(b.spec.priority().cmp(&a.spec.priority()))
-        });
+        entries
+            .sort_by(|a, b| a.state.cmp(&b.state).then(b.spec.priority().cmp(&a.spec.priority())));
         let mut index: HashMap<StateId, Vec<usize>> = HashMap::new();
         for (i, e) in entries.iter().enumerate() {
             index.entry(e.state).or_default().push(i);
@@ -195,7 +194,7 @@ impl LeafTable {
 }
 
 /// A complete compiled pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pipeline {
     pub stages: Vec<StageTable>,
     pub leaf: LeafTable,
@@ -287,7 +286,10 @@ mod tests {
     #[test]
     fn priority_ordering() {
         assert!(MatchSpec::IntExact(1).priority() > MatchSpec::IntRange(0, 5).priority());
-        assert!(MatchSpec::StrExact("a".into()).priority() > MatchSpec::StrPrefix("a".into()).priority());
+        assert!(
+            MatchSpec::StrExact("a".into()).priority()
+                > MatchSpec::StrPrefix("a".into()).priority()
+        );
         assert!(
             MatchSpec::StrPrefix("ab".into()).priority()
                 > MatchSpec::StrPrefix("a".into()).priority()

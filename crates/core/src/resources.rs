@@ -102,7 +102,7 @@ pub fn report(
         .chain(pipeline.leaf.actions.keys().copied())
         .max()
         .unwrap_or(0);
-    let state_bits = 32 - u32::from(max_state).leading_zeros().min(31);
+    let state_bits = 32 - max_state.leading_zeros().min(31);
     let state_bits = state_bits.max(1);
 
     let mut stages = Vec::new();

@@ -30,9 +30,9 @@ use crate::pipeline::{
     LeafTable, MatchKind, MatchSpec, Pipeline, StageTable, StateId, TableEntry, STATE_INIT,
 };
 use camus_bdd::{Bdd, NodeRef, PredId};
-use camus_lang::ast::{Action, Rel};
 #[cfg(test)]
 use camus_lang::ast::Rule;
+use camus_lang::ast::{Action, Rel};
 use camus_lang::sets::{IntSet, StrSet};
 use camus_lang::value::Value;
 use std::collections::HashMap;
@@ -105,10 +105,7 @@ impl Region {
 /// Generate the pipeline for a compiled BDD. Actions come from the
 /// BDD's interned labels; `mcast` allocates groups for overlapping
 /// forwards.
-pub fn bdd_to_pipeline(
-    bdd: &Bdd,
-    mcast: &mut MulticastAllocator,
-) -> Result<Pipeline, TableError> {
+pub fn bdd_to_pipeline(bdd: &Bdd, mcast: &mut MulticastAllocator) -> Result<Pipeline, TableError> {
     // ---- state assignment --------------------------------------------------
     // The root is state 0 (§V-D). Every terminal and every In node of a
     // component gets a state.
@@ -197,9 +194,19 @@ pub fn bdd_to_pipeline(
     }
 
     // ---- leaf table ----------------------------------------------------------
+    // Terminals are processed in state order so that multicast group ids
+    // are allocated deterministically: recompiling the same rule list
+    // must yield a bit-identical pipeline (incremental recompilation
+    // compares reused pipelines against fresh ones).
+    let mut terminals: Vec<(NodeRef, StateId)> = states
+        .iter()
+        .map(|(r, &s)| (*r, s))
+        .filter(|(r, _)| matches!(r, NodeRef::Term(_)))
+        .collect();
+    terminals.sort_by_key(|&(_, s)| s);
     let mut actions: HashMap<StateId, (Action, Option<u32>)> = HashMap::new();
-    for (r, &state) in &states {
-        if let NodeRef::Term(t) = r {
+    for (r, state) in terminals {
+        if let NodeRef::Term(t) = &r {
             let set = bdd.terminal(*t);
             if set.is_empty() {
                 actions.insert(state, (Action::Drop, None));
@@ -279,15 +286,11 @@ fn emit_entries(
                     // Finite point sets become exact entries; co-finite
                     // sets become the wildcard (their excluded points
                     // are matched first by the exact entries).
-                    let finite = set.len() <= 64
-                        && set.intervals().iter().all(|&(lo, hi)| lo == hi);
+                    let finite =
+                        set.len() <= 64 && set.intervals().iter().all(|&(lo, hi)| lo == hi);
                     if finite {
                         for &(lo, _) in set.intervals() {
-                            entries.push(TableEntry {
-                                state,
-                                spec: MatchSpec::IntExact(lo),
-                                next,
-                            });
+                            entries.push(TableEntry { state, spec: MatchSpec::IntExact(lo), next });
                         }
                     } else {
                         entries.push(TableEntry { state, spec: MatchSpec::Any, next });
@@ -327,10 +330,13 @@ fn emit_entries(
 /// only reachable on a genuine miss.
 fn attach_misses(stage: StageTable, misses: HashMap<StateId, StateId>) -> StageTable {
     let mut entries = stage.entries.clone();
+    // Sorted so the appended wildcard entries land in a deterministic
+    // order (entry vectors are compared structurally by the incremental
+    // recompilation tests).
+    let mut misses: Vec<(StateId, StateId)> = misses.into_iter().collect();
+    misses.sort_unstable();
     for (state, next) in misses {
-        let has_any = entries
-            .iter()
-            .any(|e| e.state == state && matches!(e.spec, MatchSpec::Any));
+        let has_any = entries.iter().any(|e| e.state == state && matches!(e.spec, MatchSpec::Any));
         if !has_any {
             entries.push(TableEntry { state, spec: MatchSpec::Any, next });
         }
@@ -422,10 +428,7 @@ mod tests {
         // All predicates are equalities -> exact table, point entries.
         let (p, _) = compile("id == 5: fwd(1)\nid == 9: fwd(2)\n");
         assert_eq!(p.stages[0].kind, MatchKind::Exact);
-        assert!(p.stages[0]
-            .entries
-            .iter()
-            .any(|e| matches!(e.spec, MatchSpec::IntExact(5))));
+        assert!(p.stages[0].entries.iter().any(|e| matches!(e.spec, MatchSpec::IntExact(5))));
         let act = p.evaluate(|_| Some(Value::Int(9)));
         assert_eq!(act, Action::Forward(vec![2]));
         let act = p.evaluate(|_| Some(Value::Int(7)));
@@ -547,18 +550,16 @@ mod tests {
                     _ => None,
                 };
                 let want: Vec<u16> = {
-                    let set = bdd.eval(&lookup);
+                    let set = bdd.eval(lookup);
                     let mut ports: Vec<u16> = set
                         .iter()
-                        .flat_map(|&r| {
-                            rules[r as usize].action.ports().unwrap().to_vec()
-                        })
+                        .flat_map(|&r| rules[r as usize].action.ports().unwrap().to_vec())
                         .collect();
                     ports.sort_unstable();
                     ports.dedup();
                     ports
                 };
-                let got = p.evaluate(&lookup);
+                let got = p.evaluate(lookup);
                 let got_ports = got.ports().map(|p| p.to_vec()).unwrap_or_default();
                 assert_eq!(
                     got_ports, want,

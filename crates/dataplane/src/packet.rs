@@ -110,8 +110,7 @@ impl<'a> PacketBuilder<'a> {
         S: Into<String>,
         V: Into<Value>,
     {
-        self.messages
-            .push(fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect());
+        self.messages.push(fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect());
         self
     }
 

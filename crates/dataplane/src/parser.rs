@@ -117,10 +117,7 @@ mod tests {
         let spec = itch_spec();
         let mut b = PacketBuilder::new(&spec).stack_field("moldudp", "seq", 7i64);
         for i in 0..n {
-            b = b.message(vec![
-                ("price", Value::Int(i as i64)),
-                ("stock", Value::from("GOOGL")),
-            ]);
+            b = b.message(vec![("price", Value::Int(i as i64)), ("stock", Value::from("GOOGL"))]);
         }
         b.build()
     }

@@ -110,9 +110,7 @@ impl Switch {
             .stages
             .iter()
             .filter_map(|s| match &s.operand {
-                Operand::Aggregate { func, field } => {
-                    Some((s.operand.key(), *func, field.clone()))
-                }
+                Operand::Aggregate { func, field } => Some((s.operand.key(), *func, field.clone())),
                 Operand::Field(_) => None,
             })
             .collect();
@@ -127,9 +125,7 @@ impl Switch {
             .stages
             .iter()
             .filter_map(|s| match &s.operand {
-                Operand::Aggregate { func, field } => {
-                    Some((s.operand.key(), *func, field.clone()))
-                }
+                Operand::Aggregate { func, field } => Some((s.operand.key(), *func, field.clone())),
                 Operand::Field(_) => None,
             })
             .collect();
@@ -379,8 +375,7 @@ mod tests {
         // INT-style spec without batched messages.
         let spec = camus_lang::spec::int_spec();
         let statics = compile_static(&spec).unwrap();
-        let rules =
-            parse_rules("switch_id == 2 and hop_latency > 100: fwd(3)\n").unwrap();
+        let rules = parse_rules("switch_id == 2 and hop_latency > 100: fwd(3)\n").unwrap();
         let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
         let mut sw = Switch::new(&statics, compiled.pipeline, SwitchConfig::default());
         let pkt = PacketBuilder::new(&spec)
@@ -391,7 +386,7 @@ mod tests {
         assert_eq!(out.ports.len(), 1);
         assert_eq!(out.ports[0].0, 3);
         assert_eq!(out.ports[0].1, pkt); // forwarded intact
-        // Non-matching report is dropped.
+                                         // Non-matching report is dropped.
         let quiet = PacketBuilder::new(&spec)
             .stack_field("int_report", "switch_id", 2i64)
             .stack_field("int_report", "hop_latency", 50i64)

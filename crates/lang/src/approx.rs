@@ -144,8 +144,7 @@ fn approx_rec(expr: &Expr, cfg: ApproxConfig, negated: bool, stats: &mut ApproxS
             inner
         }
         Expr::And(a, b) => {
-            let (fa, fb) =
-                (approx_rec(a, cfg, negated, stats), approx_rec(b, cfg, negated, stats));
+            let (fa, fb) = (approx_rec(a, cfg, negated, stats), approx_rec(b, cfg, negated, stats));
             if negated {
                 fa.or(fb) // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b
             } else {
@@ -153,8 +152,7 @@ fn approx_rec(expr: &Expr, cfg: ApproxConfig, negated: bool, stats: &mut ApproxS
             }
         }
         Expr::Or(a, b) => {
-            let (fa, fb) =
-                (approx_rec(a, cfg, negated, stats), approx_rec(b, cfg, negated, stats));
+            let (fa, fb) = (approx_rec(a, cfg, negated, stats), approx_rec(b, cfg, negated, stats));
             if negated {
                 fa.and(fb)
             } else {
@@ -269,9 +267,9 @@ mod tests {
                                 _ => return None,
                             }))
                         };
-                        if exact.eval_with(&lookup) {
+                        if exact.eval_with(lookup) {
                             assert!(
-                                approx.eval_with(&lookup),
+                                approx.eval_with(lookup),
                                 "approximation shrank the match set: {src} α={alpha} \
                                  widen_eq={widen_eq} a={a} b={b}; approx = {approx}"
                             );
@@ -288,8 +286,7 @@ mod tests {
         let cfg = ApproxConfig::new(10);
         let mut consts = std::collections::HashSet::new();
         for c in 51..60 {
-            let (e, _) =
-                approximate_expr(&parse_expr(&format!("price > {c}")).unwrap(), cfg);
+            let (e, _) = approximate_expr(&parse_expr(&format!("price > {c}")).unwrap(), cfg);
             if let Expr::Atom(p) = e {
                 consts.insert(p.constant.clone());
             }

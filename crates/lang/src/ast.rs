@@ -467,11 +467,11 @@ mod tests {
             "b" => Some(Value::Int(3)),
             _ => None,
         };
-        assert!(e.eval_with(&lookup));
-        assert!(!e.clone().not().eval_with(&lookup));
-        assert!(Expr::True.eval_with(&lookup));
-        assert!(!Expr::False.eval_with(&lookup));
-        assert!(Expr::False.or(e).eval_with(&lookup));
+        assert!(e.eval_with(lookup));
+        assert!(!e.clone().not().eval_with(lookup));
+        assert!(Expr::True.eval_with(lookup));
+        assert!(!Expr::False.eval_with(lookup));
+        assert!(Expr::False.or(e).eval_with(lookup));
     }
 
     #[test]
@@ -523,8 +523,11 @@ mod tests {
     #[test]
     fn display_forms() {
         let r = Rule::fwd(
-            Expr::atom(Predicate::field("stock", Rel::Eq, "GOOGL"))
-                .and(Expr::atom(p("price", Rel::Gt, 50))),
+            Expr::atom(Predicate::field("stock", Rel::Eq, "GOOGL")).and(Expr::atom(p(
+                "price",
+                Rel::Gt,
+                50,
+            ))),
             1,
         );
         assert_eq!(r.to_string(), "(stock == \"GOOGL\" and price > 50): fwd(1)");

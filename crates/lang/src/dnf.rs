@@ -287,8 +287,8 @@ mod tests {
                     }))
                 };
                 assert_eq!(
-                    e.eval_with(&lookup),
-                    d.eval_with(&lookup),
+                    e.eval_with(lookup),
+                    d.eval_with(lookup),
                     "mismatch for {src} at a={a} b={b} c={c}; dnf = {d}"
                 );
             }

@@ -197,7 +197,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 toks.push(Token { kind: TokenKind::Not, pos: i });
                 i += '\u{00ac}'.len_utf8();
             }
-            _ => return Err(LangError::lex(i, format!("unexpected character {:?}", src[i..].chars().next().unwrap()))),
+            _ => {
+                return Err(LangError::lex(
+                    i,
+                    format!("unexpected character {:?}", src[i..].chars().next().unwrap()),
+                ))
+            }
         }
     }
     toks.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
@@ -284,7 +289,9 @@ fn lex_word(src: &str, bytes: &[u8], start: usize) -> (TokenKind, usize) {
     {
         // A dot must be followed by an identifier character to belong to
         // the path (so `a.b:` lexes as `a.b` then `:`).
-        if bytes[i] == b'.' && !bytes.get(i + 1).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_') {
+        if bytes[i] == b'.'
+            && !bytes.get(i + 1).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
             break;
         }
         i += 1;
@@ -384,34 +391,32 @@ mod tests {
     #[test]
     fn lex_strings_and_escapes() {
         assert_eq!(kinds("\"GOOGL\""), vec![TokenKind::Str("GOOGL".into()), TokenKind::Eof]);
-        assert_eq!(
-            kinds(r#""a\"b\\c""#),
-            vec![TokenKind::Str("a\"b\\c".into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds(r#""a\"b\\c""#), vec![TokenKind::Str("a\"b\\c".into()), TokenKind::Eof]);
         assert!(lex("\"unterminated").is_err());
     }
 
     #[test]
     fn lex_numbers() {
-        assert_eq!(kinds("0 42 -7 0xff"), vec![
-            TokenKind::Int(0),
-            TokenKind::Int(42),
-            TokenKind::Int(-7),
-            TokenKind::Int(255),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("0 42 -7 0xff"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Int(255),
+                TokenKind::Eof
+            ]
+        );
         assert!(lex("1.2").is_err()); // floats are not in the language
         assert!(lex("999999999999999999999").is_err());
     }
 
     #[test]
     fn lex_comments_and_whitespace() {
-        assert_eq!(kinds("# a comment\n  x == 1"), vec![
-            TokenKind::Ident("x".into()),
-            TokenKind::Eq,
-            TokenKind::Int(1),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("# a comment\n  x == 1"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Eq, TokenKind::Int(1), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -216,7 +216,10 @@ impl Parser {
                 other => {
                     return Err(LangError::parse(
                         fpos,
-                        format!("expected a field name inside aggregate, found {}", other.describe()),
+                        format!(
+                            "expected a field name inside aggregate, found {}",
+                            other.describe()
+                        ),
                     ))
                 }
             };
@@ -336,10 +339,7 @@ mod tests {
     fn parse_paper_examples() {
         // §II examples.
         let r = parse_expr("ip.dst == 192.168.0.1").unwrap();
-        assert_eq!(
-            r,
-            Expr::Atom(Predicate::field("ip.dst", Rel::Eq, 0xC0A8_0001i64))
-        );
+        assert_eq!(r, Expr::Atom(Predicate::field("ip.dst", Rel::Eq, 0xC0A8_0001i64)));
 
         let r = parse_rule("stock == GOOGL and price > 50: fwd(1)").unwrap();
         assert_eq!(r.action, Action::Forward(vec![1]));
@@ -348,8 +348,7 @@ mod tests {
         assert!(e.is_stateful());
 
         // §VIII-C.6 Linear-Road example.
-        let r = parse_rule("x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)")
-            .unwrap();
+        let r = parse_rule("x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)").unwrap();
         assert_eq!(r.filter.operands().len(), 3);
 
         // §VIII-F INT example (single `=`).

@@ -325,8 +325,8 @@ impl StrSet {
         match self {
             StrSet::Empty => false,
             StrSet::Constrained { eq, prefix, ne, not_prefixes } => {
-                eq.as_deref().map_or(true, |e| e == s)
-                    && prefix.as_deref().map_or(true, |p| s.starts_with(p))
+                eq.as_deref().is_none_or(|e| e == s)
+                    && prefix.as_deref().is_none_or(|p| s.starts_with(p))
                     && !ne.contains(s)
                     && !not_prefixes.iter().any(|p| s.starts_with(p))
             }
@@ -684,19 +684,40 @@ mod tests {
     #[test]
     fn implication_string() {
         // stock == GOOGL true decides everything.
-        assert_eq!(implication(&pred(Rel::Eq, "GOOGL"), true, &pred(Rel::Prefix, "GOO")), Some(true));
+        assert_eq!(
+            implication(&pred(Rel::Eq, "GOOGL"), true, &pred(Rel::Prefix, "GOO")),
+            Some(true)
+        );
         assert_eq!(implication(&pred(Rel::Eq, "GOOGL"), true, &pred(Rel::Eq, "MSFT")), Some(false));
         assert_eq!(implication(&pred(Rel::Eq, "GOOGL"), true, &pred(Rel::Ne, "MSFT")), Some(true));
         // stock == GOOGL false only decides GOOGL-related questions.
-        assert_eq!(implication(&pred(Rel::Eq, "GOOGL"), false, &pred(Rel::Eq, "GOOGL")), Some(false));
+        assert_eq!(
+            implication(&pred(Rel::Eq, "GOOGL"), false, &pred(Rel::Eq, "GOOGL")),
+            Some(false)
+        );
         assert_eq!(implication(&pred(Rel::Eq, "GOOGL"), false, &pred(Rel::Eq, "MSFT")), None);
         // prefix reasoning.
-        assert_eq!(implication(&pred(Rel::Prefix, "GOO"), true, &pred(Rel::Prefix, "G")), Some(true));
+        assert_eq!(
+            implication(&pred(Rel::Prefix, "GOO"), true, &pred(Rel::Prefix, "G")),
+            Some(true)
+        );
         assert_eq!(implication(&pred(Rel::Prefix, "G"), true, &pred(Rel::Prefix, "GOO")), None);
-        assert_eq!(implication(&pred(Rel::Prefix, "GOO"), true, &pred(Rel::Prefix, "MS")), Some(false));
-        assert_eq!(implication(&pred(Rel::Prefix, "GOO"), true, &pred(Rel::Eq, "MSFT")), Some(false));
-        assert_eq!(implication(&pred(Rel::Prefix, "GOO"), false, &pred(Rel::Eq, "GOOGL")), Some(false));
-        assert_eq!(implication(&pred(Rel::Prefix, "GOO"), false, &pred(Rel::Prefix, "GOOG")), Some(false));
+        assert_eq!(
+            implication(&pred(Rel::Prefix, "GOO"), true, &pred(Rel::Prefix, "MS")),
+            Some(false)
+        );
+        assert_eq!(
+            implication(&pred(Rel::Prefix, "GOO"), true, &pred(Rel::Eq, "MSFT")),
+            Some(false)
+        );
+        assert_eq!(
+            implication(&pred(Rel::Prefix, "GOO"), false, &pred(Rel::Eq, "GOOGL")),
+            Some(false)
+        );
+        assert_eq!(
+            implication(&pred(Rel::Prefix, "GOO"), false, &pred(Rel::Prefix, "GOOG")),
+            Some(false)
+        );
     }
 
     #[test]
@@ -736,15 +757,9 @@ mod tests {
                             // made a claim.
                             if let Some(b) = got {
                                 if b {
-                                    assert!(
-                                        all_true,
-                                        "{g} ={gval} wrongly implies {q} true"
-                                    );
+                                    assert!(all_true, "{g} ={gval} wrongly implies {q} true");
                                 } else {
-                                    assert!(
-                                        all_false,
-                                        "{g} ={gval} wrongly implies {q} false"
-                                    );
+                                    assert!(all_false, "{g} ={gval} wrongly implies {q} false");
                                 }
                             }
                         }

@@ -284,7 +284,9 @@ impl<'a> Parser<'a> {
         // Validate references.
         for name in &spec.sequence {
             if spec.header(name).is_none() {
-                return Err(LangError::Spec(format!("sequence references unknown header `{name}`")));
+                return Err(LangError::Spec(format!(
+                    "sequence references unknown header `{name}`"
+                )));
             }
         }
         if let Some(m) = &spec.messages {
@@ -335,9 +337,7 @@ impl<'a> Parser<'a> {
                         self.expect(')')?;
                         counters.push(CounterSpec { name: cname, window_us });
                     }
-                    other => {
-                        return Err(LangError::Spec(format!("unknown annotation `@{other}`")))
-                    }
+                    other => return Err(LangError::Spec(format!("unknown annotation `@{other}`"))),
                 }
                 self.skip_ws();
             }
@@ -468,9 +468,7 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(LangError::Spec(format!("expected a number at byte {start}")));
         }
-        self.src[start..self.pos]
-            .parse()
-            .map_err(|_| LangError::Spec("number out of range".into()))
+        self.src[start..self.pos].parse().map_err(|_| LangError::Spec("number out of range".into()))
     }
 
     fn expect(&mut self, c: char) -> Result<()> {
@@ -658,7 +656,8 @@ mod tests {
 
     #[test]
     fn comments_allowed() {
-        let s = Spec::parse("# hi\nheader a { # fields\n bit<8> x; }\nsequence a # tail\n").unwrap();
+        let s =
+            Spec::parse("# hi\nheader a { # fields\n bit<8> x; }\nsequence a # tail\n").unwrap();
         assert_eq!(s.headers.len(), 1);
         assert_eq!(s.sequence, vec!["a"]);
     }
@@ -669,12 +668,7 @@ mod tests {
         let names: Vec<String> = spec.subscribable_fields().into_iter().map(|(n, _)| n).collect();
         assert_eq!(
             names,
-            vec![
-                "itch_order.shares",
-                "itch_order.price",
-                "itch_order.stock",
-                "itch_order.side"
-            ]
+            vec!["itch_order.shares", "itch_order.price", "itch_order.stock", "itch_order.side"]
         );
     }
 }

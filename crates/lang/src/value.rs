@@ -91,10 +91,7 @@ impl Value {
                 Value::Int(v)
             }
             Type::Str => {
-                let end = bytes
-                    .iter()
-                    .rposition(|&b| b != b' ' && b != 0)
-                    .map_or(0, |p| p + 1);
+                let end = bytes.iter().rposition(|&b| b != b' ' && b != 0).map_or(0, |p| p + 1);
                 Value::Str(String::from_utf8_lossy(&bytes[..end]).into_owned())
             }
         }
@@ -158,13 +155,7 @@ pub fn parse_ipv4(s: &str) -> Option<u32> {
 
 /// Format a u32 as a dotted-quad IPv4 address.
 pub fn format_ipv4(v: u32) -> String {
-    format!(
-        "{}.{}.{}.{}",
-        (v >> 24) & 0xff,
-        (v >> 16) & 0xff,
-        (v >> 8) & 0xff,
-        v & 0xff
-    )
+    format!("{}.{}.{}.{}", (v >> 24) & 0xff, (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff)
 }
 
 #[cfg(test)]

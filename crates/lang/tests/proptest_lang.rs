@@ -61,9 +61,8 @@ fn arb_packet() -> impl Strategy<Value = Vec<(String, Value)>> {
 }
 
 fn eval(e: &Expr, pkt: &[(String, Value)]) -> bool {
-    let lookup =
-        |op: &Operand| pkt.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone());
-    e.eval_with(&lookup)
+    let lookup = |op: &Operand| pkt.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone());
+    e.eval_with(lookup)
 }
 
 proptest! {
@@ -94,7 +93,7 @@ proptest! {
             let lookup = |op: &Operand| {
                 pkt.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
             };
-            prop_assert_eq!(e.eval_with(&lookup), d.eval_with(&lookup), "expr {} dnf {}", e, d);
+            prop_assert_eq!(e.eval_with(lookup), d.eval_with(lookup), "expr {} dnf {}", e, d);
         }
     }
 

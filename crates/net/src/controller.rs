@@ -14,7 +14,7 @@ use camus_core::statics::StaticPipeline;
 use camus_dataplane::{Switch, SwitchConfig};
 use camus_lang::ast::Expr;
 use camus_routing::algorithm1::{route_hierarchical, RoutingConfig, RoutingResult};
-use camus_routing::compile::{compile_network, NetworkCompile};
+use camus_routing::compile::{compile_network, compile_network_incremental, NetworkCompile};
 use camus_routing::topology::HierNet;
 use std::time::Duration;
 
@@ -72,15 +72,30 @@ impl Controller {
     /// Recompute and reinstall pipelines after a subscription change,
     /// preserving switch state. Returns the recompile wall-clock time
     /// (the Fig. 14 measurement).
+    ///
+    /// Recompilation is *incremental*: switches whose routed rule list
+    /// is fingerprint-identical to the deployed one keep their compiled
+    /// pipeline and are not reinstalled (`deployment.compile` records
+    /// the recompiled/reused split for inspection).
     pub fn reconfigure(
         &self,
         deployment: &mut Deployment,
         subs: &[Vec<Expr>],
     ) -> Result<Duration, CompileError> {
         let routing = route_hierarchical(&deployment.network.topology, subs, self.routing);
-        let compile = compile_network(&routing, &self.compiler())?;
+        let compile =
+            compile_network_incremental(&routing, &self.compiler(), Some(&deployment.compile))?;
+        // Reinstall exactly the switches whose own rule list changed.
+        // `reused` is not the right gate here: the compile cache is
+        // content-addressed across slots, so a switch can reuse another
+        // switch's previous pipeline while its own installed one is
+        // stale.
+        let prev_fp: Vec<u64> =
+            deployment.compile.switches.iter().map(|sc| sc.fingerprint).collect();
         for sc in &compile.switches {
-            deployment.network.switches[sc.switch].install(sc.compiled.pipeline.clone());
+            if prev_fp.get(sc.switch).copied() != Some(sc.fingerprint) {
+                deployment.network.switches[sc.switch].install(sc.compiled.pipeline.clone());
+            }
         }
         let elapsed = compile.elapsed;
         deployment.routing = routing;
@@ -114,10 +129,7 @@ mod tests {
     fn googl_packet(price: i64) -> camus_dataplane::Packet {
         let spec = itch_spec();
         PacketBuilder::new(&spec)
-            .message(vec![
-                ("stock", Value::from("GOOGL")),
-                ("price", Value::Int(price)),
-            ])
+            .message(vec![("stock", Value::from("GOOGL")), ("price", Value::Int(price))])
             .build()
     }
 
@@ -145,9 +157,7 @@ mod tests {
     fn multicast_to_multiple_pods_no_duplicates() {
         let net = paper_fat_tree();
         // Hosts 3 (pod 0), 7 (pod 1), 12 (pod 3) subscribe.
-        let subs = subs(&net, |h| {
-            if [3, 7, 12].contains(&h) { vec!["price > 5"] } else { vec![] }
-        });
+        let subs = subs(&net, |h| if [3, 7, 12].contains(&h) { vec!["price > 5"] } else { vec![] });
         for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
             let mut d = controller(policy).deploy(net.clone(), &subs).unwrap();
             d.network.publish(0, googl_packet(10), 0);
@@ -240,6 +250,67 @@ mod tests {
         d.network.publish(0, googl_packet(10), 1_000_000);
         d.network.run(None);
         assert_eq!(d.network.deliveries(2).len(), 1, "no new GOOGL delivery");
+    }
+
+    #[test]
+    fn reconfigure_recompiles_only_distribution_path() {
+        // One host's subscription changes: under MR (up-filters are
+        // constant True) only the switches that carry that host's
+        // down-path filters — its access ToR, designated agg, and the
+        // cores above it — can change, so everything else must be
+        // reused from the previous compile.
+        let net = paper_fat_tree();
+        let host = 5;
+        let base = subs(&net, |h| if h % 3 == 0 { vec!["price > 10"] } else { vec![] });
+        let mut changed = base.clone();
+        changed[host] = vec![parse_expr("stock == MSFT").unwrap()];
+
+        let ctrl = controller(Policy::MemoryReduction);
+        let mut d = ctrl.deploy(net.clone(), &base).unwrap();
+        assert_eq!(d.compile.reused, 0, "initial deploy compiles everything");
+        ctrl.reconfigure(&mut d, &changed).unwrap();
+
+        // Distribution path: the designated chain plus every core the
+        // chain's agg can ascend to.
+        let chain = net.designated_chain(host);
+        let agg = chain[1];
+        let mut path: std::collections::HashSet<usize> = chain.iter().copied().collect();
+        path.extend(net.switches[agg].up.iter().map(|(core, _)| *core));
+
+        let recompiled: std::collections::HashSet<usize> =
+            d.compile.recompiled_switches().into_iter().collect();
+        assert!(!recompiled.is_empty(), "the changed host's path must recompile");
+        assert!(
+            recompiled.is_subset(&path),
+            "recompiled {recompiled:?} not within distribution path {path:?}"
+        );
+        assert_eq!(
+            d.compile.reused,
+            net.switch_count() - recompiled.len(),
+            "every off-path switch is reused"
+        );
+        assert!(d.compile.reused >= net.switch_count() - path.len());
+
+        // The incrementally reconfigured network still behaves like a
+        // fresh deployment of the new subscription set.
+        let spec = itch_spec();
+        let msft = PacketBuilder::new(&spec)
+            .message(vec![("stock", Value::from("MSFT")), ("price", Value::Int(7))])
+            .build();
+        d.network.publish(0, msft, 0);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(host).len(), 1);
+    }
+
+    #[test]
+    fn reconfigure_with_identical_subs_reuses_everything() {
+        let net = paper_fat_tree();
+        let s = subs(&net, |h| if h == 3 { vec!["price > 1"] } else { vec![] });
+        let ctrl = controller(Policy::TrafficReduction);
+        let mut d = ctrl.deploy(net.clone(), &s).unwrap();
+        ctrl.reconfigure(&mut d, &s).unwrap();
+        assert_eq!(d.compile.recompiled, 0);
+        assert_eq!(d.compile.reused, net.switch_count());
     }
 
     #[test]

@@ -39,8 +39,11 @@ pub struct Delivered {
 }
 
 impl Delivered {
+    /// Publish-to-deliver latency. Saturating: replayed or clock-skewed
+    /// traces can carry a publish stamp later than the delivery time,
+    /// and a latency query must not panic the stats pass.
     pub fn latency_ns(&self) -> u64 {
-        self.time_ns - self.published_ns
+        self.time_ns.saturating_sub(self.published_ns)
     }
 }
 
@@ -224,8 +227,7 @@ impl Network {
                 let Some((peer, peer_port)) = self.topology.designated_up(id) else {
                     continue;
                 };
-                *self.stats.link_messages.entry((id, LOGICAL_UP)).or_insert(0) +=
-                    msgs;
+                *self.stats.link_messages.entry((id, LOGICAL_UP)).or_insert(0) += msgs;
                 self.push(Event {
                     time_ns: depart + self.link_latency_ns,
                     seq: 0,
@@ -236,8 +238,7 @@ impl Network {
             } else {
                 match self.topology.switches[id].down.get(port as usize) {
                     Some(DownTarget::Host(h)) => {
-                        *self.stats.link_messages.entry((id, port)).or_insert(0) +=
-                            msgs;
+                        *self.stats.link_messages.entry((id, port)).or_insert(0) += msgs;
                         self.push(Event {
                             time_ns: depart + self.link_latency_ns,
                             seq: 0,
@@ -247,8 +248,7 @@ impl Network {
                         });
                     }
                     Some(DownTarget::Switch(c, _)) => {
-                        *self.stats.link_messages.entry((id, port)).or_insert(0) +=
-                            msgs;
+                        *self.stats.link_messages.entry((id, port)).or_insert(0) += msgs;
                         // Arrives at the child from above: ingress is
                         // the child's logical up port.
                         self.push(Event {
@@ -284,5 +284,23 @@ impl Network {
     /// Are any events still pending (only after a bounded `run`)?
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_saturates_instead_of_underflowing() {
+        let d = Delivered {
+            host: 0,
+            time_ns: 100,
+            published_ns: 250, // publish stamp after delivery (trace skew)
+            values: HashMap::new(),
+        };
+        assert_eq!(d.latency_ns(), 0);
+        let ok = Delivered { time_ns: 300, ..d };
+        assert_eq!(ok.latency_ns(), 50);
     }
 }

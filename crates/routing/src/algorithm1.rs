@@ -103,12 +103,27 @@ impl RoutingResult {
     /// The per-switch rule list handed to the Camus compiler: one
     /// `filter: fwd(port)` rule per filter (§IV-D's intermediate
     /// representation).
+    ///
+    /// The order is *canonical* — port-major, then a stable structural
+    /// sort within each port — so that two routing runs producing the
+    /// same filter sets yield byte-identical rule lists. Incremental
+    /// recompilation fingerprints this list; without the within-port
+    /// sort, removing a duplicate-held filter could merely shift where
+    /// the surviving copy sits in the deduplicated set and spuriously
+    /// invalidate an unchanged switch.
     pub fn switch_rules(&self, s: SwitchId) -> Vec<Rule> {
         let mut ports: Vec<&Port> = self.filters[s].keys().collect();
         ports.sort_unstable();
         let mut out = Vec::new();
         for &port in ports {
-            for f in self.filters[s][&port].filters() {
+            let mut filters: Vec<&Expr> = self.filters[s][&port].filters().iter().collect();
+            filters.sort_by_cached_key(|f| {
+                use std::hash::{Hash, Hasher};
+                let mut h = crate::compile::Fnv1a(crate::compile::Fnv1a::OFFSET);
+                f.hash(&mut h);
+                h.finish()
+            });
+            for f in filters {
                 out.push(Rule { filter: f.clone(), action: Action::Forward(vec![port]) });
             }
         }
@@ -132,11 +147,7 @@ impl RoutingResult {
 
 /// Run Algorithm 1 over a hierarchical network. `subs[h]` is host `h`'s
 /// subscription filters.
-pub fn route_hierarchical(
-    net: &HierNet,
-    subs: &[Vec<Expr>],
-    cfg: RoutingConfig,
-) -> RoutingResult {
+pub fn route_hierarchical(net: &HierNet, subs: &[Vec<Expr>], cfg: RoutingConfig) -> RoutingResult {
     assert_eq!(subs.len(), net.host_count(), "one subscription list per host");
     let approx = cfg.approx();
     let widen = |f: &Expr| -> Expr {
@@ -146,8 +157,7 @@ pub fn route_hierarchical(
         }
     };
 
-    let mut filters: Vec<HashMap<Port, FilterSet>> =
-        vec![HashMap::new(); net.switch_count()];
+    let mut filters: Vec<HashMap<Port, FilterSet>> = vec![HashMap::new(); net.switch_count()];
 
     // Access ports: exact subscription sets (soundness, §IV-C).
     for (h, &(s, p)) in net.access.iter().enumerate() {
@@ -218,9 +228,9 @@ pub fn route_hierarchical(
                 // through a sibling still needs the packet to ascend.
                 let below: HashSet<usize> = net.designated_below(src).into_iter().collect();
                 let mut up = FilterSet::default();
-                for h in 0..net.host_count() {
+                for (h, host_subs) in subs.iter().enumerate() {
                     if !below.contains(&h) {
-                        for f in &subs[h] {
+                        for f in host_subs {
                             up.insert(widen(f));
                         }
                     }

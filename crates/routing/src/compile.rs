@@ -3,30 +3,65 @@
 //! The controller recompiles runtime table entries whenever
 //! subscriptions or topology change (§VIII-G.3); Fig. 13 plots the
 //! resulting per-layer FIB sizes and Fig. 14 the recompile times.
-//! Switch compilations are independent, so they run in parallel on a
-//! crossbeam scope.
+//!
+//! Two properties make subscription *churn* cheap:
+//!
+//! * **Incremental recompilation** — every switch's routed rule list is
+//!   [fingerprinted](fingerprint_rules) (a stable hash over the
+//!   canonical rule order that [`RoutingResult::switch_rules`]
+//!   produces). [`compile_network_incremental`] reuses the previous
+//!   run's [`Compiled`] pipeline for every switch whose fingerprint is
+//!   unchanged, so a single-host subscription change only recompiles
+//!   the switches on that host's distribution path.
+//! * **Work stealing** — switch compiles are distributed to worker
+//!   threads through an atomic claim index rather than static chunks,
+//!   so one slow core-layer switch cannot serialise the rest of its
+//!   chunk behind it.
+//!
+//! Worker panics are caught per switch and surfaced as
+//! [`CompileError::Panicked`] instead of aborting the controller.
 
 use crate::algorithm1::RoutingResult;
 use crate::topology::HierNet;
-use camus_core::compiler::Compiler;
+use camus_core::compiler::{CompileError, Compiled, Compiler};
+use camus_lang::ast::Rule;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-switch compile outcome retained by the controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SwitchCompile {
     pub switch: usize,
     pub entries: usize,
+    /// Time spent on this switch in this run (near zero when reused).
     pub elapsed: Duration,
-    pub compiled: camus_core::compiler::Compiled,
+    /// Stable hash of the switch's routed rule list.
+    pub fingerprint: u64,
+    /// Whether the pipeline was reused from the previous compile.
+    pub reused: bool,
+    /// Shared compile artefact; reuse is an `Arc` bump, not a rebuild.
+    pub compiled: Arc<Compiled>,
 }
 
 /// Aggregate of a network-wide compilation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NetworkCompile {
     pub switches: Vec<SwitchCompile>,
     /// Wall-clock time for the whole parallel run (the Fig. 14 metric).
     pub elapsed: Duration,
+    /// Switches whose pipeline changed in this run (their new artefact
+    /// must be installed).
+    pub recompiled: usize,
+    /// Switches whose previous pipeline was reused (fingerprint hit).
+    pub reused: usize,
+    /// Compiler invocations actually paid: identical rule lists (e.g.
+    /// the core layer of a full-mesh Fat Tree) are compiled once and
+    /// shared, so this is at most `recompiled`.
+    pub distinct_compiles: usize,
 }
 
 impl NetworkCompile {
@@ -47,70 +82,263 @@ impl NetworkCompile {
     pub fn total_entries(&self) -> usize {
         self.switches.iter().map(|s| s.entries).sum()
     }
+
+    /// Ids of the switches recompiled in this run.
+    pub fn recompiled_switches(&self) -> Vec<usize> {
+        self.switches.iter().filter(|s| !s.reused).map(|s| s.switch).collect()
+    }
+
+    /// Ids of the switches reused from the previous run.
+    pub fn reused_switches(&self) -> Vec<usize> {
+        self.switches.iter().filter(|s| s.reused).map(|s| s.switch).collect()
+    }
+
+    /// Sum of per-switch compile times (CPU-ish time; `elapsed` is the
+    /// parallel wall clock).
+    pub fn total_switch_time(&self) -> Duration {
+        self.switches.iter().map(|s| s.elapsed).sum()
+    }
 }
 
-/// Compile every switch of a hierarchical routing result in parallel.
+/// FNV-1a, used as a *stable* hasher: the fingerprint of a rule list
+/// must be identical across runs and processes (the controller caches
+/// compiles across reconfigurations), which `DefaultHasher` does not
+/// guarantee.
+pub(crate) struct Fnv1a(pub(crate) u64);
+
+impl Fnv1a {
+    pub(crate) const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Stable fingerprint of a switch's canonical rule list (the order
+/// [`RoutingResult::switch_rules`] emits: port-sorted, insertion-ordered
+/// within a port). Equal fingerprints ⇒ the compiler would produce an
+/// identical pipeline, so the previous artefact can be reused.
+pub fn fingerprint_rules(rules: &[Rule]) -> u64 {
+    let mut h = Fnv1a(Fnv1a::OFFSET);
+    rules.len().hash(&mut h);
+    for rule in rules {
+        rule.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run `f(0..n)` across worker threads with an atomic work-stealing
+/// claim index: each worker grabs the next unclaimed unit, so a slow
+/// unit delays only itself. Per-unit panics become
+/// [`CompileError::Panicked`].
+fn run_parallel<T, F>(n: usize, f: F) -> Vec<Result<T, CompileError>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, CompileError> + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Result<T, CompileError>)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let res = catch_unwind(AssertUnwindSafe(|| f(i))).unwrap_or_else(|payload| {
+                        Err(CompileError::Panicked {
+                            unit: i,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    });
+                    local.push((i, res));
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut collected = results.into_inner().unwrap();
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Compile every switch of a hierarchical routing result in parallel —
+/// the exhaustive baseline: one compiler invocation per switch, no
+/// caching or sharing. This is what a controller without incremental
+/// recompilation pays on every subscription change.
 pub fn compile_network(
     result: &RoutingResult,
     compiler: &Compiler,
-) -> Result<NetworkCompile, camus_core::compiler::CompileError> {
+) -> Result<NetworkCompile, CompileError> {
     let start = Instant::now();
     let n = result.filters.len();
-    let mut slots: Vec<Option<Result<SwitchCompile, camus_core::compiler::CompileError>>> =
-        (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let chunk = n.div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()));
-        for (ci, chunk_slots) in slots.chunks_mut(chunk.max(1)).enumerate() {
-            let base = ci * chunk.max(1);
-            scope.spawn(move |_| {
-                for (off, slot) in chunk_slots.iter_mut().enumerate() {
-                    let s = base + off;
-                    let t0 = Instant::now();
-                    let rules = result.switch_rules(s);
-                    let res = compiler.compile(&rules).map(|compiled| SwitchCompile {
-                        switch: s,
-                        entries: compiled.pipeline.total_entries(),
-                        elapsed: t0.elapsed(),
-                        compiled,
-                    });
-                    *slot = Some(res);
-                }
-            });
-        }
-    })
-    .expect("compile threads do not panic");
+    let outcomes = run_parallel(n, |s| {
+        let t0 = Instant::now();
+        let rules = result.switch_rules(s);
+        let fingerprint = fingerprint_rules(&rules);
+        let compiled = compiler.compile(&rules)?;
+        Ok(SwitchCompile {
+            switch: s,
+            entries: compiled.pipeline.total_entries(),
+            elapsed: t0.elapsed(),
+            fingerprint,
+            reused: false,
+            compiled: Arc::new(compiled),
+        })
+    });
     let mut switches = Vec::with_capacity(n);
-    for slot in slots {
-        switches.push(slot.expect("all switches compiled")?);
+    for outcome in outcomes {
+        switches.push(outcome?);
     }
-    Ok(NetworkCompile { switches, elapsed: start.elapsed() })
+    Ok(NetworkCompile {
+        recompiled: n,
+        reused: 0,
+        distinct_compiles: n,
+        switches,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Compile a routing result incrementally. The compile cache is
+/// *content-addressed* by rule-list fingerprint:
+///
+/// * a switch whose fingerprint appeared anywhere in `previous` reuses
+///   that artefact (`reused = true` — no reinstall needed when it is
+///   the same switch slot, which it virtually always is);
+/// * switches that do need new pipelines are grouped by fingerprint and
+///   each distinct rule list is compiled once, then shared — in a
+///   full-mesh Fat Tree the entire core layer has identical rule lists,
+///   so N core switches cost one compile.
+///
+/// `previous` must come from the same topology (same switch count) —
+/// anything else is ignored and every switch recompiles.
+pub fn compile_network_incremental(
+    result: &RoutingResult,
+    compiler: &Compiler,
+    previous: Option<&NetworkCompile>,
+) -> Result<NetworkCompile, CompileError> {
+    let start = Instant::now();
+    let n = result.filters.len();
+    let previous = previous.filter(|p| p.switches.len() == n);
+
+    // Stage 1 (parallel): canonical rules + fingerprint per switch.
+    let mut fingerprinted = Vec::with_capacity(n);
+    for outcome in run_parallel(n, |s| {
+        let rules = result.switch_rules(s);
+        let fingerprint = fingerprint_rules(&rules);
+        Ok((rules, fingerprint))
+    }) {
+        fingerprinted.push(outcome?);
+    }
+
+    // Stage 2: resolve each switch against the previous run's cache,
+    // and elect one representative per distinct uncached fingerprint.
+    let prev_by_fp: HashMap<u64, &SwitchCompile> = previous
+        .map(|p| p.switches.iter().map(|sc| (sc.fingerprint, sc)).collect())
+        .unwrap_or_default();
+    let mut rep_for_fp: HashMap<u64, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    for (s, (_, fp)) in fingerprinted.iter().enumerate() {
+        if !prev_by_fp.contains_key(fp) && !rep_for_fp.contains_key(fp) {
+            rep_for_fp.insert(*fp, s);
+            representatives.push(s);
+        }
+    }
+
+    // Stage 3 (parallel): compile each distinct new rule list once.
+    let mut fresh: HashMap<u64, (Arc<Compiled>, Duration)> =
+        HashMap::with_capacity(representatives.len());
+    for (i, outcome) in run_parallel(representatives.len(), |i| {
+        let s = representatives[i];
+        let t0 = Instant::now();
+        let compiled = compiler.compile(&fingerprinted[s].0)?;
+        Ok((Arc::new(compiled), t0.elapsed()))
+    })
+    .into_iter()
+    .enumerate()
+    {
+        // Surface panics under the switch id, not the dense rep index.
+        let (compiled, took) = match outcome {
+            Ok(v) => v,
+            Err(CompileError::Panicked { message, .. }) => {
+                return Err(CompileError::Panicked { unit: representatives[i], message })
+            }
+            Err(e) => return Err(e),
+        };
+        fresh.insert(fingerprinted[representatives[i]].1, (compiled, took));
+    }
+
+    // Stage 4: assemble per-switch outcomes.
+    let mut switches = Vec::with_capacity(n);
+    for (s, (_, fp)) in fingerprinted.iter().enumerate() {
+        let sc = if let Some(prev) = prev_by_fp.get(fp) {
+            SwitchCompile {
+                switch: s,
+                entries: prev.entries,
+                elapsed: Duration::ZERO,
+                fingerprint: *fp,
+                reused: true,
+                compiled: Arc::clone(&prev.compiled),
+            }
+        } else {
+            let (compiled, took) = &fresh[fp];
+            SwitchCompile {
+                switch: s,
+                entries: compiled.pipeline.total_entries(),
+                // Only the representative carries the compile cost;
+                // sharers record zero.
+                elapsed: if rep_for_fp[fp] == s { *took } else { Duration::ZERO },
+                fingerprint: *fp,
+                reused: false,
+                compiled: Arc::clone(compiled),
+            }
+        };
+        switches.push(sc);
+    }
+    let reused = switches.iter().filter(|s| s.reused).count();
+    Ok(NetworkCompile {
+        recompiled: n - reused,
+        reused,
+        distinct_compiles: representatives.len(),
+        switches,
+        elapsed: start.elapsed(),
+    })
 }
 
 /// Compile a list of per-switch rule sets (general-topology FIBs) in
 /// parallel, returning only the entry counts — the Fig. 15 measurement.
 pub fn compile_fib_entries(
-    fibs: &[Vec<camus_lang::ast::Rule>],
+    fibs: &[Vec<Rule>],
     compiler: &Compiler,
-) -> Result<Vec<usize>, camus_core::compiler::CompileError> {
-    let n = fibs.len();
-    let mut slots: Vec<Option<Result<usize, camus_core::compiler::CompileError>>> =
-        (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let chunk = n.div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()));
-        for (ci, chunk_slots) in slots.chunks_mut(chunk.max(1)).enumerate() {
-            let base = ci * chunk.max(1);
-            scope.spawn(move |_| {
-                for (off, slot) in chunk_slots.iter_mut().enumerate() {
-                    let res = compiler
-                        .compile(&fibs[base + off])
-                        .map(|c| c.pipeline.total_entries());
-                    *slot = Some(res);
-                }
-            });
-        }
-    })
-    .expect("compile threads do not panic");
-    slots.into_iter().map(|s| s.expect("all fibs compiled")).collect()
+) -> Result<Vec<usize>, CompileError> {
+    run_parallel(fibs.len(), |i| compiler.compile(&fibs[i]).map(|c| c.pipeline.total_entries()))
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,6 +376,9 @@ mod tests {
         assert!(per_layer[&0] > 0 && per_layer[&1] > 0 && per_layer[&2] > 0);
         assert!(nc.max_entries() <= nc.total_entries());
         assert!(nc.elapsed.as_nanos() > 0);
+        // A full compile reuses nothing.
+        assert_eq!(nc.reused, 0);
+        assert_eq!(nc.recompiled, net.switch_count());
     }
 
     #[test]
@@ -176,12 +407,154 @@ mod tests {
             g.add_edge(u, v);
         }
         let tree = spanning_tree(&g, TreeAlgo::MstPlusPlus);
-        let node_subs: Vec<Vec<Expr>> = (0..6)
-            .map(|i| vec![parse_expr(&format!("id == {i}")).unwrap()])
-            .collect();
+        let node_subs: Vec<Vec<Expr>> =
+            (0..6).map(|i| vec![parse_expr(&format!("id == {i}")).unwrap()]).collect();
         let fibs = tree_fibs(&tree, &node_subs);
         let entries = compile_fib_entries(&fibs, &Compiler::new()).unwrap();
         assert_eq!(entries.len(), 6);
         assert!(entries.iter().all(|&e| e > 0));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_order_sensitive() {
+        let a = vec![parse_rule_list("price > 5", 1), parse_rule_list("id == 2", 2)];
+        let b = vec![parse_rule_list("price > 5", 1), parse_rule_list("id == 2", 2)];
+        assert_eq!(fingerprint_rules(&a), fingerprint_rules(&b));
+        let swapped = vec![b[1].clone(), b[0].clone()];
+        assert_ne!(fingerprint_rules(&a), fingerprint_rules(&swapped));
+        assert_ne!(fingerprint_rules(&a), fingerprint_rules(&a[..1]));
+    }
+
+    fn parse_rule_list(filter: &str, port: u16) -> Rule {
+        Rule::fwd(parse_expr(filter).unwrap(), port)
+    }
+
+    #[test]
+    fn incremental_reuses_unchanged_switches() {
+        let net = paper_fat_tree();
+        let cfg = RoutingConfig::new(Policy::MemoryReduction);
+        let compiler = Compiler::new();
+        let base = subs(net.host_count());
+        let r0 = route_hierarchical(&net, &base, cfg);
+        let full = compile_network(&r0, &compiler).unwrap();
+
+        // Change one host's subscriptions: only its distribution path
+        // (access ToR + designated ancestors) recompiles under MR.
+        let mut churned = base.clone();
+        churned[5] = vec![parse_expr("volume > 999").unwrap()];
+        let r1 = route_hierarchical(&net, &churned, cfg);
+        let inc = compile_network_incremental(&r1, &compiler, Some(&full)).unwrap();
+
+        assert_eq!(inc.recompiled + inc.reused, net.switch_count());
+        assert!(inc.reused > 0, "unchanged switches must be reused");
+        assert!(inc.distinct_compiles <= inc.recompiled);
+        // The cache is content-addressed: a switch is reused exactly
+        // when its fingerprint appeared somewhere in the previous run.
+        let prev_fps: std::collections::HashSet<u64> =
+            full.switches.iter().map(|sc| sc.fingerprint).collect();
+        for sc in &inc.switches {
+            assert_eq!(fingerprint_rules(&r1.switch_rules(sc.switch)), sc.fingerprint);
+            assert_eq!(
+                sc.reused,
+                prev_fps.contains(&sc.fingerprint),
+                "switch {} reuse flag disagrees with cache content",
+                sc.switch
+            );
+        }
+        // Reuse must not change the produced pipelines.
+        let fresh = compile_network(&r1, &compiler).unwrap();
+        for (a, b) in inc.switches.iter().zip(&fresh.switches) {
+            assert_eq!(a.entries, b.entries);
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+    }
+
+    #[test]
+    fn identical_rule_lists_share_one_compile() {
+        // In a full-mesh Fat Tree every core sees the same per-pod
+        // unions on the same port numbers, so all cores carry identical
+        // rule lists: the content-addressed incremental path must pay
+        // one compile for the whole layer.
+        let net = paper_fat_tree();
+        let r = route_hierarchical(
+            &net,
+            &subs(net.host_count()),
+            RoutingConfig::new(Policy::MemoryReduction),
+        );
+        let cores: Vec<usize> =
+            (0..net.switch_count()).filter(|&s| net.switches[s].layer == 2).collect();
+        let fps: std::collections::HashSet<u64> =
+            cores.iter().map(|&s| fingerprint_rules(&r.switch_rules(s))).collect();
+        assert_eq!(fps.len(), 1, "cores must share one fingerprint");
+
+        let inc = compile_network_incremental(&r, &Compiler::new(), None).unwrap();
+        assert_eq!(inc.reused, 0);
+        assert_eq!(inc.recompiled, net.switch_count());
+        assert!(
+            inc.distinct_compiles <= net.switch_count() - (cores.len() - 1),
+            "{} distinct compiles for {} switches with {} identical cores",
+            inc.distinct_compiles,
+            net.switch_count(),
+            cores.len()
+        );
+        // Sharers hold literally the same artefact.
+        let first = &inc.switches[cores[0]];
+        for &c in &cores[1..] {
+            assert!(Arc::ptr_eq(&first.compiled, &inc.switches[c].compiled));
+        }
+        // And the shared pipelines match what a per-switch compile produces.
+        let full = compile_network(&r, &Compiler::new()).unwrap();
+        for (a, b) in inc.switches.iter().zip(&full.switches) {
+            assert_eq!(a.entries, b.entries);
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+    }
+
+    #[test]
+    fn incremental_with_mismatched_topology_recompiles_fully() {
+        let net = paper_fat_tree();
+        let cfg = RoutingConfig::new(Policy::MemoryReduction);
+        let compiler = Compiler::new();
+        let r = route_hierarchical(&net, &subs(net.host_count()), cfg);
+        let full = compile_network(&r, &compiler).unwrap();
+        // A "previous" result with the wrong switch count is ignored.
+        let mut wrong = full.clone();
+        wrong.switches.truncate(3);
+        let inc = compile_network_incremental(&r, &compiler, Some(&wrong)).unwrap();
+        assert_eq!(inc.reused, 0);
+        assert_eq!(inc.recompiled, net.switch_count());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_compile_error() {
+        let results = run_parallel(8, |i| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            Ok(i * 2)
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                match r {
+                    Err(CompileError::Panicked { unit, message }) => {
+                        assert_eq!(*unit, 5);
+                        assert!(message.contains("boom"), "message: {message}");
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_covers_all_units_once() {
+        // Many more units than workers: every unit must be produced
+        // exactly once and in order after the sort.
+        let results = run_parallel(257, Ok);
+        let values: Vec<usize> = results.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, (0..257).collect::<Vec<_>>());
     }
 }

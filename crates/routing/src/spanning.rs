@@ -209,8 +209,7 @@ pub fn tree_fibs(tree: &SpanningTree, subs: &[Vec<Expr>]) -> Vec<Vec<Rule>> {
     // subs plus children's subtrees.
     let mut subtree: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
     for &u in order.iter().rev() {
-        let mut acc: Vec<(usize, usize)> =
-            (0..subs[u].len()).map(|i| (u, i)).collect();
+        let mut acc: Vec<(usize, usize)> = (0..subs[u].len()).map(|i| (u, i)).collect();
         for &v in &tree.adj[u] {
             if parent[v] == u {
                 acc.extend(subtree[v].iter().copied());
@@ -441,11 +440,8 @@ mod tests {
         // Path 0 - 1 - 2; node 0 and node 2 subscribe.
         let g = path_graph(3);
         let t = spanning_tree(&g, TreeAlgo::Mst);
-        let subs = vec![
-            vec![parse_expr("a == 0").unwrap()],
-            vec![],
-            vec![parse_expr("a == 2").unwrap()],
-        ];
+        let subs =
+            vec![vec![parse_expr("a == 0").unwrap()], vec![], vec![parse_expr("a == 2").unwrap()]];
         let fibs = tree_fibs(&t, &subs);
         // Node 1 must have one rule towards each side.
         assert_eq!(fibs[1].len(), 2);
@@ -475,15 +471,17 @@ mod tests {
         let t = spanning_tree(&g, TreeAlgo::MstPlusPlus);
         let subs: Vec<Vec<Expr>> = (0..7)
             .map(|i| {
-                (0..=(i % 3)).map(|j| parse_expr(&format!("id == {}", i * 10 + j)).unwrap()).collect()
+                (0..=(i % 3))
+                    .map(|j| parse_expr(&format!("id == {}", i * 10 + j)).unwrap())
+                    .collect()
             })
             .collect();
         let full = tree_fibs(&t, &subs);
         let sizes = tree_fib_sizes(&t, &subs);
         assert_eq!(sizes, full.iter().map(Vec::len).collect::<Vec<_>>());
-        for u in 0..7 {
+        for (u, full_u) in full.iter().enumerate() {
             let mut a = tree_fib_for(&t, &subs, u);
-            let mut b = full[u].clone();
+            let mut b = full_u.clone();
             let key = |r: &Rule| (r.action.ports().unwrap().to_vec(), r.filter.to_string());
             a.sort_by_key(key);
             b.sort_by_key(key);
@@ -495,9 +493,8 @@ mod tests {
     fn tree_fibs_port_numbering_matches_adjacency() {
         let g = hub_and_ring(4);
         let t = spanning_tree(&g, TreeAlgo::Mst);
-        let subs: Vec<Vec<Expr>> = (0..5)
-            .map(|i| vec![parse_expr(&format!("id == {i}")).unwrap()])
-            .collect();
+        let subs: Vec<Vec<Expr>> =
+            (0..5).map(|i| vec![parse_expr(&format!("id == {i}")).unwrap()]).collect();
         let fibs = tree_fibs(&t, &subs);
         for (u, rules) in fibs.iter().enumerate() {
             for r in rules {
@@ -507,13 +504,13 @@ mod tests {
         }
         // Every node's filter appears in every other node's FIB exactly
         // once (trees have unique paths).
-        for u in 0..5 {
+        for (u, fib) in fibs.iter().enumerate().take(5) {
             for v in 0..5 {
                 if u == v {
                     continue;
                 }
                 let needle = parse_expr(&format!("id == {v}")).unwrap();
-                let count = fibs[u].iter().filter(|r| r.filter == needle).count();
+                let count = fib.iter().filter(|r| r.filter == needle).count();
                 assert_eq!(count, 1, "filter of {v} in FIB of {u}");
             }
         }

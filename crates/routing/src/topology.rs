@@ -142,9 +142,7 @@ impl HierNet {
         if self.switches[switch].layer == self.top_layer() && self.top_layer() > 0 {
             return (0..self.access.len()).collect();
         }
-        (0..self.access.len())
-            .filter(|&h| self.designated_chain(h).contains(&switch))
-            .collect()
+        (0..self.access.len()).filter(|&h| self.designated_chain(h).contains(&switch)).collect()
     }
 
     /// Hosts served by the down port `(switch, port)` on the
@@ -164,8 +162,7 @@ impl HierNet {
                         let chain = self.designated_chain(h);
                         chain.windows(2).any(|w| {
                             w[0] == *c
-                                && (w[1] == switch
-                                    || (at_top && self.switches[w[1]].layer == top))
+                                && (w[1] == switch || (at_top && self.switches[w[1]].layer == top))
                         })
                     })
                     .collect()
@@ -329,7 +326,7 @@ mod tests {
     fn hosts_below_tor_and_agg() {
         let net = paper_fat_tree();
         assert_eq!(net.hosts_below(0), vec![0, 1]); // first ToR
-        // First agg (id 8) covers pod 0: ToRs 0 and 1 -> hosts 0..4.
+                                                    // First agg (id 8) covers pod 0: ToRs 0 and 1 -> hosts 0..4.
         assert_eq!(net.hosts_below(8), vec![0, 1, 2, 3]);
         // A core covers everything.
         assert_eq!(net.hosts_below(16).len(), 16);

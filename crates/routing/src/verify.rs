@@ -26,7 +26,7 @@ pub type SamplePacket = HashMap<String, Value>;
 
 fn matches_any(filters: &[Expr], pkt: &SamplePacket) -> bool {
     let lookup = |op: &Operand| pkt.get(&op.key()).cloned();
-    filters.iter().any(|f| f.eval_with(&lookup))
+    filters.iter().any(|f| f.eval_with(lookup))
 }
 
 /// A violated condition, as a counterexample.
@@ -55,10 +55,8 @@ pub fn check_policy(
             ports.push(LOGICAL_UP);
         }
         for port in ports {
-            let filters = result.filters[sid]
-                .get(&port)
-                .map(|f| f.filters().to_vec())
-                .unwrap_or_default();
+            let filters =
+                result.filters[sid].get(&port).map(|f| f.filters().to_vec()).unwrap_or_default();
             // Reachability on the distribution tree: a down port serves
             // the hosts designated through it; the up port serves the
             // hosts outside the designated subtree.
@@ -205,10 +203,8 @@ mod tests {
     fn boundary_sample_contains_boundaries() {
         let subs = vec![vec![parse_expr("price > 50").unwrap()]];
         let sample = boundary_sample(&subs, 100);
-        let prices: Vec<i64> = sample
-            .iter()
-            .filter_map(|p| p.get("price").and_then(|v| v.as_int()))
-            .collect();
+        let prices: Vec<i64> =
+            sample.iter().filter_map(|p| p.get("price").and_then(|v| v.as_int())).collect();
         assert!(prices.contains(&49) && prices.contains(&50) && prices.contains(&51));
     }
 
@@ -245,22 +241,22 @@ mod tests {
     fn detects_incompleteness() {
         let net = paper_fat_tree();
         let subs = heterogeneous_subs(net.host_count());
-        let mut r =
-            route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
+        let mut r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::TrafficReduction));
         // Break it: clear a core switch's down sets.
         let core = 16;
         r.filters[core].clear();
         let sample = boundary_sample(&subs, 2000);
         let v = check_policy(&net, &subs, &r, &sample);
-        assert!(v.iter().any(|x| matches!(x, Violation::Incomplete { switch, .. } if *switch == core)));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Incomplete { switch, .. } if *switch == core)));
     }
 
     #[test]
     fn detects_unsoundness() {
         let net = paper_fat_tree();
         let subs = heterogeneous_subs(net.host_count());
-        let mut r =
-            route_hierarchical(&net, &subs, RoutingConfig::new(Policy::MemoryReduction));
+        let mut r = route_hierarchical(&net, &subs, RoutingConfig::new(Policy::MemoryReduction));
         // Break it: widen an access port to `true`.
         let (s, p) = net.access[0];
         r.filters[s].get_mut(&p).unwrap().insert(Expr::True);

@@ -83,11 +83,8 @@ mod tests {
 
     #[test]
     fn popular_requests_concentrate_on_hot_ids() {
-        let mut s = ContentStream::new(ContentConfig {
-            catalogue: 1_000,
-            skew: 1.1,
-            ..Default::default()
-        });
+        let mut s =
+            ContentStream::new(ContentConfig { catalogue: 1_000, skew: 1.1, ..Default::default() });
         let reqs = s.popular(10_000);
         let hot = reqs.iter().filter(|r| r.content_id < 10).count();
         assert!(hot > 2_000, "top-10 ids should dominate: {hot}");

@@ -106,8 +106,7 @@ mod tests {
     fn anomaly_rate_is_calibrated() {
         let mut f = IntFeed::new(IntFeedConfig::default());
         let n = 50_000;
-        let anomalous =
-            f.reports(n).iter().filter(|r| r.hop_latency > 100).count();
+        let anomalous = f.reports(n).iter().filter(|r| r.hop_latency > 100).count();
         let rate = anomalous as f64 / n as f64;
         assert!(rate > 0.003 && rate < 0.015, "rate {rate}");
     }

@@ -114,9 +114,7 @@ impl ItchFeed {
             .collect();
         ItchFeed {
             symbol_dist: Zipf::new(cfg.n_symbols - 1, cfg.symbol_skew),
-            batch_dist: cfg
-                .batch
-                .map(|b| Zipf::new(b.max_per_packet, b.skew)),
+            batch_dist: cfg.batch.map(|b| Zipf::new(b.max_per_packet, b.skew)),
             rng: StdRng::seed_from_u64(cfg.seed),
             symbols,
             cfg,

@@ -91,8 +91,7 @@ impl SienaGenerator {
         assert!(cfg.n_attributes > 0 && cfg.value_range > 0 && cfg.anchor_universe > 0);
         assert!(cfg.predicates_per_filter > 0);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let is_string =
-            (0..cfg.n_attributes).map(|_| rng.gen_bool(cfg.string_fraction)).collect();
+        let is_string = (0..cfg.n_attributes).map(|_| rng.gen_bool(cfg.string_fraction)).collect();
         SienaGenerator {
             attr_dist: Zipf::new(cfg.n_attributes, cfg.attribute_skew),
             const_dist: Zipf::new(cfg.value_range as usize, cfg.constant_skew),
@@ -213,16 +212,12 @@ impl SienaGenerator {
         for p in &preds {
             match &p.constant {
                 Value::Int(c) => {
-                    let e = int_sets
-                        .entry(p.operand.key())
-                        .or_insert_with(IntSet::full);
+                    let e = int_sets.entry(p.operand.key()).or_insert_with(IntSet::full);
                     *e = e.intersect(&IntSet::from_rel(p.rel, *c));
                 }
                 Value::Str(s) => {
                     if p.rel == Rel::Eq {
-                        if let Some(slot) =
-                            pkt.iter_mut().find(|(n, _)| *n == p.operand.key())
-                        {
+                        if let Some(slot) = pkt.iter_mut().find(|(n, _)| *n == p.operand.key()) {
                             slot.1 = Value::Str(s.clone());
                         }
                     }
@@ -271,10 +266,8 @@ mod tests {
 
     #[test]
     fn filters_have_requested_shape() {
-        let mut g = SienaGenerator::new(SienaConfig {
-            predicates_per_filter: 3,
-            ..Default::default()
-        });
+        let mut g =
+            SienaGenerator::new(SienaConfig { predicates_per_filter: 3, ..Default::default() });
         for _ in 0..50 {
             let f = g.filter();
             assert_eq!(f.operands().len(), 3, "distinct attributes per filter");
@@ -293,18 +286,13 @@ mod tests {
 
     #[test]
     fn string_attributes_use_equality() {
-        let mut g = SienaGenerator::new(SienaConfig {
-            string_fraction: 1.0,
-            ..Default::default()
-        });
+        let mut g = SienaGenerator::new(SienaConfig { string_fraction: 1.0, ..Default::default() });
         for _ in 0..30 {
             let f = g.filter();
             fn walk(e: &Expr, ok: &mut bool) {
                 match e {
-                    Expr::Atom(p) => {
-                        if !matches!(p.constant, Value::Str(_)) || p.rel != Rel::Eq {
-                            *ok = false;
-                        }
+                    Expr::Atom(p) if (!matches!(p.constant, Value::Str(_)) || p.rel != Rel::Eq) => {
+                        *ok = false;
                     }
                     Expr::And(a, b) | Expr::Or(a, b) => {
                         walk(a, ok);
@@ -332,10 +320,9 @@ mod tests {
         for _ in 0..300 {
             let pkt = g.packet();
             assert_eq!(pkt.len(), 10);
-            let lookup = |op: &Operand| {
-                pkt.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
-            };
-            if filters.iter().any(|f| f.eval_with(&lookup)) {
+            let lookup =
+                |op: &Operand| pkt.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone());
+            if filters.iter().any(|f| f.eval_with(lookup)) {
                 matches += 1;
             }
         }

@@ -90,13 +90,13 @@ mod tests {
     fn sampling_matches_pmf_roughly() {
         let z = Zipf::new(20, 1.2);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         let n = 200_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..20 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: empirical {emp:.4} vs pmf {:.4}",

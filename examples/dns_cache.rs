@@ -22,9 +22,7 @@ fn main() {
     println!("  ... plus the fallback `true: fwd(9)`\n");
 
     let mut sw = app.switch(SwitchConfig::default()).expect("compiles");
-    for (txid, name) in
-        [(1, "h105"), (2, "h109"), (3, "h200"), (4, "www"), (5, "h100")]
-    {
+    for (txid, name) in [(1, "h105"), (2, "h109"), (3, "h200"), (4, "www"), (5, "h100")] {
         let q = app.query(txid, name);
         match app.resolve(&mut sw, &q, txid as u64) {
             Resolution::Answered { name, ip, txid } => {

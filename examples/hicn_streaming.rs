@@ -13,12 +13,8 @@ use camus_workloads::content::{ContentConfig, ContentStream, Request};
 fn main() {
     // Two streaming clients hammer a hot catalogue; a scanner pulls
     // cold identifiers.
-    let mut stream = ContentStream::new(ContentConfig {
-        catalogue: 64,
-        skew: 1.2,
-        gap_ns: 2_500,
-        seed: 7,
-    });
+    let mut stream =
+        ContentStream::new(ContentConfig { catalogue: 64, skew: 1.2, gap_ns: 2_500, seed: 7 });
     let mut requests: Vec<Request> = Vec::new();
     let mut cold_pos = 0u64;
     for i in 0..60_000 {
@@ -35,12 +31,7 @@ fn main() {
     let camus = run(&requests, Mode::Camus, cfg);
 
     let cold = |served: &[camus_apps::hicn::Served]| -> Vec<_> {
-        served
-            .iter()
-            .zip(&requests)
-            .filter(|(_, r)| r.content_id >= 64)
-            .map(|(s, _)| *s)
-            .collect()
+        served.iter().zip(&requests).filter(|(_, r)| r.content_id >= 64).map(|(s, _)| *s).collect()
     };
     println!("{:<10} {:>14} {:>14} {:>16}", "system", "cold p50", "cold p95", "forwarder load");
     for (name, served) in [("baseline", &base), ("camus", &camus)] {

@@ -33,10 +33,7 @@ fn main() {
     }
 
     // Deploy: route (TR policy), compile every switch, install.
-    let controller = Controller::new(
-        statics,
-        RoutingConfig::new(Policy::TrafficReduction),
-    );
+    let controller = Controller::new(statics, RoutingConfig::new(Policy::TrafficReduction));
     let mut deployment = controller.deploy(topology.clone(), &subs).expect("deploys");
     println!(
         "\ndeployed: {} switches compiled in {:?}, {} total table entries",

@@ -39,10 +39,10 @@ fn main() {
 
     // 3. Evaluate packets through the pipeline.
     let packets: &[(&str, i64, i64)] = &[
-        ("GOOGL", 60, 10),  // rules 1+2 -> multicast fwd(1,2)
-        ("GOOGL", 40, 10),  // rule 2 only
-        ("AAPL", 90, 500),  // rule 3 only
-        ("MSFT", 90, 500),  // nothing
+        ("GOOGL", 60, 10), // rules 1+2 -> multicast fwd(1,2)
+        ("GOOGL", 40, 10), // rule 2 only
+        ("AAPL", 90, 500), // rule 3 only
+        ("MSFT", 90, 500), // nothing
     ];
     println!("forwarding decisions:");
     for &(stock, price, shares) in packets {

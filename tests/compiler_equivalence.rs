@@ -30,11 +30,8 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
 
 /// Strategy: a filter expression of bounded depth.
 fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_predicate().prop_map(Expr::Atom),
-        Just(Expr::True),
-        Just(Expr::False),
-    ];
+    let leaf =
+        prop_oneof![arb_predicate().prop_map(Expr::Atom), Just(Expr::True), Just(Expr::False),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
@@ -49,33 +46,24 @@ fn arb_rules() -> impl Strategy<Value = Vec<Rule>> {
         filters
             .into_iter()
             .enumerate()
-            .map(|(i, filter)| Rule {
-                filter,
-                action: Action::Forward(vec![i as u16 + 1]),
-            })
+            .map(|(i, filter)| Rule { filter, action: Action::Forward(vec![i as u16 + 1]) })
             .collect()
     })
 }
 
 /// Strategy: a full packet assignment over the universe.
 fn arb_packet() -> impl Strategy<Value = Vec<(String, Value)>> {
-    let sym = prop_oneof![Just("AA"), Just("AAPL"), Just("GOOGL"), Just("GO"), Just("MSFT"), Just("ZZZ")];
-    (
-        -6i64..16,
-        -6i64..16,
-        -6i64..16,
-        sym.clone(),
-        sym,
-    )
-        .prop_map(|(p, s, q, st, v)| {
-            vec![
-                ("price".to_string(), Value::Int(p)),
-                ("shares".to_string(), Value::Int(s)),
-                ("qty".to_string(), Value::Int(q)),
-                ("stock".to_string(), Value::Str(st.to_string())),
-                ("venue".to_string(), Value::Str(v.to_string())),
-            ]
-        })
+    let sym =
+        prop_oneof![Just("AA"), Just("AAPL"), Just("GOOGL"), Just("GO"), Just("MSFT"), Just("ZZZ")];
+    (-6i64..16, -6i64..16, -6i64..16, sym.clone(), sym).prop_map(|(p, s, q, st, v)| {
+        vec![
+            ("price".to_string(), Value::Int(p)),
+            ("shares".to_string(), Value::Int(s)),
+            ("qty".to_string(), Value::Int(q)),
+            ("stock".to_string(), Value::Str(st.to_string())),
+            ("venue".to_string(), Value::Str(v.to_string())),
+        ]
+    })
 }
 
 proptest! {
@@ -95,12 +83,12 @@ proptest! {
             };
             let mut want: Vec<u16> = rules
                 .iter()
-                .filter(|r| r.filter.eval_with(&lookup))
+                .filter(|r| r.filter.eval_with(lookup))
                 .flat_map(|r| r.action.ports().unwrap().to_vec())
                 .collect();
             want.sort_unstable();
             want.dedup();
-            let got = compiled.pipeline.evaluate(&lookup);
+            let got = compiled.pipeline.evaluate(lookup);
             let got_ports = got.ports().map(<[u16]>::to_vec).unwrap_or_default();
             prop_assert_eq!(got_ports, want, "packet {:?}", pkt);
         }
@@ -118,7 +106,7 @@ proptest! {
             let lookup = |op: &Operand| {
                 pkt.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
             };
-            let matched = compiled.bdd.eval(&lookup);
+            let matched = compiled.bdd.eval(lookup);
             let mut want: Vec<u16> = matched
                 .iter()
                 .flat_map(|&label| {
@@ -127,7 +115,7 @@ proptest! {
                 .collect();
             want.sort_unstable();
             want.dedup();
-            let got = compiled.pipeline.evaluate(&lookup);
+            let got = compiled.pipeline.evaluate(lookup);
             let got_ports = got.ports().map(<[u16]>::to_vec).unwrap_or_default();
             prop_assert_eq!(got_ports, want);
         }
@@ -153,13 +141,13 @@ proptest! {
             };
             let exact_ports = exact_c
                 .pipeline
-                .evaluate(&lookup)
+                .evaluate(lookup)
                 .ports()
                 .map(<[u16]>::to_vec)
                 .unwrap_or_default();
             let approx_ports = approx_c
                 .pipeline
-                .evaluate(&lookup)
+                .evaluate(lookup)
                 .ports()
                 .map(<[u16]>::to_vec)
                 .unwrap_or_default();

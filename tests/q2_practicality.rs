@@ -104,11 +104,7 @@ fn ip_traffic_coexists_with_subscriptions() {
         let pkt = PacketBuilder::new(&spec)
             .stack_field("demux", "app", APP_IP)
             .stack_field("ipv4", "ttl", 64i64)
-            .stack_field(
-                "ipv4",
-                "dst",
-                i64::from(camus_lang::value::parse_ipv4(dst).unwrap()),
-            )
+            .stack_field("ipv4", "dst", i64::from(camus_lang::value::parse_ipv4(dst).unwrap()))
             .build();
         let out = sw.process(&pkt, 0, 0);
         assert_eq!(out.ports.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![port]);
@@ -116,11 +112,7 @@ fn ip_traffic_coexists_with_subscriptions() {
     // Unknown destinations drop (no default route in this pipeline).
     let pkt = PacketBuilder::new(&spec)
         .stack_field("demux", "app", APP_IP)
-        .stack_field(
-            "ipv4",
-            "dst",
-            i64::from(camus_lang::value::parse_ipv4("10.0.0.9").unwrap()),
-        )
+        .stack_field("ipv4", "dst", i64::from(camus_lang::value::parse_ipv4("10.0.0.9").unwrap()))
         .build();
     assert!(sw.process(&pkt, 0, 0).ports.is_empty());
 }
@@ -168,8 +160,10 @@ fn eight_applications_all_compile() {
         (apps::ila::ila_spec(), "dst_identifier == 51966: fwd(3)"),
         (apps::hicn::hicn_spec(), "content_id == 7: fwd(1)"),
         (apps::dns::dns_spec(), "name == h105: answerDNS(10.0.0.105)"),
-        (apps::linear_road::linear_road_spec(),
-         "x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)"),
+        (
+            apps::linear_road::linear_road_spec(),
+            "x > 10 and x < 20 and y > 30 and y < 40 and spd > 55: fwd(1)",
+        ),
         (apps::pubsub::pubsub_spec(), "topic == trades and key > 10: fwd(2)"),
         (apps::ip::ip_spec(), "dst == 10.0.0.1: fwd(1)"),
     ];

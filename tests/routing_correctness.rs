@@ -27,11 +27,11 @@ fn test_spec() -> Spec {
 
 fn random_topology(rng: &mut StdRng) -> HierNet {
     three_layer(
-        rng.gen_range(2..4),  // pods
-        rng.gen_range(1..3),  // tors per pod
-        rng.gen_range(1..3),  // aggs per pod
-        rng.gen_range(1..3),  // cores
-        rng.gen_range(1..3),  // hosts per tor
+        rng.gen_range(2..4), // pods
+        rng.gen_range(1..3), // tors per pod
+        rng.gen_range(1..3), // aggs per pod
+        rng.gen_range(1..3), // cores
+        rng.gen_range(1..3), // hosts per tor
     )
 }
 
@@ -79,8 +79,7 @@ fn simulation_delivers_exactly_to_interested_hosts() {
         let net = random_topology(&mut rng);
         let subs = random_subs(&mut rng, net.host_count());
         for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
-            let controller =
-                Controller::new(statics.clone(), RoutingConfig::new(policy));
+            let controller = Controller::new(statics.clone(), RoutingConfig::new(policy));
             let mut d = controller.deploy(net.clone(), &subs).unwrap();
             // Publish several packets from random hosts.
             let mut expected: Vec<Vec<usize>> = Vec::new(); // per packet: hosts
@@ -91,9 +90,7 @@ fn simulation_delivers_exactly_to_interested_hosts() {
                     vals.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
                 };
                 let interested: Vec<usize> = (0..net.host_count())
-                    .filter(|&h| {
-                        h != publisher && subs[h].iter().any(|f| f.eval_with(&lookup))
-                    })
+                    .filter(|&h| h != publisher && subs[h].iter().any(|f| f.eval_with(lookup)))
                     .collect();
                 expected.push(interested);
                 let mut b = PacketBuilder::new(&spec);
@@ -110,10 +107,10 @@ fn simulation_delivers_exactly_to_interested_hosts() {
                     want_per_host[h] += 1;
                 }
             }
-            for h in 0..net.host_count() {
+            for (h, &want) in want_per_host.iter().enumerate() {
                 assert_eq!(
                     d.network.deliveries(h).len(),
-                    want_per_host[h],
+                    want,
                     "trial {trial} {policy:?} host {h} (topology: {} sw / {} hosts)",
                     net.switch_count(),
                     net.host_count()
@@ -132,11 +129,8 @@ fn policies_pass_static_checkers_on_random_topologies() {
         let sample = boundary_sample(&subs, 1_500);
         for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
             for alpha in [1, 10] {
-                let r = route_hierarchical(
-                    &net,
-                    &subs,
-                    RoutingConfig::new(policy).with_alpha(alpha),
-                );
+                let r =
+                    route_hierarchical(&net, &subs, RoutingConfig::new(policy).with_alpha(alpha));
                 let v = check_policy(&net, &subs, &r, &sample);
                 assert!(v.is_empty(), "{policy:?} α={alpha}: {v:?}");
             }
@@ -164,11 +158,10 @@ fn approximated_routing_still_delivers_everything() {
         for p in 0..10 {
             let vals = random_packet(&mut rng);
             let publisher = p % net.host_count();
-            let lookup = |op: &Operand| {
-                vals.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone())
-            };
+            let lookup =
+                |op: &Operand| vals.iter().find(|(n, _)| *n == op.key()).map(|(_, v)| v.clone());
             expected += (0..net.host_count())
-                .filter(|&h| h != publisher && subs[h].iter().any(|f| f.eval_with(&lookup)))
+                .filter(|&h| h != publisher && subs[h].iter().any(|f| f.eval_with(lookup)))
                 .count();
             let mut b = PacketBuilder::new(&spec);
             for (f, v) in &vals {
@@ -196,8 +189,7 @@ fn switch_failure_recovery_via_redeploy() {
     let subs: Vec<Vec<Expr>> = (0..degraded.host_count())
         .map(|h| vec![parse_expr(&format!("kind == {h}")).unwrap()])
         .collect();
-    let controller =
-        Controller::new(statics, RoutingConfig::new(Policy::TrafficReduction));
+    let controller = Controller::new(statics, RoutingConfig::new(Policy::TrafficReduction));
     let mut d = controller.deploy(degraded.clone(), &subs).unwrap();
     // Cross-pod delivery still works with only one agg per pod.
     let target = degraded.host_count() - 1;

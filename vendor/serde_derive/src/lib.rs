@@ -1,0 +1,454 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build image
+//! has no `syn`/`quote`). Supports non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, and struct variants), plus the
+//! `#[serde(skip)]` field attribute. Generated code never needs the
+//! field *types*: struct construction lets inference pick the right
+//! `Deserialize` impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (or index) plus whether `#[serde(skip)]` was
+/// present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Does an attribute token group spell `serde(skip)`?
+fn attr_is_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) => {
+            i.to_string() == "serde"
+                && inner.stream().into_iter().any(|t| match t {
+                    TokenTree::Ident(i) => i.to_string() == "skip",
+                    _ => false,
+                })
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading `#[...]` attributes; report whether any was
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                skip |= attr_is_skip(g);
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consume `pub`, `pub(...)` if present.
+fn take_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (angle-bracket aware), leaving
+/// `pos` *after* the comma (or at end of input).
+fn skip_past_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parse `{ a: T, b: U, ... }` contents into named fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = take_attrs(&tokens, &mut pos);
+        take_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected ':' after field, got {other:?}")),
+        }
+        skip_past_comma(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Parse `( T, U, ... )` contents into positional fields.
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = take_attrs(&tokens, &mut pos);
+        take_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_past_comma(&tokens, &mut pos);
+        fields.push(Field { name: fields.len().to_string(), skip });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        // Optional `= discriminant`, then the comma.
+        skip_past_comma(&tokens, &mut pos);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    take_attrs(&tokens, &mut pos);
+    take_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generics (type {name})"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g)? })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for a {other}")),
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+/// `Value::Map` literal for named fields of expression `prefix.<name>`.
+fn ser_named(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!("(String::from({:?}), ::serde::Serialize::to_value(&{})),", f.name, access(f))
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", pairs.join(""))
+}
+
+fn ser_seq(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| format!("::serde::Serialize::to_value(&{}),", access(f)))
+        .collect();
+    format!("::serde::Value::Seq(vec![{}])", items.join(""))
+}
+
+fn de_named(ty_path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: Default::default(),", f.name)
+            } else {
+                format!(
+                    "{name}: match {src}.get({name:?}) {{ \
+                       Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+                       None => return Err(::serde::Error(format!(\
+                           \"missing field `{name}` in {ty}\"))), \
+                     }},",
+                    name = f.name,
+                    src = src,
+                    ty = ty_path,
+                )
+            }
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", inits.join(""))
+}
+
+fn de_seq(ty_path: &str, fields: &[Field], items: &str) -> String {
+    // Skipped fields are absent from the serialized sequence, so the
+    // source index advances only on serialized fields.
+    let mut src_idx = 0usize;
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                "Default::default(),".to_string()
+            } else {
+                let i = src_idx;
+                src_idx += 1;
+                format!("::serde::Deserialize::from_value(&{items}[{i}])?,")
+            }
+        })
+        .collect();
+    format!("{ty_path}({})", inits.join(""))
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fs) => ser_named(fs, |f| format!("self.{}", f.name)),
+                Shape::Tuple(fs) => ser_seq(fs, |f| format!("self.{}", f.name)),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(String::from({vn:?})),")
+                        }
+                        Shape::Tuple(fs) => {
+                            let binds: Vec<String> =
+                                (0..fs.len()).map(|i| format!("__f{i}")).collect();
+                            let payload = ser_seq(fs, |f| format!("__f{}", f.name));
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![\
+                                   (String::from({vn:?}), {payload})]),",
+                                binds.join(",")
+                            )
+                        }
+                        Shape::Named(fs) => {
+                            let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                            let payload = ser_named(fs, |f| f.name.clone());
+                            format!(
+                                "{name}::{vn}{{{}}} => ::serde::Value::Map(vec![\
+                                   (String::from({vn:?}), {payload})]),",
+                                binds.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join("")
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Named(fs) => format!(
+                    "match __v {{ \
+                       ::serde::Value::Map(_) => Ok({}), \
+                       _ => Err(::serde::Error::expected({name:?}, __v)), \
+                     }}",
+                    de_named(name, fs, "__v")
+                ),
+                Shape::Tuple(fs) => {
+                    let arity = fs.iter().filter(|f| !f.skip).count();
+                    format!(
+                        "match __v {{ \
+                           ::serde::Value::Seq(__items) if __items.len() == {arity} => \
+                             Ok({}), \
+                           _ => Err(::serde::Error::expected({name:?}, __v)), \
+                         }}",
+                        de_seq(name, fs, "__items")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) -> \
+                       ::core::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let path = format!("{name}::{vn}");
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(fs) => {
+                            let arity = fs.iter().filter(|f| !f.skip).count();
+                            Some(format!(
+                                "{vn:?} => match __payload {{ \
+                                   ::serde::Value::Seq(__items) \
+                                       if __items.len() == {arity} => Ok({}), \
+                                   _ => Err(::serde::Error::expected(\
+                                       \"{name}::{vn} payload\", __payload)), \
+                                 }},",
+                                de_seq(&path, fs, "__items")
+                            ))
+                        }
+                        Shape::Named(fs) => Some(format!(
+                            "{vn:?} => match __payload {{ \
+                               ::serde::Value::Map(_) => Ok({}), \
+                               _ => Err(::serde::Error::expected(\
+                                   \"{name}::{vn} payload\", __payload)), \
+                             }},",
+                            de_named(&path, fs, "__payload")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) -> \
+                       ::core::result::Result<Self, ::serde::Error> {{ \
+                     match __v {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {units} \
+                         _ => Err(::serde::Error(format!(\
+                             \"unknown {name} variant `{{__s}}`\"))), \
+                       }}, \
+                       ::serde::Value::Map(__pairs) if __pairs.len() == 1 => {{ \
+                         let (__tag, __payload) = &__pairs[0]; \
+                         match __tag.as_str() {{ \
+                           {datas} \
+                           _ => Err(::serde::Error(format!(\
+                               \"unknown {name} variant `{{__tag}}`\"))), \
+                         }} \
+                       }}, \
+                       _ => Err(::serde::Error::expected({name:?}, __v)), \
+                     }} \
+                   }} \
+                 }}",
+                units = unit_arms.join(""),
+                datas = data_arms.join(""),
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => derive_serialize_impl(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => derive_deserialize_impl(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
