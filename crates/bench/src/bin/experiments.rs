@@ -13,7 +13,7 @@
 use camus_bench::experiments::{self, Scale};
 
 const IDS: &[&str] =
-    &["fig8", "fig9", "fig11", "fig12", "tab1", "fig13", "fig14", "fig15", "churn"];
+    &["fig8", "fig9", "fig11", "fig12", "tab1", "fig13", "fig14", "fig15", "churn", "faults"];
 
 fn run_one(id: &str, scale: Scale) -> bool {
     let t0 = std::time::Instant::now();
@@ -27,6 +27,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "fig14" => !experiments::fig14::run(scale).is_empty(),
         "fig15" => !experiments::fig15::run(scale).is_empty(),
         "churn" => !experiments::churn::run(scale).is_empty(),
+        "faults" => !experiments::faults::run(scale).is_empty(),
         _ => return false,
     };
     eprintln!("[{id}] done in {:.1?}\n", t0.elapsed());

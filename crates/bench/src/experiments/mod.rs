@@ -3,6 +3,7 @@
 //! for CI; `Scale::Full` matches the paper's parameters.
 
 pub mod churn;
+pub mod faults;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -17,6 +17,8 @@
 //! | [`experiments::fig13`] | Fig. 13 — Fat-Tree memory/traffic, MR vs TR, α |
 //! | [`experiments::fig14`] | Fig. 14 — network recompile times |
 //! | [`experiments::fig15`] | Fig. 15 — MST vs MST++ FIB entries |
+//! | [`experiments::churn`] | Subscription churn — incremental recompile |
+//! | [`experiments::faults`] | Fault injection — repair latency & blackout |
 
 pub mod experiments;
 pub mod output;

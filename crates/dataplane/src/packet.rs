@@ -10,6 +10,41 @@ use bytes::Bytes;
 use camus_lang::spec::Spec;
 use camus_lang::value::Value;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a packet could not be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Messages were added but the spec declares no batched message
+    /// header.
+    NoMessageHeader,
+    /// A value does not fit its field: a positive integer wider than
+    /// the field, or a string longer than the field. (Negative
+    /// integers are *not* errors: header fields are unsigned on the
+    /// wire and documented to truncate to the low bits.)
+    Oversized { header: String, field: String, value: String, width_bits: u32 },
+    /// A value's type disagrees with the field's declared type.
+    TypeMismatch { header: String, field: String },
+    /// Anything else the spec encoder rejects (unknown header, ...).
+    Spec(String),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::NoMessageHeader => write!(f, "spec has no batched message header"),
+            EncodeError::Oversized { header, field, value, width_bits } => {
+                write!(f, "value {value} does not fit `{header}.{field}` (bit<{width_bits}>)")
+            }
+            EncodeError::TypeMismatch { header, field } => {
+                write!(f, "type mismatch for `{header}.{field}`")
+            }
+            EncodeError::Spec(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// An immutable packet with its payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,31 +149,79 @@ impl<'a> PacketBuilder<'a> {
         self
     }
 
-    /// Encode to bytes. Panics only on type mismatches against the spec
-    /// (a programming error in the caller).
-    pub fn build(self) -> Packet {
+    /// Check the provided values against `header`'s field widths and
+    /// types. Keys that name no field are ignored (the encoder skips
+    /// them too — spec fields not supplied default to zero, and the
+    /// reverse direction mirrors that leniency).
+    fn check_values(
+        &self,
+        header: &str,
+        values: &HashMap<String, Value>,
+    ) -> Result<(), EncodeError> {
+        let h = self
+            .spec
+            .header(header)
+            .ok_or_else(|| EncodeError::Spec(format!("unknown header `{header}`")))?;
+        for f in &h.fields {
+            let Some(v) = values.get(&f.name) else { continue };
+            if v.ty() != f.ty {
+                return Err(EncodeError::TypeMismatch {
+                    header: header.to_string(),
+                    field: f.name.clone(),
+                });
+            }
+            let fits = match v {
+                Value::Int(i) => {
+                    *i < 0 || f.width_bits >= 63 || (*i as u64) < (1u64 << f.width_bits)
+                }
+                Value::Str(s) => s.len() <= f.width_bytes(),
+            };
+            if !fits {
+                return Err(EncodeError::Oversized {
+                    header: header.to_string(),
+                    field: f.name.clone(),
+                    value: format!("{v:?}"),
+                    width_bits: f.width_bits,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode to bytes, rejecting values that would be silently
+    /// mangled: oversized integers/strings, type mismatches, and
+    /// messages on a spec without a batched message header.
+    pub fn try_build(self) -> Result<Packet, EncodeError> {
         let mut out = Vec::with_capacity(self.spec.stack_width() + self.messages.len() * 32);
+        let empty = HashMap::new();
         for name in &self.spec.sequence {
-            let empty = HashMap::new();
             let vals = self.stack_values.get(name).unwrap_or(&empty);
+            self.check_values(name, vals)?;
             let bytes = self
                 .spec
                 .encode_header(name, vals)
-                .unwrap_or_else(|e| panic!("encoding stack header {name}: {e}"));
+                .map_err(|e| EncodeError::Spec(format!("encoding stack header {name}: {e}")))?;
             out.extend_from_slice(&bytes);
         }
         if let Some(msg) = &self.spec.messages {
             for m in &self.messages {
+                self.check_values(msg, m)?;
                 let bytes = self
                     .spec
                     .encode_header(msg, m)
-                    .unwrap_or_else(|e| panic!("encoding message {msg}: {e}"));
+                    .map_err(|e| EncodeError::Spec(format!("encoding message {msg}: {e}")))?;
                 out.extend_from_slice(&bytes);
             }
-        } else {
-            assert!(self.messages.is_empty(), "spec has no batched message header");
+        } else if !self.messages.is_empty() {
+            return Err(EncodeError::NoMessageHeader);
         }
-        Packet::new(Bytes::from(out))
+        Ok(Packet::new(Bytes::from(out)))
+    }
+
+    /// Encode to bytes. Panics where [`PacketBuilder::try_build`]
+    /// errors (a programming error in the caller).
+    pub fn build(self) -> Packet {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -227,5 +310,78 @@ mod tests {
     fn message_on_stack_only_spec_panics() {
         let spec = camus_lang::spec::int_spec();
         let _ = PacketBuilder::new(&spec).message(vec![("switch_id", 1i64)]).build();
+    }
+
+    #[test]
+    fn try_build_matches_build() {
+        let spec = itch_spec();
+        let a = PacketBuilder::new(&spec)
+            .stack_field("moldudp", "seq", 7i64)
+            .message(order("GOOGL", 10, 5))
+            .try_build()
+            .unwrap();
+        let b = PacketBuilder::new(&spec)
+            .stack_field("moldudp", "seq", 7i64)
+            .message(order("GOOGL", 10, 5))
+            .build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_int_is_rejected_not_truncated() {
+        let spec = itch_spec();
+        let too_big = 1i64 << 33; // price is bit<32>
+        let err =
+            PacketBuilder::new(&spec).message(order("GOOGL", too_big, 1)).try_build().unwrap_err();
+        match err {
+            EncodeError::Oversized { header, field, width_bits, .. } => {
+                assert_eq!(field, "price");
+                assert_eq!(width_bits, 32);
+                assert!(!header.is_empty());
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The widest representable value still encodes.
+        let max = (1i64 << 32) - 1;
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", max, 1)).try_build().unwrap();
+        assert_eq!(pkt.message(&spec, 0).unwrap()["price"], Value::Int(max));
+    }
+
+    #[test]
+    fn oversized_string_is_rejected() {
+        let spec = itch_spec();
+        let err = PacketBuilder::new(&spec)
+            .message(order("WAYTOOLONG", 1, 1)) // stock is str<8>
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, EncodeError::Oversized { ref field, .. } if field == "stock"));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let spec = itch_spec();
+        let err = PacketBuilder::new(&spec)
+            .message(vec![("price", Value::from("not a number"))])
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, EncodeError::TypeMismatch { ref field, .. } if field == "price"));
+    }
+
+    #[test]
+    fn negative_int_still_truncates_by_contract() {
+        // FieldSpec documents integer fields as unsigned on the wire:
+        // negatives truncate to the low bits rather than erroring.
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", -1, 1)).try_build().unwrap();
+        assert_eq!(pkt.message(&spec, 0).unwrap()["price"], Value::Int((1 << 32) - 1));
+    }
+
+    #[test]
+    fn message_on_stack_only_spec_errors() {
+        let spec = camus_lang::spec::int_spec();
+        let err =
+            PacketBuilder::new(&spec).message(vec![("switch_id", 1i64)]).try_build().unwrap_err();
+        assert_eq!(err, EncodeError::NoMessageHeader);
+        assert!(err.to_string().contains("no batched message header"));
     }
 }

@@ -21,7 +21,7 @@ use camus_core::statics::StaticPipeline;
 use camus_lang::ast::{Action, AggFunc, Operand, Port};
 use camus_lang::spec::Spec;
 use camus_lang::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Hardware-model parameters.
 #[derive(Debug, Clone)]
@@ -57,10 +57,23 @@ pub struct SwitchStats {
     pub messages: u64,
     pub truncated_messages: u64,
     pub recirculation_passes: u64,
-    /// Messages that matched no subscription (dropped).
+    /// Messages forwarded nowhere (every target port pruned), whatever
+    /// the cause — the total the per-cause counters below attribute.
     pub dropped_messages: u64,
     /// Output packet copies emitted.
     pub copies: u64,
+    /// Messages dropped because no rule routed them anywhere usable:
+    /// explicit `drop` actions and ingress-only matches.
+    pub dropped_no_route: u64,
+    /// Per-port forwarding decisions suppressed because the egress
+    /// port was down. Counted per (message, port) pair, so it can
+    /// exceed `dropped_messages` when a multicast message loses some
+    /// ports but still leaves through others.
+    pub dropped_port_down: u64,
+    /// Messages lost to resource exhaustion (parser PHV/recirculation
+    /// budget) — mirrors `truncated_messages`, kept separate so the
+    /// drop-cause counters add up on their own.
+    pub dropped_resource: u64,
 }
 
 /// The result of processing one packet.
@@ -84,6 +97,9 @@ pub struct Switch {
     state: StateStore,
     config: SwitchConfig,
     stats: SwitchStats,
+    /// Egress ports currently marked down (fault model): forwarding
+    /// decisions towards them are suppressed and counted.
+    port_down: HashSet<Port>,
     /// Aggregate operands appearing in the pipeline, cached.
     aggregates: Vec<(String, AggFunc, String)>, // (key, func, field)
 }
@@ -115,7 +131,15 @@ impl Switch {
             })
             .collect();
         let parser = DeepParser::new(spec, config.max_msgs_per_pass, config.recirc_ports);
-        Switch { parser, pipeline, state, config, stats: SwitchStats::default(), aggregates }
+        Switch {
+            parser,
+            pipeline,
+            state,
+            config,
+            stats: SwitchStats::default(),
+            port_down: HashSet::new(),
+            aggregates,
+        }
     }
 
     /// Swap in a recompiled pipeline (dynamic reconfiguration,
@@ -144,12 +168,30 @@ impl Switch {
         &self.pipeline
     }
 
+    /// Mark an egress port up or down (link/peer failure). While a
+    /// port is down, forwarding decisions towards it are suppressed
+    /// and counted in [`SwitchStats::dropped_port_down`]; pipelines
+    /// and state are untouched, so restoring the port resumes
+    /// forwarding without a reinstall.
+    pub fn set_port_down(&mut self, port: Port, down: bool) {
+        if down {
+            self.port_down.insert(port);
+        } else {
+            self.port_down.remove(&port);
+        }
+    }
+
+    pub fn port_is_down(&self, port: Port) -> bool {
+        self.port_down.contains(&port)
+    }
+
     /// Process a packet arriving on `ingress` at absolute time
     /// `now_us`.
     pub fn process(&mut self, pkt: &Packet, ingress: Port, now_us: u64) -> SwitchOutput {
         let outcome = self.parser.parse(pkt);
         self.stats.packets += 1;
         self.stats.truncated_messages += outcome.truncated as u64;
+        self.stats.dropped_resource += outcome.truncated as u64;
         self.stats.recirculation_passes += (outcome.passes - 1) as u64;
 
         let mut out = SwitchOutput {
@@ -206,17 +248,33 @@ impl Switch {
         match action {
             Action::Forward(ports) => {
                 let mut any = false;
+                let mut suppressed_down = false;
                 for p in ports {
-                    if p != ingress {
-                        keep.entry(p).or_default().push(msg_index);
-                        any = true;
+                    if p == ingress {
+                        continue;
                     }
+                    if self.port_down.contains(&p) {
+                        self.stats.dropped_port_down += 1;
+                        suppressed_down = true;
+                        continue;
+                    }
+                    keep.entry(p).or_default().push(msg_index);
+                    any = true;
                 }
                 if !any {
                     self.stats.dropped_messages += 1;
+                    // Attribute the loss once: a message that lost a
+                    // down port is a port-down drop (already counted
+                    // above); otherwise nothing routed it.
+                    if !suppressed_down {
+                        self.stats.dropped_no_route += 1;
+                    }
                 }
             }
-            Action::Drop => self.stats.dropped_messages += 1,
+            Action::Drop => {
+                self.stats.dropped_messages += 1;
+                self.stats.dropped_no_route += 1;
+            }
             other => out.actions.push((msg_index, other)),
         }
     }
@@ -403,6 +461,66 @@ mod tests {
         let out = sw.process(&pkt, 0, 0);
         assert!(out.ports.is_empty());
         assert_eq!(out.actions, vec![(0, Action::Custom("mirror".into(), vec![9]))]);
+    }
+
+    #[test]
+    fn down_port_suppresses_and_counts() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 10)).build();
+        sw.set_port_down(1, true);
+        assert!(sw.port_is_down(1));
+        let out = sw.process(&pkt, 0, 0);
+        assert!(out.ports.is_empty());
+        assert_eq!(sw.stats().dropped_messages, 1);
+        assert_eq!(sw.stats().dropped_port_down, 1);
+        assert_eq!(sw.stats().dropped_no_route, 0, "loss attributed to the dead port");
+        // Restoring the port resumes forwarding with no reinstall.
+        sw.set_port_down(1, false);
+        let out = sw.process(&pkt, 0, 1);
+        assert_eq!(out.ports.len(), 1);
+        assert_eq!(sw.stats().dropped_messages, 1);
+    }
+
+    #[test]
+    fn multicast_survives_partial_port_failure() {
+        let mut sw = itch_switch(
+            "stock == GOOGL: fwd(1)\n\
+             price > 5: fwd(2)\n",
+        );
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 10)).build();
+        sw.set_port_down(1, true);
+        let out = sw.process(&pkt, 0, 0);
+        let ports: Vec<Port> = out.ports.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![2], "surviving port still served");
+        assert_eq!(sw.stats().dropped_port_down, 1);
+        assert_eq!(sw.stats().dropped_messages, 0, "the message did leave the switch");
+    }
+
+    #[test]
+    fn drop_causes_attribute_no_route_and_resource() {
+        // No-route: ingress-only match.
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 10)).build();
+        sw.process(&pkt, 1, 0);
+        assert_eq!(sw.stats().dropped_no_route, 1);
+        assert_eq!(sw.stats().dropped_port_down, 0);
+
+        // Resource: PHV/recirculation budget truncation.
+        let statics = compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules("stock == GOOGL: fwd(1)\n").unwrap();
+        let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+        let cfg = SwitchConfig { max_msgs_per_pass: 2, recirc_ports: 1, ..Default::default() };
+        let mut sw = Switch::new(&statics, compiled.pipeline, cfg);
+        let mut b = PacketBuilder::new(&spec);
+        for _ in 0..7 {
+            b = b.message(order("GOOGL", 1));
+        }
+        sw.process(&b.build(), 0, 0);
+        assert_eq!(sw.stats().dropped_resource, sw.stats().truncated_messages);
+        assert_eq!(sw.stats().dropped_resource, 3);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! The fault taxonomy and timed schedules.
+//!
+//! A fault is something the *environment* does to the network; the
+//! controller only ever observes its effect through the network's
+//! [`FaultMask`](camus_routing::topology::FaultMask). Link faults are
+//! keyed like the mask: `(upper switch, down port)` names the cable
+//! below that port, whichever direction traffic flows on it.
+
+use camus_lang::ast::Port;
+use camus_routing::topology::{HierNet, SwitchId};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Cut the cable below `switch`'s down port `port`.
+    LinkDown { switch: SwitchId, port: Port },
+    /// Splice that cable back.
+    LinkUp { switch: SwitchId, port: Port },
+    /// Power off a switch (all incident links go with it).
+    SwitchCrash { switch: SwitchId },
+    /// Power it back on (its old pipeline is stale until repaired).
+    SwitchRestore { switch: SwitchId },
+    /// The control channel is congested: the *next* fault's repair is
+    /// delayed by this much on top of the normal repair window.
+    ControlDelay { extra_ns: u64 },
+}
+
+impl FaultKind {
+    /// Stable label for CSV output and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown { .. } => "link-down",
+            FaultKind::LinkUp { .. } => "link-up",
+            FaultKind::SwitchCrash { .. } => "switch-crash",
+            FaultKind::SwitchRestore { .. } => "switch-restore",
+            FaultKind::ControlDelay { .. } => "control-delay",
+        }
+    }
+
+    /// Does this fault remove capacity (as opposed to restoring it or
+    /// only touching the control plane)?
+    pub fn is_degrading(&self) -> bool {
+        matches!(self, FaultKind::LinkDown { .. } | FaultKind::SwitchCrash { .. })
+    }
+
+    /// Check the fault names a real element of `net`.
+    pub fn validate(&self, net: &HierNet) -> Result<(), String> {
+        match *self {
+            FaultKind::LinkDown { switch, port } | FaultKind::LinkUp { switch, port } => {
+                if switch >= net.switch_count() {
+                    return Err(format!("no switch {switch}"));
+                }
+                if port as usize >= net.switches[switch].down.len() {
+                    return Err(format!("switch {switch} has no down port {port}"));
+                }
+                Ok(())
+            }
+            FaultKind::SwitchCrash { switch } | FaultKind::SwitchRestore { switch } => {
+                if switch >= net.switch_count() {
+                    return Err(format!("no switch {switch}"));
+                }
+                Ok(())
+            }
+            FaultKind::ControlDelay { .. } => Ok(()),
+        }
+    }
+}
+
+/// A fault pinned to a simulation time.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    pub at_ns: u64,
+    pub kind: FaultKind,
+}
+
+/// A time-ordered sequence of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Insert keeping time order; ties keep insertion order.
+    pub fn push(&mut self, at_ns: u64, kind: FaultKind) {
+        let i = self.events.partition_point(|e| e.at_ns <= at_ns);
+        self.events.insert(i, FaultEvent { at_ns, kind });
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_routing::topology::paper_fat_tree;
+
+    #[test]
+    fn schedule_keeps_time_order_with_stable_ties() {
+        let mut s = FaultSchedule::new();
+        s.push(300, FaultKind::SwitchCrash { switch: 1 });
+        s.push(100, FaultKind::LinkDown { switch: 2, port: 0 });
+        s.push(300, FaultKind::SwitchRestore { switch: 1 });
+        s.push(200, FaultKind::ControlDelay { extra_ns: 5 });
+        let times: Vec<u64> = s.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![100, 200, 300, 300]);
+        assert_eq!(s.events()[2].kind, FaultKind::SwitchCrash { switch: 1 });
+        assert_eq!(s.events()[3].kind, FaultKind::SwitchRestore { switch: 1 });
+    }
+
+    #[test]
+    fn validate_rejects_phantom_elements() {
+        let net = paper_fat_tree();
+        assert!(FaultKind::SwitchCrash { switch: 0 }.validate(&net).is_ok());
+        assert!(FaultKind::SwitchCrash { switch: 999 }.validate(&net).is_err());
+        assert!(FaultKind::LinkDown { switch: 0, port: 0 }.validate(&net).is_ok());
+        assert!(FaultKind::LinkDown { switch: 0, port: 99 }.validate(&net).is_err());
+        assert!(FaultKind::ControlDelay { extra_ns: 1 }.validate(&net).is_ok());
+    }
+}

@@ -1,0 +1,165 @@
+//! Seeded selection of fault targets.
+//!
+//! Everything here is a pure function of the seed and the topology, so
+//! a failure run reproduces exactly from its `--seed` (the same
+//! discipline as the workload generators).
+
+use crate::event::{FaultKind, FaultSchedule};
+use camus_lang::ast::Port;
+use camus_routing::topology::{DownTarget, HierNet, HostId, SwitchId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks which element to break, deterministically from a seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Every switch-to-switch link, keyed `(upper switch, down port)` —
+    /// the same key the [`FaultMask`](camus_routing::topology::FaultMask)
+    /// uses. Access (switch-to-host) links are excluded: cutting one
+    /// just detaches the host, which no amount of routing can repair.
+    pub fn links(net: &HierNet) -> Vec<(SwitchId, Port)> {
+        let mut out = Vec::new();
+        for (s, sw) in net.switches.iter().enumerate() {
+            for (p, t) in sw.down.iter().enumerate() {
+                if matches!(t, DownTarget::Switch(..)) {
+                    out.push((s, p as Port));
+                }
+            }
+        }
+        out
+    }
+
+    /// A uniformly random switch-to-switch link.
+    pub fn pick_link(&mut self, net: &HierNet) -> (SwitchId, Port) {
+        let links = Self::links(net);
+        assert!(!links.is_empty(), "topology has no switch-to-switch links");
+        links[self.rng.gen_range(0..links.len())]
+    }
+
+    /// A uniformly random switch at layer `min_layer` or above (pass 1
+    /// to spare the ToRs, whose loss detaches hosts).
+    pub fn pick_switch(&mut self, net: &HierNet, min_layer: usize) -> SwitchId {
+        let candidates: Vec<SwitchId> =
+            (0..net.switch_count()).filter(|&s| net.switches[s].layer >= min_layer).collect();
+        assert!(!candidates.is_empty(), "no switch at layer >= {min_layer}");
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    /// A random link on `host`'s designated distribution chain — the
+    /// kind of failure guaranteed to black the host out until either
+    /// the data plane re-ascends or the controller repairs.
+    pub fn pick_link_on_chain(&mut self, net: &HierNet, host: HostId) -> (SwitchId, Port) {
+        let chain = net.designated_chain(host);
+        let mut edges = Vec::new();
+        for w in chain.windows(2) {
+            let (lower, upper) = (w[0], w[1]);
+            for (p, t) in net.switches[upper].down.iter().enumerate() {
+                if matches!(t, DownTarget::Switch(c, _) if *c == lower) {
+                    edges.push((upper, p as Port));
+                }
+            }
+        }
+        assert!(!edges.is_empty(), "host {host} has no chain edges (single-switch net?)");
+        edges[self.rng.gen_range(0..edges.len())]
+    }
+
+    /// A deterministic fail/heal schedule: `pairs` fault pairs starting
+    /// at `start_ns`, one fault every `gap_ns`, each healed one gap
+    /// later. Alternates link and switch faults.
+    pub fn schedule(
+        &mut self,
+        net: &HierNet,
+        pairs: usize,
+        start_ns: u64,
+        gap_ns: u64,
+    ) -> FaultSchedule {
+        let mut out = FaultSchedule::new();
+        let mut t = start_ns;
+        for i in 0..pairs {
+            if i % 2 == 0 {
+                let (switch, port) = self.pick_link(net);
+                out.push(t, FaultKind::LinkDown { switch, port });
+                out.push(t + gap_ns, FaultKind::LinkUp { switch, port });
+            } else {
+                let switch = self.pick_switch(net, 1);
+                out.push(t, FaultKind::SwitchCrash { switch });
+                out.push(t + gap_ns, FaultKind::SwitchRestore { switch });
+            }
+            t += 2 * gap_ns;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_routing::topology::paper_fat_tree;
+
+    #[test]
+    fn same_seed_same_choices() {
+        let net = paper_fat_tree();
+        let mut a = FaultInjector::new(7);
+        let mut b = FaultInjector::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.pick_link(&net), b.pick_link(&net));
+            assert_eq!(a.pick_switch(&net, 1), b.pick_switch(&net, 1));
+        }
+    }
+
+    #[test]
+    fn links_exclude_host_access() {
+        let net = paper_fat_tree();
+        for (s, p) in FaultInjector::links(&net) {
+            assert!(matches!(net.switches[s].down[p as usize], DownTarget::Switch(..)));
+        }
+        // Fat tree: agg->tor (2 aggs * 2 tors * 4 pods) + core->agg
+        // (4 cores * 2 aggs * 4 pods) = 16 + 32.
+        assert_eq!(FaultInjector::links(&net).len(), 48);
+    }
+
+    #[test]
+    fn chain_links_sit_on_the_designated_chain() {
+        let net = paper_fat_tree();
+        let mut inj = FaultInjector::new(3);
+        for host in 0..net.host_count() {
+            let chain = net.designated_chain(host);
+            let (s, p) = inj.pick_link_on_chain(&net, host);
+            assert!(chain.contains(&s));
+            match net.switches[s].down[p as usize] {
+                DownTarget::Switch(c, _) => assert!(chain.contains(&c)),
+                _ => panic!("chain edge must join two switches"),
+            }
+        }
+    }
+
+    #[test]
+    fn min_layer_spares_the_tors() {
+        let net = paper_fat_tree();
+        let mut inj = FaultInjector::new(11);
+        for _ in 0..20 {
+            assert!(net.switches[inj.pick_switch(&net, 1)].layer >= 1);
+        }
+    }
+
+    #[test]
+    fn schedule_pairs_every_fault_with_its_heal() {
+        let net = paper_fat_tree();
+        let mut inj = FaultInjector::new(5);
+        let s = inj.schedule(&net, 4, 1_000, 500);
+        assert_eq!(s.len(), 8);
+        for (i, ev) in s.events().iter().enumerate() {
+            assert!(ev.kind.validate(&net).is_ok());
+            let degrading = ev.kind.is_degrading();
+            assert_eq!(degrading, i % 2 == 0, "alternating fail/heal at {i}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Aggregation across a whole fault schedule.
+
+use crate::scenario::EventReport;
+use std::time::Duration;
+
+/// Everything a fault run produced, one entry per injected fault.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    pub events: Vec<EventReport>,
+}
+
+impl FaultReport {
+    pub fn max_blackout_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.blackout_ns).max().unwrap_or(0)
+    }
+
+    pub fn total_dropped(&self) -> usize {
+        self.events.iter().map(|e| e.dropped).sum()
+    }
+
+    pub fn total_duplicated(&self) -> usize {
+        self.events.iter().map(|e| e.duplicated).sum()
+    }
+
+    pub fn total_misdelivered(&self) -> usize {
+        self.events.iter().map(|e| e.misdelivered).sum()
+    }
+
+    pub fn all_recovered(&self) -> bool {
+        self.events.iter().all(|e| e.recovered)
+    }
+
+    /// Total controller time spent repairing (routing + compile +
+    /// install decisions), across all events.
+    pub fn total_repair_time(&self) -> Duration {
+        self.events.iter().map(|e| e.repair.elapsed).sum()
+    }
+}

@@ -13,10 +13,10 @@ use camus_core::compiler::{CompileError, Compiler};
 use camus_core::statics::StaticPipeline;
 use camus_dataplane::{Switch, SwitchConfig};
 use camus_lang::ast::Expr;
-use camus_routing::algorithm1::{route_hierarchical, RoutingConfig, RoutingResult};
+use camus_routing::algorithm1::{route_hierarchical_degraded, RoutingConfig, RoutingResult};
 use camus_routing::compile::{compile_network, compile_network_incremental, NetworkCompile};
-use camus_routing::topology::HierNet;
-use std::time::Duration;
+use camus_routing::topology::{FaultMask, HierNet};
+use std::time::{Duration, Instant};
 
 /// Controller configuration and handles.
 #[derive(Debug, Clone)]
@@ -33,6 +33,25 @@ pub struct Deployment {
     pub routing: RoutingResult,
     /// Per-switch compile results (entry counts, times).
     pub compile: NetworkCompile,
+}
+
+/// What a [`Controller::repair`] pass did (§VIII-G.3 extended to
+/// failures): how long it took and how much of the previous deployment
+/// it could keep.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairStats {
+    /// Total repair wall-clock: degraded routing + compile + reinstall.
+    pub elapsed: Duration,
+    /// The compile share of `elapsed` (the Fig. 14 metric).
+    pub compile_elapsed: Duration,
+    /// Switches whose pipeline changed and was recompiled.
+    pub recompiled: usize,
+    /// Switches whose previous pipeline was reused (fingerprint hit).
+    pub reused: usize,
+    /// Compiler invocations actually paid (identical rule lists share).
+    pub distinct_compiles: usize,
+    /// Switches whose installed pipeline actually changed.
+    pub reinstalled: usize,
 }
 
 impl Controller {
@@ -55,7 +74,20 @@ impl Controller {
         topology: HierNet,
         subs: &[Vec<Expr>],
     ) -> Result<Deployment, CompileError> {
-        let routing = route_hierarchical(&topology, subs, self.routing);
+        self.deploy_degraded(topology, subs, &FaultMask::default())
+    }
+
+    /// Deploy onto a topology with faults already present: routing
+    /// avoids masked elements and the network starts with the mask
+    /// injected. A fresh `deploy_degraded` is the oracle that
+    /// [`Controller::repair`] must converge to.
+    pub fn deploy_degraded(
+        &self,
+        topology: HierNet,
+        subs: &[Vec<Expr>],
+        mask: &FaultMask,
+    ) -> Result<Deployment, CompileError> {
+        let routing = route_hierarchical_degraded(&topology, subs, self.routing, mask);
         let compile = compile_network(&routing, &self.compiler())?;
         let mut switches = Vec::with_capacity(topology.switch_count());
         for sc in &compile.switches {
@@ -65,7 +97,8 @@ impl Controller {
                 self.switch_config.clone(),
             ));
         }
-        let network = Network::new(topology, switches, self.link_latency_ns);
+        let mut network = Network::new(topology, switches, self.link_latency_ns);
+        network.apply_mask(mask);
         Ok(Deployment { network, routing, compile })
     }
 
@@ -82,7 +115,24 @@ impl Controller {
         deployment: &mut Deployment,
         subs: &[Vec<Expr>],
     ) -> Result<Duration, CompileError> {
-        let routing = route_hierarchical(&deployment.network.topology, subs, self.routing);
+        Ok(self.repair(deployment, subs)?.compile_elapsed)
+    }
+
+    /// Recompute routing around the network's current fault mask and
+    /// reinstall only the switches whose pipeline changed. This is the
+    /// convergence step after a failure (or a restore — the same code
+    /// path heals in both directions), and also the general
+    /// reconfiguration primitive: with a healthy mask it degenerates to
+    /// plain incremental reconfiguration.
+    pub fn repair(
+        &self,
+        deployment: &mut Deployment,
+        subs: &[Vec<Expr>],
+    ) -> Result<RepairStats, CompileError> {
+        let start = Instant::now();
+        let mask = deployment.network.fault_mask().clone();
+        let routing =
+            route_hierarchical_degraded(&deployment.network.topology, subs, self.routing, &mask);
         let compile =
             compile_network_incremental(&routing, &self.compiler(), Some(&deployment.compile))?;
         // Reinstall exactly the switches whose own rule list changed.
@@ -90,17 +140,23 @@ impl Controller {
         // content-addressed across slots, so a switch can reuse another
         // switch's previous pipeline while its own installed one is
         // stale.
-        let prev_fp: Vec<u64> =
-            deployment.compile.switches.iter().map(|sc| sc.fingerprint).collect();
+        let changed = compile.changed_since(&deployment.compile);
         for sc in &compile.switches {
-            if prev_fp.get(sc.switch).copied() != Some(sc.fingerprint) {
+            if changed.contains(&sc.switch) {
                 deployment.network.switches[sc.switch].install(sc.compiled.pipeline.clone());
             }
         }
-        let elapsed = compile.elapsed;
+        let stats = RepairStats {
+            elapsed: start.elapsed(),
+            compile_elapsed: compile.elapsed,
+            recompiled: compile.recompiled,
+            reused: compile.reused,
+            distinct_compiles: compile.distinct_compiles,
+            reinstalled: changed.len(),
+        };
         deployment.routing = routing;
         deployment.compile = compile;
-        Ok(elapsed)
+        Ok(stats)
     }
 }
 
@@ -113,7 +169,7 @@ mod tests {
     use camus_lang::spec::itch_spec;
     use camus_lang::value::Value;
     use camus_routing::algorithm1::Policy;
-    use camus_routing::topology::paper_fat_tree;
+    use camus_routing::topology::{paper_fat_tree, DownTarget};
 
     fn controller(policy: Policy) -> Controller {
         let statics = compile_static(&itch_spec()).unwrap();
@@ -311,6 +367,104 @@ mod tests {
         ctrl.reconfigure(&mut d, &s).unwrap();
         assert_eq!(d.compile.recompiled, 0);
         assert_eq!(d.compile.reused, net.switch_count());
+    }
+
+    #[test]
+    fn ascent_self_heals_before_repair() {
+        // Fail the publisher ToR's designated up link. The masked
+        // designation falls over to the sibling agg, and under MR every
+        // core carries the subscriber's filters, so delivery survives
+        // with no controller involvement at all.
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = controller(Policy::MemoryReduction).deploy(net.clone(), &subs).unwrap();
+        let tor = net.access[0].0;
+        let (agg, port) = net.switches[tor].up[0];
+        assert!(d.network.fail_link(agg, port));
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1);
+        assert_eq!(d.network.all_deliveries().count(), 1, "still duplicate-free");
+    }
+
+    #[test]
+    fn link_failure_on_distribution_path_repairs_incrementally() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let ctrl = controller(Policy::TrafficReduction);
+        let mut d = ctrl.deploy(net.clone(), &subs).unwrap();
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1);
+
+        // Cut the designated agg -> ToR link on the subscriber's chain.
+        let chain = net.designated_chain(15);
+        let (tor, agg) = (chain[0], chain[1]);
+        let port = net.switches[agg]
+            .down
+            .iter()
+            .position(|t| matches!(t, DownTarget::Switch(c, _) if *c == tor))
+            .unwrap() as camus_lang::ast::Port;
+        assert!(d.network.fail_link(agg, port));
+        d.network.publish(0, googl_packet(11), 1_000_000);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1, "blackout until repair");
+
+        let stats = ctrl.repair(&mut d, &subs).unwrap();
+        assert!(stats.reinstalled > 0, "the detour must be installed");
+        assert!(stats.reused > 0, "off-path switches keep their pipelines");
+        d.network.publish(0, googl_packet(12), 2_000_000);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 2, "repaired path delivers");
+        assert_eq!(d.network.all_deliveries().count(), 2, "nobody else hears it");
+
+        // Repair converged to exactly what a fresh deploy onto the
+        // degraded topology would have installed.
+        let oracle = ctrl.deploy_degraded(net.clone(), &subs, d.network.fault_mask()).unwrap();
+        for (got, want) in d.compile.switches.iter().zip(oracle.compile.switches.iter()) {
+            assert_eq!(got.fingerprint, want.fingerprint, "switch {}", got.switch);
+        }
+
+        // Restoring the link and repairing again heals back to the
+        // original deployment.
+        assert!(d.network.restore_link(agg, port));
+        let back = ctrl.repair(&mut d, &subs).unwrap();
+        assert!(back.reinstalled > 0);
+        let fresh = ctrl.deploy(net.clone(), &subs).unwrap();
+        for (got, want) in d.compile.switches.iter().zip(fresh.compile.switches.iter()) {
+            assert_eq!(got.fingerprint, want.fingerprint, "switch {}", got.switch);
+        }
+    }
+
+    #[test]
+    fn publishing_through_dead_tor_is_dropped_and_recorded() {
+        let net = paper_fat_tree();
+        let subs = subs(&net, |h| if h == 15 { vec!["price > 0"] } else { vec![] });
+        let ctrl = controller(Policy::TrafficReduction);
+        let mut d = ctrl.deploy(net.clone(), &subs).unwrap();
+        let tor = net.access[0].0;
+        assert!(d.network.crash_switch(tor));
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.all_deliveries().count(), 0);
+        let drops = d.network.drops();
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].cause, crate::sim::DropCause::SwitchDown);
+        assert_eq!(drops[0].switch, tor);
+        assert_eq!(d.network.stats().fault_drops, 1);
+        // The other host on the dead ToR is unreachable, but a repair
+        // keeps everyone else consistent: host 2 (pod 0, other ToR) can
+        // still reach host 15.
+        ctrl.repair(&mut d, &subs).unwrap();
+        d.network.publish(2, googl_packet(10), 1_000_000);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1);
+        // Restore heals completely.
+        assert!(d.network.restore_switch(tor));
+        ctrl.repair(&mut d, &subs).unwrap();
+        d.network.publish(0, googl_packet(10), 2_000_000);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 2);
     }
 
     #[test]

@@ -21,9 +21,36 @@
 use camus_dataplane::{Packet, Switch};
 use camus_lang::ast::Port;
 use camus_lang::value::Value;
-use camus_routing::topology::{DownTarget, HierNet, HostId, SwitchId, LOGICAL_UP};
+use camus_routing::topology::{DownTarget, FaultMask, HierNet, HostId, SwitchId, LOGICAL_UP};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Why the simulator discarded a packet instead of forwarding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The egress link is failed (the switch on the far side is alive).
+    LinkDown,
+    /// The destination (or processing) switch is crashed.
+    SwitchDown,
+    /// The pipeline asked to ascend but no up link survives the mask.
+    NoAscent,
+}
+
+/// A packet the simulator dropped because of an injected fault.
+///
+/// These are *simulator-level* drops (packets in flight towards dead
+/// elements); the dataplane's own per-cause counters live in
+/// [`camus_dataplane::SwitchStats`].
+#[derive(Debug, Clone)]
+pub struct DropRecord {
+    /// Simulation time of the drop (ns).
+    pub time_ns: u64,
+    /// The switch at (or towards) which the packet died.
+    pub switch: SwitchId,
+    pub cause: DropCause,
+    /// Messages lost (stack-only packets count as one).
+    pub messages: u64,
+}
 
 /// A message delivered to a host.
 #[derive(Debug, Clone)]
@@ -56,6 +83,9 @@ pub struct NetworkStats {
     pub deliveries: u64,
     /// Events processed.
     pub events: u64,
+    /// Messages the simulator discarded because of injected faults
+    /// (see [`DropRecord`] for the per-drop detail).
+    pub fault_drops: u64,
 }
 
 impl NetworkStats {
@@ -112,6 +142,9 @@ pub struct Network {
     now_ns: u64,
     deliveries: Vec<Vec<Delivered>>,
     stats: NetworkStats,
+    /// Currently injected faults; drives per-switch port-down state.
+    mask: FaultMask,
+    drops: Vec<DropRecord>,
 }
 
 impl Network {
@@ -127,12 +160,96 @@ impl Network {
             now_ns: 0,
             deliveries: vec![Vec::new(); hosts],
             stats: NetworkStats::default(),
+            mask: FaultMask::default(),
+            drops: Vec::new(),
         }
+    }
+
+    /// The faults currently injected into this network.
+    pub fn fault_mask(&self) -> &FaultMask {
+        &self.mask
+    }
+
+    /// Packets the simulator discarded because of injected faults.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    /// Fail the link behind `switch`'s down-port `port`. Packets already
+    /// in flight on the link still arrive (a cut cable does not eat the
+    /// photons already past it); new traffic is dropped at the egress.
+    /// Returns whether the mask changed.
+    pub fn fail_link(&mut self, switch: SwitchId, port: Port) -> bool {
+        let changed = self.mask.fail_link(switch, port);
+        self.refresh_port_state();
+        changed
+    }
+
+    pub fn restore_link(&mut self, switch: SwitchId, port: Port) -> bool {
+        let changed = self.mask.restore_link(switch, port);
+        self.refresh_port_state();
+        changed
+    }
+
+    /// Crash a switch: packets arriving at it (including ones already in
+    /// flight) are dropped, and every incident link goes down.
+    pub fn crash_switch(&mut self, switch: SwitchId) -> bool {
+        let changed = self.mask.fail_switch(switch);
+        self.refresh_port_state();
+        changed
+    }
+
+    pub fn restore_switch(&mut self, switch: SwitchId) -> bool {
+        let changed = self.mask.restore_switch(switch);
+        self.refresh_port_state();
+        changed
+    }
+
+    /// Replace the whole fault mask at once (controller-driven restore).
+    pub fn apply_mask(&mut self, mask: &FaultMask) {
+        self.mask = mask.clone();
+        self.refresh_port_state();
+    }
+
+    /// Recompute every switch's port-down state from the mask, so the
+    /// dataplane suppresses (and counts) forwards onto dead links even
+    /// before the controller repairs the routing.
+    fn refresh_port_state(&mut self) {
+        for s in 0..self.topology.switch_count() {
+            let alive = self.mask.switch_alive(s);
+            for p in 0..self.topology.switches[s].down.len() {
+                let usable = self.topology.link_usable(s, p as Port, &self.mask);
+                self.switches[s].set_port_down(p as Port, !usable);
+            }
+            if !self.topology.switches[s].up.is_empty() {
+                let up_ok = alive && self.topology.designated_up_masked(s, &self.mask).is_some();
+                self.switches[s].set_port_down(LOGICAL_UP, !up_ok);
+            }
+        }
+    }
+
+    fn record_drop(&mut self, time_ns: u64, switch: SwitchId, cause: DropCause, messages: u64) {
+        self.stats.fault_drops += messages;
+        self.drops.push(DropRecord { time_ns, switch, cause, messages });
+    }
+
+    fn message_units(&self, switch: SwitchId, packet: &Packet) -> u64 {
+        // Stack-only packets count as one message.
+        (packet.message_count(self.switches[switch].spec()) as u64).max(1)
     }
 
     /// Publish a packet from a host at an absolute time.
     pub fn publish(&mut self, host: HostId, packet: Packet, time_ns: u64) {
         let (s, p) = self.topology.access[host];
+        if !self.topology.link_usable(s, p, &self.mask) {
+            // The host's access link (or ToR) is dead: the publication
+            // never makes it into the fabric.
+            let cause =
+                if self.mask.switch_alive(s) { DropCause::LinkDown } else { DropCause::SwitchDown };
+            let msgs = self.message_units(s, &packet);
+            self.record_drop(time_ns, s, cause, msgs);
+            return;
+        }
         self.push(Event {
             time_ns: time_ns + self.link_latency_ns,
             seq: 0,
@@ -162,7 +279,15 @@ impl Network {
             self.stats.events += 1;
             match ev.dest {
                 Dest::Host(h) => self.deliver(h, &ev),
-                Dest::Switch { id, ingress } => self.forward(id, ingress, ev),
+                Dest::Switch { id, ingress } => {
+                    if self.mask.switch_alive(id) {
+                        self.forward(id, ingress, ev);
+                    } else {
+                        // The packet was in flight when the switch died.
+                        let msgs = self.message_units(id, &ev.packet);
+                        self.record_drop(ev.time_ns, id, DropCause::SwitchDown, msgs);
+                    }
+                }
             }
         }
     }
@@ -223,8 +348,12 @@ impl Network {
                 // random/round-robin here; deterministic designated
                 // ascent is what pairs with single-parent subscription
                 // propagation to keep multicast duplicate-free, see
-                // DESIGN.md.)
-                let Some((peer, peer_port)) = self.topology.designated_up(id) else {
+                // DESIGN.md.) Under faults the masked designation skips
+                // dead parents, so the data plane self-heals its ascent
+                // before the controller has even repaired the routing.
+                let Some((peer, peer_port)) = self.topology.designated_up_masked(id, &self.mask)
+                else {
+                    self.record_drop(depart, id, DropCause::NoAscent, msgs);
                     continue;
                 };
                 *self.stats.link_messages.entry((id, LOGICAL_UP)).or_insert(0) += msgs;
@@ -236,13 +365,27 @@ impl Network {
                     published_ns: ev.published_ns,
                 });
             } else {
-                match self.topology.switches[id].down.get(port as usize) {
+                let target = self.topology.switches[id].down.get(port as usize).copied();
+                if target.is_some() && !self.topology.link_usable(id, port, &self.mask) {
+                    // Defense in depth: the dataplane's port-down state
+                    // normally suppresses this before it reaches us
+                    // (e.g. a fault injected between process and drain).
+                    let cause = match target {
+                        Some(DownTarget::Switch(c, _)) if !self.mask.switch_alive(c) => {
+                            DropCause::SwitchDown
+                        }
+                        _ => DropCause::LinkDown,
+                    };
+                    self.record_drop(depart, id, cause, msgs);
+                    continue;
+                }
+                match target {
                     Some(DownTarget::Host(h)) => {
                         *self.stats.link_messages.entry((id, port)).or_insert(0) += msgs;
                         self.push(Event {
                             time_ns: depart + self.link_latency_ns,
                             seq: 0,
-                            dest: Dest::Host(*h),
+                            dest: Dest::Host(h),
                             packet: copy,
                             published_ns: ev.published_ns,
                         });
@@ -254,7 +397,7 @@ impl Network {
                         self.push(Event {
                             time_ns: depart + self.link_latency_ns,
                             seq: 0,
-                            dest: Dest::Switch { id: *c, ingress: LOGICAL_UP },
+                            dest: Dest::Switch { id: c, ingress: LOGICAL_UP },
                             packet: copy,
                             published_ns: ev.published_ns,
                         });

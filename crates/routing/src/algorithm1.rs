@@ -17,7 +17,7 @@
 //! ports); access-port sets are never approximated, preserving the
 //! soundness condition of §IV-C.
 
-use crate::topology::{HierNet, SwitchId, LOGICAL_UP};
+use crate::topology::{FaultMask, HierNet, SwitchId, LOGICAL_UP};
 use camus_lang::approx::{approximate_expr, ApproxConfig};
 use camus_lang::ast::{Action, Expr, Port, Rule};
 use std::collections::{HashMap, HashSet};
@@ -148,6 +148,21 @@ impl RoutingResult {
 /// Run Algorithm 1 over a hierarchical network. `subs[h]` is host `h`'s
 /// subscription filters.
 pub fn route_hierarchical(net: &HierNet, subs: &[Vec<Expr>], cfg: RoutingConfig) -> RoutingResult {
+    route_hierarchical_degraded(net, subs, cfg, &FaultMask::default())
+}
+
+/// Algorithm 1 over a degraded topology: elements failed in `mask` are
+/// routed around. Dead switches keep their slot in the result but get
+/// empty filter sets (an empty rule list still compiles), so per-slot
+/// fingerprint caches stay valid across failures; detached hosts (dead
+/// access link or ToR) are excluded from every filter set. With an
+/// empty mask this is exactly [`route_hierarchical`].
+pub fn route_hierarchical_degraded(
+    net: &HierNet,
+    subs: &[Vec<Expr>],
+    cfg: RoutingConfig,
+    mask: &FaultMask,
+) -> RoutingResult {
     assert_eq!(subs.len(), net.host_count(), "one subscription list per host");
     let approx = cfg.approx();
     let widen = |f: &Expr| -> Expr {
@@ -159,19 +174,27 @@ pub fn route_hierarchical(net: &HierNet, subs: &[Vec<Expr>], cfg: RoutingConfig)
 
     let mut filters: Vec<HashMap<Port, FilterSet>> = vec![HashMap::new(); net.switch_count()];
 
-    // Access ports: exact subscription sets (soundness, §IV-C).
+    // Access ports: exact subscription sets (soundness, §IV-C), for the
+    // hosts that are still attached.
     for (h, &(s, p)) in net.access.iter().enumerate() {
-        filters[s].entry(p).or_default().extend(subs[h].iter());
+        if net.host_attached(h, mask) {
+            filters[s].entry(p).or_default().extend(subs[h].iter());
+        }
     }
 
     // Bottom-up: each switch's union of down sets ascends along the
     // distribution tree (approximated when α > 1): to the *designated*
     // parent only, except that the level below the top replicates to
-    // every top-layer switch, so the peak of any ascent can serve every
-    // subscriber. Single-parent propagation is what keeps multicast
-    // forwarding duplicate-free in a multi-rooted Fat Tree.
+    // every (surviving) top-layer switch, so the peak of any ascent can
+    // serve every subscriber. Single-parent propagation is what keeps
+    // multicast forwarding duplicate-free in a multi-rooted Fat Tree;
+    // under a mask the designated parent is the first up link that
+    // still works, which is how the tree self-heals.
     let top = net.top_layer();
     for src in net.bottom_up() {
+        if !mask.switch_alive(src) {
+            continue;
+        }
         let mut union: Vec<Expr> = Vec::new();
         let mut seen = HashSet::new();
         for port in 0..net.switches[src].down.len() {
@@ -183,11 +206,19 @@ pub fn route_hierarchical(net: &HierNet, subs: &[Vec<Expr>], cfg: RoutingConfig)
                 }
             }
         }
-        let parents: Vec<(SwitchId, Port)> = match net.designated_up(src) {
+        let parents: Vec<(SwitchId, Port)> = match net.designated_up_masked(src, mask) {
             None => vec![],
             Some(designated) => {
                 if net.switches[designated.0].layer == top {
-                    net.switches[src].up.clone() // replicate to all top switches
+                    // Replicate to all surviving top switches.
+                    net.switches[src]
+                        .up
+                        .iter()
+                        .copied()
+                        .filter(|&(peer, port)| {
+                            net.switches[peer].layer == top && net.link_usable(peer, port, mask)
+                        })
+                        .collect()
                 } else {
                     vec![designated]
                 }
@@ -204,9 +235,9 @@ pub fn route_hierarchical(net: &HierNet, subs: &[Vec<Expr>], cfg: RoutingConfig)
     // Up sets, per policy.
     match cfg.policy {
         Policy::MemoryReduction => {
-            for (s, sw) in net.switches.iter().enumerate() {
-                if !sw.up.is_empty() {
-                    filters[s].entry(LOGICAL_UP).or_default().insert(Expr::True);
+            for (s, fs) in filters.iter_mut().enumerate() {
+                if net.designated_up_masked(s, mask).is_some() {
+                    fs.entry(LOGICAL_UP).or_default().insert(Expr::True);
                 }
             }
         }
@@ -220,16 +251,17 @@ pub fn route_hierarchical(net: &HierNet, subs: &[Vec<Expr>], cfg: RoutingConfig)
             // subscriptions through the sibling aggregate; we compute
             // the partition directly to honour the minimality claim.)
             for (src, sw) in net.switches.iter().enumerate() {
-                if sw.up.is_empty() {
-                    continue; // top layer: no up port
+                if sw.up.is_empty() || net.designated_up_masked(src, mask).is_none() {
+                    continue; // top layer, dead, or partitioned from above
                 }
                 // Outside the switch's *distribution-tree* subtree: a
                 // subscriber below the switch physically but designated
                 // through a sibling still needs the packet to ascend.
-                let below: HashSet<usize> = net.designated_below(src).into_iter().collect();
+                let below: HashSet<usize> =
+                    net.designated_below_masked(src, mask).into_iter().collect();
                 let mut up = FilterSet::default();
                 for (h, host_subs) in subs.iter().enumerate() {
-                    if !below.contains(&h) {
+                    if !below.contains(&h) && net.host_attached(h, mask) {
                         for f in host_subs {
                             up.insert(widen(f));
                         }
@@ -378,5 +410,82 @@ mod tests {
     fn wrong_subscription_arity_panics() {
         let net = paper_fat_tree();
         route_hierarchical(&net, &[], RoutingConfig::new(Policy::MemoryReduction));
+    }
+
+    #[test]
+    fn degraded_with_empty_mask_is_identity() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |h| vec![if h % 2 == 0 { "price > 10" } else { "id == 3" }]);
+        for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
+            let cfg = RoutingConfig::new(policy);
+            let a = route_hierarchical(&net, &subs, cfg);
+            let b = route_hierarchical_degraded(&net, &subs, cfg, &FaultMask::default());
+            for s in 0..net.switch_count() {
+                assert_eq!(a.switch_rules(s), b.switch_rules(s), "{policy:?} switch {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_routing_moves_filters_to_surviving_agg() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |h| if h == 0 { vec!["stock == GOOGL"] } else { vec![] });
+        let cfg = RoutingConfig::new(Policy::MemoryReduction);
+        let chain = net.designated_chain(0);
+        let (agg, sibling) = (chain[1], net.switches[0].up[1].0);
+
+        let mut mask = FaultMask::new();
+        mask.fail_switch(agg);
+        let r = route_hierarchical_degraded(&net, &subs, cfg, &mask);
+        // The dead agg carries nothing; the sibling now carries host 0's
+        // filter on its port towards ToR 0.
+        assert!(r.switch_rules(agg).is_empty());
+        assert!(r.switch_filter_count(sibling) > 0, "sibling agg takes over");
+        // Host 0's filter still reaches every core via the sibling.
+        for core in 16..20 {
+            assert!(
+                r.switch_rules(core)
+                    .iter()
+                    .any(|rule| rule.filter == parse_expr("stock == GOOGL").unwrap()),
+                "core {core} lost the subscription"
+            );
+        }
+    }
+
+    #[test]
+    fn detached_host_is_dropped_from_all_filter_sets() {
+        let net = paper_fat_tree();
+        let subs = subs_for(&net, |h| if h == 0 { vec!["stock == GOOGL"] } else { vec![] });
+        let needle = parse_expr("stock == GOOGL").unwrap();
+        for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
+            let cfg = RoutingConfig::new(policy);
+            let mut mask = FaultMask::new();
+            let (tor, port) = net.access[0];
+            mask.fail_link(tor, port);
+            let r = route_hierarchical_degraded(&net, &subs, cfg, &mask);
+            for s in 0..net.switch_count() {
+                assert!(
+                    !r.switch_rules(s).iter().any(|rule| rule.filter == needle),
+                    "{policy:?}: detached host's filter survives on switch {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tr_up_sets_exclude_detached_outside_hosts() {
+        let net = paper_fat_tree();
+        // Host 15 subscribes; kill its ToR: ToR 0's up set must not
+        // carry a filter that can no longer be delivered anywhere.
+        let subs = subs_for(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut mask = FaultMask::new();
+        mask.fail_switch(net.access[15].0);
+        let r = route_hierarchical_degraded(
+            &net,
+            &subs,
+            RoutingConfig::new(Policy::TrafficReduction),
+            &mask,
+        );
+        assert!(r.filters[0].get(&LOGICAL_UP).is_none_or(|s| s.is_empty()));
     }
 }

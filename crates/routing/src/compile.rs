@@ -98,6 +98,22 @@ impl NetworkCompile {
     pub fn total_switch_time(&self) -> Duration {
         self.switches.iter().map(|s| s.elapsed).sum()
     }
+
+    /// Switch slots whose *installed* pipeline must change relative to
+    /// `previous`: exactly the slots whose own fingerprint differs.
+    /// `reused` is not the right gate for reinstallation — the compile
+    /// cache is content-addressed across slots, so a switch can reuse
+    /// another slot's previous artefact while its own installed
+    /// pipeline is stale.
+    pub fn changed_since(&self, previous: &NetworkCompile) -> Vec<usize> {
+        self.switches
+            .iter()
+            .filter(|sc| {
+                previous.switches.get(sc.switch).map(|p| p.fingerprint) != Some(sc.fingerprint)
+            })
+            .map(|sc| sc.switch)
+            .collect()
+    }
 }
 
 /// FNV-1a, used as a *stable* hasher: the fingerprint of a rule list

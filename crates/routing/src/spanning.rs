@@ -18,7 +18,7 @@
 //!   NP-hard; this is the paper's practical heuristic).
 
 use camus_lang::ast::{Action, Expr, Port, Rule};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// An undirected graph over nodes `0..n`.
 #[derive(Debug, Clone)]
@@ -61,20 +61,50 @@ impl Graph {
         if self.n == 0 {
             return true;
         }
+        self.component(0).len() == self.n
+    }
+
+    /// The connected component containing `root`, as sorted node ids.
+    pub fn component(&self, root: usize) -> Vec<usize> {
+        assert!(root < self.n, "root {root} out of range");
         let mut seen = vec![false; self.n];
-        let mut stack = vec![0usize];
-        seen[0] = true;
-        let mut count = 1;
+        let mut stack = vec![root];
+        seen[root] = true;
+        let mut out = vec![root];
         while let Some(u) = stack.pop() {
             for &v in &self.adj[u] {
                 if !seen[v] {
                     seen[v] = true;
-                    count += 1;
+                    out.push(v);
                     stack.push(v);
                 }
             }
         }
-        count == self.n
+        out.sort_unstable();
+        out
+    }
+
+    /// A copy of the graph with `dead_nodes` isolated (every incident
+    /// edge removed) and `dead_edges` cut. Node indices are preserved,
+    /// so per-node artefacts (FIBs, subscriptions) keep their slots —
+    /// the same stable-index convention [`crate::topology::FaultMask`]
+    /// uses for switches.
+    pub fn degrade(&self, dead_nodes: &[usize], dead_edges: &[(usize, usize)]) -> Graph {
+        let dead: HashSet<usize> = dead_nodes.iter().copied().collect();
+        let cut: HashSet<(usize, usize)> =
+            dead_edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
+        let mut g = Graph::new(self.n);
+        for u in 0..self.n {
+            if dead.contains(&u) {
+                continue;
+            }
+            for &v in &self.adj[u] {
+                if u < v && !dead.contains(&v) && !cut.contains(&(u, v)) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
     }
 }
 
@@ -136,12 +166,23 @@ impl SpanningTree {
 /// function. Panics if the graph is disconnected.
 pub fn spanning_tree(g: &Graph, algo: TreeAlgo) -> SpanningTree {
     assert!(g.is_connected(), "spanning tree requires a connected graph");
+    spanning_tree_from(g, algo, 0)
+}
+
+/// Prim's algorithm rooted at `root`, spanning only `root`'s connected
+/// component — the degraded-topology variant of [`spanning_tree`].
+/// Nodes outside the component (failed, or partitioned by failures in
+/// a [`Graph::degrade`]d graph) end up with no tree edges, so the tree
+/// is *not* spanning when the graph is disconnected; pair with
+/// [`Graph::component`] to see what it covers.
+pub fn spanning_tree_from(g: &Graph, algo: TreeAlgo, root: usize) -> SpanningTree {
     let n = g.node_count();
-    let mut in_tree = vec![false; n];
     let mut adj = vec![Vec::new(); n];
     if n == 0 {
         return SpanningTree { adj };
     }
+    assert!(root < n, "root {root} out of range");
+    let mut in_tree = vec![false; n];
     // Max-heap of Reverse((weight, u, v)) = min-heap over weight with
     // deterministic (u, v) tie-breaking.
     let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize, usize)>> = BinaryHeap::new();
@@ -151,18 +192,15 @@ pub fn spanning_tree(g: &Graph, algo: TreeAlgo) -> SpanningTree {
             TreeAlgo::MstPlusPlus => (g.degree(u) as u64) * (g.degree(v) as u64),
         }
     };
-    in_tree[0] = true;
-    for &v in g.neighbors(0) {
-        heap.push(std::cmp::Reverse((weight(0, v), 0, v)));
+    in_tree[root] = true;
+    for &v in g.neighbors(root) {
+        heap.push(std::cmp::Reverse((weight(root, v), root, v)));
     }
-    let mut added = 1;
-    while added < n {
-        let std::cmp::Reverse((_, u, v)) = heap.pop().expect("connected graph");
+    while let Some(std::cmp::Reverse((_, u, v))) = heap.pop() {
         if in_tree[v] {
             continue;
         }
         in_tree[v] = true;
-        added += 1;
         adj[u].push(v);
         adj[v].push(u);
         for &w in g.neighbors(v) {
@@ -433,6 +471,53 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(2, 3);
         spanning_tree(&g, TreeAlgo::Mst);
+    }
+
+    #[test]
+    fn degrade_cuts_edges_and_isolates_nodes() {
+        let g = hub_and_ring(6);
+        let d = g.degrade(&[0], &[(1, 2)]);
+        assert_eq!(d.node_count(), g.node_count());
+        assert_eq!(d.degree(0), 0, "dead hub is isolated");
+        assert!(!d.neighbors(1).contains(&2), "cut edge removed");
+        assert!(d.neighbors(2).contains(&3), "other ring edges survive");
+        // The ring minus one edge is still one component (sans the hub).
+        assert_eq!(d.component(1), vec![1, 2, 3, 4, 5, 6]);
+        assert!(!d.is_connected());
+    }
+
+    #[test]
+    fn spanning_tree_from_covers_exactly_the_root_component() {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (3, 4), (4, 5)] {
+            g.add_edge(u, v);
+        }
+        let t = spanning_tree_from(&g, TreeAlgo::Mst, 0);
+        assert_eq!(t.edge_count(), 2);
+        for v in [0, 1, 2] {
+            assert!(t.degree(v) > 0);
+        }
+        for v in [3, 4, 5] {
+            assert_eq!(t.degree(v), 0, "other component untouched");
+        }
+        // Rooted in the other component, it spans that one instead.
+        let t = spanning_tree_from(&g, TreeAlgo::MstPlusPlus, 4);
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.degree(0), 0);
+        assert_eq!(t.degree(4), 2);
+    }
+
+    #[test]
+    fn degraded_spanning_tree_routes_around_dead_hub() {
+        // Hub-and-ring with the hub dead: the ring alone must still
+        // yield a tree over the surviving component.
+        let g = hub_and_ring(8);
+        let d = g.degrade(&[0], &[]);
+        let t = spanning_tree_from(&d, TreeAlgo::MstPlusPlus, 1);
+        assert_eq!(t.degree(0), 0);
+        assert_eq!(t.edge_count(), 7, "ring of 8 spans with 7 edges");
+        let component = d.component(1);
+        assert_eq!(component, (1..=8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use camus_lang::ast::Port;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 pub type SwitchId = usize;
 pub type HostId = usize;
@@ -41,6 +42,80 @@ impl HierSwitch {
     /// Number of physical ports (down ports plus one per up link).
     pub fn port_count(&self) -> usize {
         self.down.len() + self.up.len()
+    }
+}
+
+/// Failed elements of a [`HierNet`], masked out of routing and
+/// forwarding.
+///
+/// Links are identified by their *upper* endpoint `(switch,
+/// down-port)` — the canonical direction [`DownTarget`] already uses —
+/// and a failed link is dead in both directions. A failed switch
+/// implicitly disables every link incident to it *without* touching
+/// the link set, so restoring the switch restores its links unless
+/// they were failed individually.
+///
+/// Switch indices are never removed from the topology: a dead switch
+/// keeps its slot (and gets an empty rule list from degraded routing),
+/// which keeps per-slot fingerprint caches valid across failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMask {
+    dead_switches: HashSet<SwitchId>,
+    dead_links: HashSet<(SwitchId, Port)>,
+}
+
+impl FaultMask {
+    pub fn new() -> Self {
+        FaultMask::default()
+    }
+
+    /// Mark a switch failed. Returns whether the state changed.
+    pub fn fail_switch(&mut self, s: SwitchId) -> bool {
+        self.dead_switches.insert(s)
+    }
+
+    /// Bring a failed switch back. Returns whether the state changed.
+    pub fn restore_switch(&mut self, s: SwitchId) -> bool {
+        self.dead_switches.remove(&s)
+    }
+
+    /// Mark the link behind down-port `(upper, port)` failed.
+    pub fn fail_link(&mut self, upper: SwitchId, port: Port) -> bool {
+        self.dead_links.insert((upper, port))
+    }
+
+    /// Bring a failed link back.
+    pub fn restore_link(&mut self, upper: SwitchId, port: Port) -> bool {
+        self.dead_links.remove(&(upper, port))
+    }
+
+    pub fn switch_alive(&self, s: SwitchId) -> bool {
+        !self.dead_switches.contains(&s)
+    }
+
+    /// Is the link itself alive? Endpoint liveness is *not* considered
+    /// here — see [`HierNet::link_usable`] for the full check.
+    pub fn link_alive(&self, upper: SwitchId, port: Port) -> bool {
+        !self.dead_links.contains(&(upper, port))
+    }
+
+    /// No failures at all.
+    pub fn is_healthy(&self) -> bool {
+        self.dead_switches.is_empty() && self.dead_links.is_empty()
+    }
+
+    /// Currently failed switches, sorted for deterministic iteration.
+    pub fn dead_switches(&self) -> Vec<SwitchId> {
+        let mut v: Vec<SwitchId> = self.dead_switches.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Currently failed links, sorted for deterministic iteration.
+    pub fn dead_links(&self) -> Vec<(SwitchId, Port)> {
+        let mut v: Vec<(SwitchId, Port)> = self.dead_links.iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -112,6 +187,26 @@ impl HierNet {
         out
     }
 
+    /// Is the physical link behind down-port `(s, port)` usable under
+    /// `mask`: the link itself alive, both endpoint switches alive, and
+    /// the port actually wired? (A host endpoint is always alive.)
+    pub fn link_usable(&self, s: SwitchId, port: Port, mask: &FaultMask) -> bool {
+        if !mask.switch_alive(s) || !mask.link_alive(s, port) {
+            return false;
+        }
+        match self.switches[s].down.get(port as usize) {
+            Some(DownTarget::Host(_)) => true,
+            Some(DownTarget::Switch(c, _)) => mask.switch_alive(*c),
+            None => false,
+        }
+    }
+
+    /// Is `host` reachable at all: its access link and ToR alive?
+    pub fn host_attached(&self, host: HostId, mask: &FaultMask) -> bool {
+        let (s, p) = self.access[host];
+        self.link_usable(s, p, mask)
+    }
+
     /// The designated up link of a switch: its first up link (§IV-C's
     /// pseudo-code also uses the first up link). Subscription
     /// propagation and upward forwarding both follow designated links,
@@ -119,14 +214,37 @@ impl HierNet {
     /// that keeps multicast forwarding duplicate-free in a multi-rooted
     /// Fat Tree.
     pub fn designated_up(&self, s: SwitchId) -> Option<(SwitchId, Port)> {
-        self.switches[s].up.first().copied()
+        self.designated_up_masked(s, &FaultMask::default())
+    }
+
+    /// [`HierNet::designated_up`] over a degraded topology: the first
+    /// up link whose peer and wire survive `mask`. Failing over to the
+    /// next surviving up link is what lets the distribution tree
+    /// self-heal around a dead designated parent.
+    pub fn designated_up_masked(&self, s: SwitchId, mask: &FaultMask) -> Option<(SwitchId, Port)> {
+        if !mask.switch_alive(s) {
+            return None;
+        }
+        self.switches[s].up.iter().copied().find(|&(peer, port)| self.link_usable(peer, port, mask))
     }
 
     /// The designated chain of a host: its access switch followed by
     /// successive designated parents up to a top-layer switch.
     pub fn designated_chain(&self, host: HostId) -> Vec<SwitchId> {
+        self.designated_chain_masked(host, &FaultMask::default())
+    }
+
+    /// [`HierNet::designated_chain`] over a degraded topology. Empty
+    /// when the host's access link or ToR is dead; otherwise the chain
+    /// climbs designated-masked parents as far as it can (a chain that
+    /// peaks below the top layer means the host is partitioned from
+    /// the core).
+    pub fn designated_chain_masked(&self, host: HostId, mask: &FaultMask) -> Vec<SwitchId> {
+        if !self.host_attached(host, mask) {
+            return vec![];
+        }
         let mut chain = vec![self.access[host].0];
-        while let Some((up, _)) = self.designated_up(*chain.last().unwrap()) {
+        while let Some((up, _)) = self.designated_up_masked(*chain.last().unwrap(), mask) {
             chain.push(up);
         }
         chain
@@ -139,10 +257,28 @@ impl HierNet {
     /// them can serve as the peak of a path). Always a subset of
     /// [`HierNet::hosts_below`] for non-top switches.
     pub fn designated_below(&self, switch: SwitchId) -> Vec<HostId> {
-        if self.switches[switch].layer == self.top_layer() && self.top_layer() > 0 {
-            return (0..self.access.len()).collect();
+        self.designated_below_masked(switch, &FaultMask::default())
+    }
+
+    /// [`HierNet::designated_below`] over a degraded topology. A dead
+    /// switch serves nobody; a top-layer switch serves every host whose
+    /// masked chain still peaks in the top layer.
+    pub fn designated_below_masked(&self, switch: SwitchId, mask: &FaultMask) -> Vec<HostId> {
+        if !mask.switch_alive(switch) {
+            return vec![];
         }
-        (0..self.access.len()).filter(|&h| self.designated_chain(h).contains(&switch)).collect()
+        let top = self.top_layer();
+        if self.switches[switch].layer == top && top > 0 {
+            return (0..self.access.len())
+                .filter(|&h| {
+                    let chain = self.designated_chain_masked(h, mask);
+                    chain.last().is_some_and(|&peak| self.switches[peak].layer == top)
+                })
+                .collect();
+        }
+        (0..self.access.len())
+            .filter(|&h| self.designated_chain_masked(h, mask).contains(&switch))
+            .collect()
     }
 
     /// Hosts served by the down port `(switch, port)` on the
@@ -152,6 +288,20 @@ impl HierNet {
     /// serves every host whose chain ascends from `child` into the top
     /// layer (the child replicates to all top switches).
     pub fn designated_through(&self, switch: SwitchId, port: Port) -> Vec<HostId> {
+        self.designated_through_masked(switch, port, &FaultMask::default())
+    }
+
+    /// [`HierNet::designated_through`] over a degraded topology. A port
+    /// whose link is unusable serves nobody.
+    pub fn designated_through_masked(
+        &self,
+        switch: SwitchId,
+        port: Port,
+        mask: &FaultMask,
+    ) -> Vec<HostId> {
+        if !self.link_usable(switch, port, mask) {
+            return vec![];
+        }
         let top = self.top_layer();
         match self.switches[switch].down.get(port as usize) {
             Some(DownTarget::Host(h)) => vec![*h],
@@ -159,7 +309,7 @@ impl HierNet {
                 let at_top = self.switches[switch].layer == top;
                 (0..self.access.len())
                     .filter(|&h| {
-                        let chain = self.designated_chain(h);
+                        let chain = self.designated_chain_masked(h, mask);
                         chain.windows(2).any(|w| {
                             w[0] == *c
                                 && (w[1] == switch || (at_top && self.switches[w[1]].layer == top))
@@ -365,6 +515,72 @@ mod tests {
         let mut net = paper_fat_tree();
         net.switches[0].up[0].1 = 99; // corrupt peer port
         assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn empty_mask_matches_unmasked_designations() {
+        let net = paper_fat_tree();
+        let mask = FaultMask::default();
+        assert!(mask.is_healthy());
+        for s in 0..net.switch_count() {
+            assert_eq!(net.designated_up(s), net.designated_up_masked(s, &mask));
+            assert_eq!(net.designated_below(s), net.designated_below_masked(s, &mask));
+        }
+        for h in 0..net.host_count() {
+            assert!(net.host_attached(h, &mask));
+            assert_eq!(net.designated_chain(h), net.designated_chain_masked(h, &mask));
+        }
+    }
+
+    #[test]
+    fn masked_designated_up_fails_over_to_sibling() {
+        let net = paper_fat_tree();
+        let mut mask = FaultMask::new();
+        // ToR 0's designated parent is its first agg.
+        let (agg, agg_port) = net.designated_up(0).unwrap();
+        assert!(mask.fail_link(agg, agg_port));
+        let (next, _) = net.designated_up_masked(0, &mask).unwrap();
+        assert_ne!(next, agg, "failover must pick the sibling agg");
+        // Crashing the sibling too partitions the ToR from above.
+        mask.fail_switch(next);
+        assert_eq!(net.designated_up_masked(0, &mask), None);
+        // Restores undo in either order.
+        assert!(mask.restore_link(agg, agg_port));
+        assert_eq!(net.designated_up_masked(0, &mask), Some((agg, agg_port)));
+        mask.restore_switch(next);
+        assert!(mask.is_healthy());
+    }
+
+    #[test]
+    fn dead_switch_detaches_its_hosts() {
+        let net = paper_fat_tree();
+        let mut mask = FaultMask::new();
+        mask.fail_switch(0); // ToR 0: hosts 0 and 1
+        assert!(!net.host_attached(0, &mask));
+        assert!(!net.host_attached(1, &mask));
+        assert!(net.host_attached(2, &mask));
+        assert!(net.designated_chain_masked(0, &mask).is_empty());
+        assert!(net.designated_below_masked(0, &mask).is_empty());
+        // A top switch no longer serves the detached hosts.
+        let top = net.designated_below_masked(16, &mask);
+        assert!(!top.contains(&0) && !top.contains(&1));
+        assert_eq!(top.len(), 14);
+        assert_eq!(mask.dead_switches(), vec![0]);
+    }
+
+    #[test]
+    fn masked_chain_reroutes_through_sibling_agg() {
+        let net = paper_fat_tree();
+        let chain = net.designated_chain(0);
+        let mut mask = FaultMask::new();
+        mask.fail_switch(chain[1]); // the designated agg
+        let rerouted = net.designated_chain_masked(0, &mask);
+        assert_eq!(rerouted.len(), 3);
+        assert_ne!(rerouted[1], chain[1]);
+        assert_eq!(net.switches[rerouted[2]].layer, 2);
+        // The rerouted agg now serves host 0; the dead one serves nobody.
+        assert!(net.designated_below_masked(rerouted[1], &mask).contains(&0));
+        assert!(net.designated_below_masked(chain[1], &mask).is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub use camus_baselines as baselines;
 pub use camus_bdd as bdd;
 pub use camus_core as core;
 pub use camus_dataplane as dataplane;
+pub use camus_faults as faults;
 pub use camus_lang as lang;
 pub use camus_net as net;
 pub use camus_routing as routing;
