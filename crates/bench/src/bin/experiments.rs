@@ -12,8 +12,19 @@
 
 use camus_bench::experiments::{self, Scale};
 
-const IDS: &[&str] =
-    &["fig8", "fig9", "fig11", "fig12", "tab1", "fig13", "fig14", "fig15", "churn", "faults"];
+const IDS: &[&str] = &[
+    "fig8",
+    "fig9",
+    "fig11",
+    "fig12",
+    "tab1",
+    "fig13",
+    "fig14",
+    "fig15",
+    "churn",
+    "faults",
+    "throughput",
+];
 
 fn run_one(id: &str, scale: Scale) -> bool {
     let t0 = std::time::Instant::now();
@@ -28,6 +39,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "fig15" => !experiments::fig15::run(scale).is_empty(),
         "churn" => !experiments::churn::run(scale).is_empty(),
         "faults" => !experiments::faults::run(scale).is_empty(),
+        "throughput" => !experiments::throughput::run(scale).is_empty(),
         _ => return false,
     };
     eprintln!("[{id}] done in {:.1?}\n", t0.elapsed());

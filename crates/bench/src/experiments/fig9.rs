@@ -9,13 +9,20 @@
 //! * **camus** — line rate, independent of filter count,
 //! * **rust-measured** — an honest measured point: the real
 //!   [`LinearFilter`] engine timed on this machine, to show the
-//!   software series' *shape* is not an artifact of the model.
+//!   software series' *shape* is not an artifact of the model,
+//! * **rust-compiled** — the same filters compiled to a
+//!   [`CompiledPipeline`]: per-packet cost is a fixed number of stage
+//!   lookups, independent of filter count — the software analogue of
+//!   the camus series (capped at 1 K filters on Quick / 10 K on Full
+//!   to bound BDD compile time; "-" beyond).
 
 use super::Scale;
 use crate::output::{fmt_mpps, Table};
 use camus_baselines::cost::CostModel;
 use camus_baselines::linear::LinearFilter;
-use camus_lang::ast::Expr;
+use camus_core::compiled::{ActionId, CompiledPipeline};
+use camus_core::compiler::Compiler;
+use camus_lang::ast::{Action, Expr, Rule};
 use camus_lang::parser::parse_expr;
 use camus_lang::value::Value;
 use camus_workloads::int::{IntFeed, IntFeedConfig};
@@ -51,6 +58,36 @@ fn measure_rust_pps(n_filters: usize, sample_packets: usize) -> f64 {
     packets.len() as f64 / dt
 }
 
+/// Measure the compiled fast path on the same workload: filters →
+/// BDD → pipeline → `CompiledPipeline`, slot arrays resolved outside
+/// the timer (the switch resolves them once at install time too).
+pub fn measure_compiled_pps(n_filters: usize, sample_packets: usize) -> f64 {
+    let rules: Vec<Rule> = filters(n_filters)
+        .into_iter()
+        .enumerate()
+        .map(|(i, filter)| Rule { filter, action: Action::Forward(vec![(i % 64) as u16 + 1]) })
+        .collect();
+    let pipeline = Compiler::new().compile(&rules).expect("fig9 filters compile").pipeline;
+    let compiled = CompiledPipeline::lower(&pipeline);
+    let mut feed = IntFeed::new(IntFeedConfig::default());
+    let probes: Vec<Vec<Option<Value>>> = feed
+        .reports(sample_packets)
+        .iter()
+        .map(|r| {
+            let fields: HashMap<String, Value> = r.fields().into_iter().collect();
+            compiled.slots().iter().map(|op| fields.get(&op.key()).cloned()).collect()
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for v in &probes {
+        hits += usize::from(compiled.eval(v) != ActionId::DEFAULT);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(hits);
+    probes.len() as f64 / dt
+}
+
 pub fn run(scale: Scale) -> Vec<Table> {
     let model = CostModel::default();
     let counts: &[usize] = match scale {
@@ -58,17 +95,24 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Scale::Full => &[1, 10, 100, 1_000, 10_000, 50_000, 100_000],
     };
     let sample = scale.pick(2_000, 20_000);
+    let compiled_cap = scale.pick(1_000, 10_000);
     let mut t = Table::new(
         "Fig. 9: INT filtering throughput vs #filters",
-        &["filters", "c", "dpdk", "camus", "rust-measured"],
+        &["filters", "c", "dpdk", "camus", "rust-measured", "rust-compiled"],
     );
     for &n in counts {
+        let compiled = if n <= compiled_cap {
+            fmt_mpps(measure_compiled_pps(n, sample))
+        } else {
+            "-".to_string()
+        };
         t.row([
             n.to_string(),
             fmt_mpps(model.c_pps(n)),
             fmt_mpps(model.dpdk_pps(n)),
             fmt_mpps(model.camus_pps(n)),
             fmt_mpps(measure_rust_pps(n, sample)),
+            compiled,
         ]);
     }
     t.emit("fig9");
@@ -106,5 +150,18 @@ mod tests {
     fn quick_run_emits_table() {
         let tables = run(Scale::Quick);
         assert_eq!(tables[0].rows.len(), 5);
+    }
+
+    #[test]
+    fn compiled_path_beats_linear_scan_at_1k_filters() {
+        // The ISSUE acceptance bar: >= 5x over the interpreted linear
+        // scan at 1 K filters. In practice the gap is orders of
+        // magnitude (fixed stage count vs 1 000 filter evaluations).
+        let linear = measure_rust_pps(1_000, 300);
+        let compiled = measure_compiled_pps(1_000, 300);
+        assert!(
+            compiled >= 5.0 * linear,
+            "compiled {compiled:.0} pps must be >= 5x linear {linear:.0} pps"
+        );
     }
 }

@@ -12,6 +12,7 @@ pub mod fig15;
 pub mod fig8;
 pub mod fig9;
 pub mod tab1;
+pub mod throughput;
 
 /// Workload sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

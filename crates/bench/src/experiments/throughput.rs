@@ -1,0 +1,315 @@
+//! Measured fast-path throughput: the compiled evaluator vs the
+//! interpreted reference, across filter counts and pipeline depths.
+//!
+//! Three lanes:
+//!
+//! * **Table A** (`results/throughput.csv`) — the INT filtering
+//!   workload end-to-end through [`Switch`]: per-packet eval latency of
+//!   the interpreted reference path vs the compiled fast path, then
+//!   batched ([`Switch::process_batch`]) and sharded-parallel
+//!   ([`camus_routing::run_parallel`]) throughput in Mpps.
+//! * **Table B** — evaluator scaling with pipeline depth, isolated
+//!   from parsing: hand-built state-chain pipelines of depth 1–8 timed
+//!   through [`CompiledPipeline::eval`] directly.
+//! * **Table C** — the per-switch [`SwitchStats`] eval counters
+//!   (stage hits/misses, entries scanned, batch sizes, copy sharing)
+//!   observed during the compiled runs.
+//!
+//! A machine-readable summary lands in `BENCH_throughput.json` at the
+//! repo root: eval-ns and Mpps series keyed by filter count.
+
+use super::Scale;
+use crate::output::{fmt_mpps, fmt_ns, Table};
+use camus_core::compiled::CompiledPipeline;
+use camus_core::compiler::Compiler;
+use camus_core::pipeline::{
+    LeafTable, MatchKind, MatchSpec, Pipeline, StageTable, TableEntry, STATE_INIT,
+};
+use camus_core::statics::compile_static;
+use camus_dataplane::packet::{Packet, PacketBuilder};
+use camus_dataplane::switch::{Switch, SwitchConfig, SwitchStats};
+use camus_lang::ast::{Action, Operand, Port, Rule};
+use camus_lang::parser::parse_expr;
+use camus_lang::spec::int_spec;
+use camus_lang::value::Value;
+use camus_routing::UnitPanic;
+use camus_workloads::int::{IntFeed, IntFeedConfig};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The fig. 9 filter family: 100 switch ids × rotating latency bounds.
+fn rules(n: usize) -> Vec<Rule> {
+    (0..n)
+        .map(|i| Rule {
+            filter: parse_expr(&format!(
+                "switch_id == {} and hop_latency > {}",
+                i % 100,
+                100 + (i / 100) % 1000
+            ))
+            .unwrap(),
+            action: Action::Forward(vec![(i % 64) as u16 + 1]),
+        })
+        .collect()
+}
+
+fn build_switch(n_filters: usize) -> Switch {
+    let statics = compile_static(&int_spec()).expect("int spec compiles");
+    let compiled =
+        Compiler::new().with_static(statics.clone()).compile(&rules(n_filters)).expect("compiles");
+    Switch::new(&statics, compiled.pipeline, SwitchConfig::default())
+}
+
+/// INT reports encoded as stack-only wire packets.
+fn int_packets(n: usize) -> Vec<Packet> {
+    let spec = int_spec();
+    let mut feed = IntFeed::new(IntFeedConfig::default());
+    feed.reports(n)
+        .iter()
+        .map(|r| {
+            let mut b = PacketBuilder::new(&spec);
+            for (k, v) in r.fields() {
+                b = b.stack_field("int_report", &k, v);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+/// One filter-count measurement: eval latencies plus batched and
+/// sharded throughput, and the compiled switch's counters.
+struct Lane {
+    filters: usize,
+    interp_ns: f64,
+    compiled_ns: f64,
+    batch_mpps: f64,
+    parallel_mpps: f64,
+    stats: SwitchStats,
+}
+
+fn measure_lane(n_filters: usize, packets: &[Packet], shards: usize) -> Lane {
+    let base = build_switch(n_filters);
+
+    let mut interp = base.clone();
+    let t0 = Instant::now();
+    for (i, p) in packets.iter().enumerate() {
+        std::hint::black_box(interp.process_reference(p, 0, i as u64));
+    }
+    let interp_ns = t0.elapsed().as_nanos() as f64 / packets.len() as f64;
+
+    let mut fast = base.clone();
+    let t0 = Instant::now();
+    for (i, p) in packets.iter().enumerate() {
+        std::hint::black_box(fast.process(p, 0, i as u64));
+    }
+    let compiled_ns = t0.elapsed().as_nanos() as f64 / packets.len() as f64;
+
+    let mut batcher = base.clone();
+    let batch: Vec<(Packet, Port)> = packets.iter().map(|p| (p.clone(), 0)).collect();
+    let t0 = Instant::now();
+    for chunk in batch.chunks(64) {
+        std::hint::black_box(batcher.process_batch(chunk, 0));
+    }
+    let batch_mpps = packets.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // Shard the feed across worker threads, one cloned switch each —
+    // the traffic-driver layout the routing layer uses for compilation.
+    let chunk = packets.len().div_ceil(shards.max(1));
+    let t0 = Instant::now();
+    let done = camus_routing::run_parallel::<usize, UnitPanic, _>(shards, |u| {
+        let mut sw = base.clone();
+        let lo = u * chunk;
+        let hi = (lo + chunk).min(packets.len());
+        for (i, p) in packets[lo..hi].iter().enumerate() {
+            std::hint::black_box(sw.process(p, 0, i as u64));
+        }
+        Ok(hi - lo)
+    });
+    let parallel_mpps = packets.len() as f64 / t0.elapsed().as_secs_f64();
+    let processed: usize = done.into_iter().map(|r| r.expect("shard ran")).sum();
+    assert_eq!(processed, packets.len(), "every packet processed exactly once");
+
+    // Fold the batch run's counters in too (batch sizes live there).
+    let mut stats = fast.stats();
+    stats.batches = batcher.stats().batches;
+    stats.batched_packets = batcher.stats().batched_packets;
+    Lane { filters: n_filters, interp_ns, compiled_ns, batch_mpps, parallel_mpps, stats }
+}
+
+/// A depth-`d` state chain over one operand: stage `i` advances state
+/// `i → i+1` when the value is in range, and the leaf forwards from
+/// state `d`. Isolates per-stage dispatch cost.
+fn chain_pipeline(depth: usize) -> Pipeline {
+    let stages = (0..depth)
+        .map(|i| {
+            StageTable::new(
+                Operand::Field("hop_latency".to_string()),
+                MatchKind::Range,
+                vec![
+                    TableEntry {
+                        state: i as u32,
+                        spec: MatchSpec::IntRange(0, 1 << 20),
+                        next: i as u32 + 1,
+                    },
+                    TableEntry { state: i as u32, spec: MatchSpec::Any, next: 0 },
+                ],
+            )
+        })
+        .collect();
+    let mut actions = HashMap::new();
+    actions.insert(depth as u32, (Action::Forward(vec![1]), None));
+    Pipeline { stages, leaf: LeafTable { actions, default: Action::Drop }, initial: STATE_INIT }
+}
+
+fn measure_depth_ns(depth: usize, probes: usize) -> f64 {
+    let compiled = CompiledPipeline::lower(&chain_pipeline(depth));
+    let values: Vec<Vec<Option<Value>>> =
+        (0..probes).map(|i| vec![Some(Value::Int((i % 4096) as i64))]).collect();
+    let t0 = Instant::now();
+    for v in &values {
+        std::hint::black_box(compiled.eval(v));
+    }
+    t0.elapsed().as_nanos() as f64 / probes as f64
+}
+
+/// Hand-formatted JSON (the vendored `serde_json` stub has no
+/// serializer): eval-ns and Mpps series keyed by filter count.
+fn write_json(scale: Scale, lanes: &[Lane], depths: &[(usize, f64)]) {
+    let series = lanes
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}\": {{\"interp_eval_ns\": {:.1}, \"compiled_eval_ns\": {:.1}, \
+                 \"batch_mpps\": {:.4}, \"parallel_mpps\": {:.4}}}",
+                l.filters,
+                l.interp_ns,
+                l.compiled_ns,
+                l.batch_mpps / 1e6,
+                l.parallel_mpps / 1e6
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let depth_ns = depths
+        .iter()
+        .map(|(d, ns)| format!("    \"{d}\": {ns:.1}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"throughput\",\n  \"scale\": \"{}\",\n  \
+         \"filters\": [{}],\n  \"by_filter_count\": {{\n{}\n  }},\n  \
+         \"eval_ns_by_depth\": {{\n{}\n  }}\n}}\n",
+        if scale == Scale::Quick { "quick" } else { "full" },
+        lanes.iter().map(|l| l.filters.to_string()).collect::<Vec<_>>().join(", "),
+        series,
+        depth_ns,
+    );
+    if let Err(e) = std::fs::write("BENCH_throughput.json", json) {
+        eprintln!("warning: could not write BENCH_throughput.json: {e}");
+    }
+}
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    let counts: &[usize] = match scale {
+        Scale::Quick => &[10, 100, 1_000],
+        Scale::Full => &[10, 100, 1_000, 10_000],
+    };
+    let n_packets = scale.pick(4_000, 100_000);
+    let shards = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let packets = int_packets(n_packets);
+
+    let lanes: Vec<Lane> = counts.iter().map(|&n| measure_lane(n, &packets, shards)).collect();
+    let mut a = Table::new(
+        "Throughput: compiled fast path vs interpreted reference (INT workload)",
+        &["filters", "interp-eval", "compiled-eval", "speedup", "batch", "parallel"],
+    );
+    for l in &lanes {
+        a.row([
+            l.filters.to_string(),
+            fmt_ns(l.interp_ns as u64),
+            fmt_ns(l.compiled_ns as u64),
+            format!("{:.1}x", l.interp_ns / l.compiled_ns),
+            fmt_mpps(l.batch_mpps),
+            fmt_mpps(l.parallel_mpps),
+        ]);
+    }
+    a.emit("throughput");
+
+    let depth_probes = scale.pick(200_000, 2_000_000);
+    let depths: Vec<(usize, f64)> =
+        [1usize, 2, 4, 8].iter().map(|&d| (d, measure_depth_ns(d, depth_probes))).collect();
+    let mut b = Table::new(
+        "Throughput: compiled eval ns vs pipeline depth (state chain)",
+        &["depth", "eval-ns"],
+    );
+    for &(d, ns) in &depths {
+        b.row([d.to_string(), format!("{ns:.1}")]);
+    }
+    b.emit("throughput_depth");
+
+    let mut c = Table::new(
+        "Eval counters (compiled runs)",
+        &[
+            "filters",
+            "stage_hits",
+            "stage_misses",
+            "entries_scanned",
+            "batches",
+            "batched_pkts",
+            "shared_copies",
+            "deep_copies",
+        ],
+    );
+    for l in &lanes {
+        let s = &l.stats;
+        c.row([
+            l.filters.to_string(),
+            s.stage_hits.to_string(),
+            s.stage_misses.to_string(),
+            s.entries_scanned.to_string(),
+            s.batches.to_string(),
+            s.batched_packets.to_string(),
+            s.shared_copies.to_string(),
+            s.deep_copies.to_string(),
+        ]);
+    }
+    c.emit("throughput_counters");
+
+    write_json(scale, &lanes, &depths);
+    vec![a, b, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_measures_consistently() {
+        let packets = int_packets(400);
+        let lane = measure_lane(100, &packets, 2);
+        assert!(lane.interp_ns > 0.0 && lane.compiled_ns > 0.0);
+        assert!(lane.batch_mpps > 0.0 && lane.parallel_mpps > 0.0);
+        // The compiled switch actually evaluated every packet.
+        let s = &lane.stats;
+        assert_eq!(s.stage_hits + s.stage_misses, 400 * 2, "2 stages x 400 stack evals");
+        assert_eq!(s.batched_packets, 400);
+        assert!(s.batches >= 7, "400 packets in chunks of 64");
+    }
+
+    #[test]
+    fn depth_chain_evaluates_to_forward() {
+        let compiled = CompiledPipeline::lower(&chain_pipeline(4));
+        let id = compiled.eval(&[Some(Value::Int(42))]);
+        assert_eq!(compiled.action(id), &Action::Forward(vec![1]));
+        assert!(measure_depth_ns(4, 1_000) > 0.0);
+    }
+
+    #[test]
+    fn quick_run_emits_tables_and_json() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 3);
+        let json = std::fs::read_to_string("BENCH_throughput.json").unwrap();
+        assert!(json.contains("\"by_filter_count\""));
+        assert!(json.contains("\"eval_ns_by_depth\""));
+    }
+}

@@ -1,0 +1,641 @@
+//! The compiled fast-path evaluator.
+//!
+//! [`Pipeline`] is the faithful *control-plane* artifact: string-keyed
+//! operands, `HashMap`-backed per-state entry lists scanned linearly in
+//! priority order, and a cloned [`Action`] per evaluation. That shape
+//! mirrors the paper's table layout but is the slowest possible
+//! software encoding. [`CompiledPipeline::lower`] converts an installed
+//! pipeline once, at install time, into a flat data-plane form:
+//!
+//! * **Slot interning** — every distinct operand gets a dense slot id;
+//!   the parser resolves each slot against the `Spec` once and emits a
+//!   slot-indexed `[Option<Value>]` array per message, so evaluation
+//!   never hashes a field-name string.
+//! * **Dense state dispatch** — each stage keeps its states in a sorted
+//!   array with one match [`Group`] per state; `(state, value)` lookup
+//!   is a binary search plus typed probes (exact via binary search over
+//!   sorted keys, prefixes via a length-ordered linear scan, ranges via
+//!   binary search when provably disjoint), not a priority scan.
+//! * **Action arena** — leaf states map to [`ActionId`]s into a shared
+//!   arena, so evaluation returns a copy-free id; callers borrow the
+//!   `Action` only when they need it.
+//!
+//! Lowering preserves the interpreter's semantics entry-for-entry,
+//! including §V-D pass-through (a lookup miss leaves the state
+//! unchanged) and the missing-field rule (a `None` value can only take
+//! `Any` entries). The differential property test in
+//! `tests/compiled_equivalence.rs` pins `eval ≡ Pipeline::evaluate` on
+//! randomized pipelines and inputs.
+
+use crate::pipeline::{LeafTable, MatchSpec, Pipeline, StageTable, StateId};
+use camus_lang::ast::{Action, Operand};
+use camus_lang::value::Value;
+
+/// Index into the [`CompiledPipeline`] action arena. Id 0 is always the
+/// leaf default action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActionId(pub u32);
+
+impl ActionId {
+    /// The leaf-default action (arena slot 0).
+    pub const DEFAULT: ActionId = ActionId(0);
+}
+
+/// Evaluation counters, accumulated per call into the caller's scratch.
+/// Cheap enough to keep on in production: three register adds per
+/// stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounters {
+    /// Stage lookups that found a transition.
+    pub stage_hits: u64,
+    /// Stage lookups that missed (state passed through, §V-D).
+    pub stage_misses: u64,
+    /// Match probes performed (binary-search steps + linear entries
+    /// touched) — the work metric that `HashMap` priority scans hide.
+    pub entries_scanned: u64,
+}
+
+impl EvalCounters {
+    pub fn merge(&mut self, other: &EvalCounters) {
+        self.stage_hits += other.stage_hits;
+        self.stage_misses += other.stage_misses;
+        self.entries_scanned += other.entries_scanned;
+    }
+}
+
+/// Range dispatch strategy for one `(stage, state)` group.
+#[derive(Debug, Clone)]
+enum RangeIndex {
+    /// Pairwise-disjoint ranges sorted by `lo`: one binary search finds
+    /// the only candidate. This is the common case — Algorithm 2 emits
+    /// a partition of the value domain per In-node.
+    Disjoint(Vec<(i64, i64, StateId)>),
+    /// Overlapping ranges (possible in hand-built or randomized
+    /// pipelines): fall back to the interpreter's first-match priority
+    /// scan order.
+    Ordered(Vec<(i64, i64, StateId)>),
+}
+
+impl RangeIndex {
+    fn is_empty(&self) -> bool {
+        match self {
+            RangeIndex::Disjoint(v) | RangeIndex::Ordered(v) => v.is_empty(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RangeIndex::Disjoint(v) | RangeIndex::Ordered(v) => v.len(),
+        }
+    }
+}
+
+/// All entries of one stage for one state, split by match type. The
+/// interpreter scans the state's entries in priority order (exact >
+/// prefix > range > any); typed values can only hit their own class,
+/// so probing exact → prefix/range → any preserves first-match-wins.
+#[derive(Debug, Clone)]
+struct Group {
+    /// Exact int keys, sorted, first-in-scan-order on duplicates.
+    int_exact: Vec<(i64, StateId)>,
+    /// Exact string keys, sorted, first-in-scan-order on duplicates.
+    str_exact: Vec<(String, StateId)>,
+    /// Prefix entries in interpreter scan order (length-descending,
+    /// stable): a linear first-match scan is exact-equivalent.
+    str_prefix: Vec<(String, StateId)>,
+    ranges: RangeIndex,
+    /// First `Any` entry in scan order, if present.
+    any: Option<StateId>,
+}
+
+impl Group {
+    fn lookup(&self, value: Option<&Value>, scanned: &mut u64) -> Option<StateId> {
+        match value {
+            // Missing attribute: only the unconstrained Any region
+            // matches (Algorithm 2's all-false path).
+            None => {
+                *scanned += 1;
+                self.any
+            }
+            Some(Value::Int(x)) => {
+                if !self.int_exact.is_empty() {
+                    *scanned += bsearch_cost(self.int_exact.len());
+                    if let Ok(i) = self.int_exact.binary_search_by(|probe| probe.0.cmp(x)) {
+                        return Some(self.int_exact[i].1);
+                    }
+                }
+                if !self.ranges.is_empty() {
+                    match &self.ranges {
+                        RangeIndex::Disjoint(rs) => {
+                            *scanned += bsearch_cost(rs.len());
+                            let i = rs.partition_point(|&(lo, _, _)| lo <= *x);
+                            if i > 0 {
+                                let (_, hi, next) = rs[i - 1];
+                                if *x <= hi {
+                                    return Some(next);
+                                }
+                            }
+                        }
+                        RangeIndex::Ordered(rs) => {
+                            for (k, &(lo, hi, next)) in rs.iter().enumerate() {
+                                if lo <= *x && *x <= hi {
+                                    *scanned += k as u64 + 1;
+                                    return Some(next);
+                                }
+                            }
+                            *scanned += rs.len() as u64;
+                        }
+                    }
+                }
+                *scanned += 1;
+                self.any
+            }
+            Some(Value::Str(s)) => {
+                if !self.str_exact.is_empty() {
+                    *scanned += bsearch_cost(self.str_exact.len());
+                    if let Ok(i) = self.str_exact.binary_search_by(|probe| probe.0.as_str().cmp(s))
+                    {
+                        return Some(self.str_exact[i].1);
+                    }
+                }
+                for (k, (prefix, next)) in self.str_prefix.iter().enumerate() {
+                    if s.starts_with(prefix.as_str()) {
+                        *scanned += k as u64 + 1;
+                        return Some(*next);
+                    }
+                }
+                *scanned += self.str_prefix.len() as u64 + 1;
+                self.any
+            }
+        }
+    }
+}
+
+/// Probes a binary search over `n` sorted keys performs, for the
+/// `entries_scanned` counter.
+fn bsearch_cost(n: usize) -> u64 {
+    u64::from(usize::BITS - n.leading_zeros())
+}
+
+/// One lowered match stage: sorted state dispatch over per-state match
+/// groups, reading one interned value slot.
+#[derive(Debug, Clone)]
+struct CompiledStage {
+    /// Index into the pipeline's slot array (interned operand).
+    slot: u32,
+    /// States with entries, sorted for binary-search dispatch.
+    states: Vec<StateId>,
+    /// `groups[i]` holds the entries for `states[i]`.
+    groups: Vec<Group>,
+}
+
+/// Leaf dispatch: dense vector when the state space is small (the
+/// common case — BDD node ids are dense), sparse sorted pairs
+/// otherwise. `ActionId::DEFAULT` is the miss sentinel.
+#[derive(Debug, Clone)]
+enum LeafIndex {
+    Dense(Vec<ActionId>),
+    Sparse(Vec<(StateId, ActionId)>),
+}
+
+/// Largest state id the dense leaf encoding will allocate for (16 MiB
+/// of ids); sparse beyond that.
+const DENSE_LEAF_LIMIT: StateId = 1 << 22;
+
+impl LeafIndex {
+    fn build(leaf: &LeafTable, actions: &mut Vec<Action>) -> LeafIndex {
+        let mut states: Vec<StateId> = leaf.actions.keys().copied().collect();
+        states.sort_unstable();
+        let ids: Vec<(StateId, ActionId)> = states
+            .iter()
+            .map(|&s| {
+                let id = ActionId(actions.len() as u32);
+                actions.push(leaf.actions[&s].0.clone());
+                (s, id)
+            })
+            .collect();
+        match states.last() {
+            Some(&max) if max < DENSE_LEAF_LIMIT => {
+                let mut dense = vec![ActionId::DEFAULT; max as usize + 1];
+                for &(s, id) in &ids {
+                    dense[s as usize] = id;
+                }
+                LeafIndex::Dense(dense)
+            }
+            Some(_) => LeafIndex::Sparse(ids),
+            None => LeafIndex::Dense(Vec::new()),
+        }
+    }
+
+    fn lookup(&self, state: StateId) -> ActionId {
+        match self {
+            LeafIndex::Dense(v) => v.get(state as usize).copied().unwrap_or(ActionId::DEFAULT),
+            LeafIndex::Sparse(v) => match v.binary_search_by_key(&state, |&(s, _)| s) {
+                Ok(i) => v[i].1,
+                Err(_) => ActionId::DEFAULT,
+            },
+        }
+    }
+}
+
+/// A pipeline lowered for the data-plane hot path. Build once per
+/// install with [`CompiledPipeline::lower`]; evaluate with a
+/// slot-indexed value array. Evaluation performs zero heap allocations.
+#[derive(Debug, Clone)]
+pub struct CompiledPipeline {
+    /// Interned operands; `slots[i]` is what value index `i` must hold.
+    slots: Vec<Operand>,
+    stages: Vec<CompiledStage>,
+    leaf: LeafIndex,
+    /// Action arena; index 0 is the leaf default.
+    actions: Vec<Action>,
+    pub initial: StateId,
+}
+
+impl CompiledPipeline {
+    /// Lower an installed pipeline. Entries are taken in canonical
+    /// order — stable-sorted by `(state, priority desc)` exactly like
+    /// [`StageTable::new`] — so lowering is correct even if the public
+    /// `entries` field was mutated without a `reindex`.
+    pub fn lower(pipeline: &Pipeline) -> CompiledPipeline {
+        let mut slots: Vec<Operand> = Vec::new();
+        let mut stages = Vec::with_capacity(pipeline.stages.len());
+        for stage in &pipeline.stages {
+            let slot = match slots.iter().position(|o| o == &stage.operand) {
+                Some(i) => i,
+                None => {
+                    slots.push(stage.operand.clone());
+                    slots.len() - 1
+                }
+            };
+            stages.push(lower_stage(stage, slot as u32));
+        }
+        let mut actions = vec![pipeline.leaf.default.clone()];
+        let leaf = LeafIndex::build(&pipeline.leaf, &mut actions);
+        CompiledPipeline { slots, stages, leaf, actions, initial: pipeline.initial }
+    }
+
+    /// The interned operands, in slot order. The parser resolves each
+    /// against the `Spec` once and fills `values[slot]` per message.
+    pub fn slots(&self) -> &[Operand] {
+        &self.slots
+    }
+
+    /// Borrow the action behind an id returned by [`eval`](Self::eval).
+    pub fn action(&self, id: ActionId) -> &Action {
+        &self.actions[id.0 as usize]
+    }
+
+    /// The action arena (index 0 is the leaf default).
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of match stages (pipeline depth, excluding the leaf).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Evaluate one message given its slot-indexed values.
+    /// `values.len()` must equal `self.slots().len()`.
+    #[inline]
+    pub fn eval(&self, values: &[Option<Value>]) -> ActionId {
+        let mut scratch = EvalCounters::default();
+        self.eval_counted(values, &mut scratch)
+    }
+
+    /// [`eval`](Self::eval), accumulating hit/miss/scan counters.
+    pub fn eval_counted(&self, values: &[Option<Value>], counters: &mut EvalCounters) -> ActionId {
+        let mut state = self.initial;
+        for stage in &self.stages {
+            let value = values[stage.slot as usize].as_ref();
+            match lookup_stage(stage, state, value, &mut counters.entries_scanned) {
+                Some(next) => {
+                    counters.stage_hits += 1;
+                    state = next;
+                }
+                // Pass-through: the state belongs to a later component.
+                None => counters.stage_misses += 1,
+            }
+        }
+        self.leaf.lookup(state)
+    }
+
+    /// Total entries across all lowered stages (diagnostics).
+    pub fn total_entries(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|st| {
+                st.groups
+                    .iter()
+                    .map(|g| {
+                        g.int_exact.len()
+                            + g.str_exact.len()
+                            + g.str_prefix.len()
+                            + g.ranges.len()
+                            + usize::from(g.any.is_some())
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+fn lookup_stage(
+    stage: &CompiledStage,
+    state: StateId,
+    value: Option<&Value>,
+    scanned: &mut u64,
+) -> Option<StateId> {
+    *scanned += bsearch_cost(stage.states.len());
+    let i = stage.states.binary_search(&state).ok()?;
+    stage.groups[i].lookup(value, scanned)
+}
+
+fn lower_stage(stage: &StageTable, slot: u32) -> CompiledStage {
+    // Canonical scan order, independent of the pub `entries` order.
+    let mut order: Vec<usize> = (0..stage.entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ea, eb) = (&stage.entries[a], &stage.entries[b]);
+        ea.state.cmp(&eb.state).then(eb.spec.priority().cmp(&ea.spec.priority()))
+    });
+
+    let mut states: Vec<StateId> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
+    let mut i = 0;
+    while i < order.len() {
+        let state = stage.entries[order[i]].state;
+        let mut j = i;
+        while j < order.len() && stage.entries[order[j]].state == state {
+            j += 1;
+        }
+        states.push(state);
+        groups.push(lower_group(
+            order[i..j]
+                .iter()
+                .map(|&k| &stage.entries[k].spec)
+                .zip(order[i..j].iter().map(|&k| stage.entries[k].next)),
+        ));
+        i = j;
+    }
+    CompiledStage { slot, states, groups }
+}
+
+/// Build one state's match group from its entries in scan order.
+fn lower_group<'a, I>(entries: I) -> Group
+where
+    I: Iterator<Item = (&'a MatchSpec, StateId)>,
+{
+    let mut int_exact: Vec<(i64, StateId)> = Vec::new();
+    let mut str_exact: Vec<(String, StateId)> = Vec::new();
+    let mut str_prefix: Vec<(String, StateId)> = Vec::new();
+    let mut ranges: Vec<(i64, i64, StateId)> = Vec::new();
+    let mut any: Option<StateId> = None;
+    for (spec, next) in entries {
+        match spec {
+            // Duplicate keys: the first entry in scan order wins, so
+            // later duplicates are unreachable and dropped.
+            MatchSpec::IntExact(v) => {
+                if !int_exact.iter().any(|(k, _)| k == v) {
+                    int_exact.push((*v, next));
+                }
+            }
+            MatchSpec::StrExact(s) => {
+                if !str_exact.iter().any(|(k, _)| k == s) {
+                    str_exact.push((s.clone(), next));
+                }
+            }
+            // Scan order is length-descending (priority = 1M + len),
+            // stable within a length — keep it for first-match scans.
+            MatchSpec::StrPrefix(p) => str_prefix.push((p.clone(), next)),
+            MatchSpec::IntRange(lo, hi) => {
+                // Empty ranges can never match.
+                if lo <= hi {
+                    ranges.push((*lo, *hi, next));
+                }
+            }
+            MatchSpec::Any => {
+                if any.is_none() {
+                    any = Some(next);
+                }
+            }
+        }
+    }
+    int_exact.sort_by_key(|&(k, _)| k);
+    str_exact.sort_by(|a, b| a.0.cmp(&b.0));
+    let ranges = index_ranges(ranges);
+    Group { int_exact, str_exact, str_prefix, ranges, any }
+}
+
+/// Choose the range dispatch strategy: binary search when the ranges
+/// are pairwise disjoint, priority-scan order otherwise.
+fn index_ranges(ranges: Vec<(i64, i64, StateId)>) -> RangeIndex {
+    let mut sorted = ranges.clone();
+    sorted.sort_by_key(|&(lo, _, _)| lo);
+    let disjoint = sorted.windows(2).all(|w| w[0].1 < w[1].0);
+    if disjoint {
+        RangeIndex::Disjoint(sorted)
+    } else {
+        RangeIndex::Ordered(ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{MatchKind, TableEntry};
+    use std::collections::HashMap;
+
+    fn op(name: &str) -> Operand {
+        Operand::Field(name.to_string())
+    }
+
+    fn leaf(entries: &[(StateId, Action)]) -> LeafTable {
+        LeafTable {
+            actions: entries.iter().cloned().map(|(s, a)| (s, (a, None))).collect(),
+            default: Action::Drop,
+        }
+    }
+
+    /// `lower(p).eval` must agree with `p.evaluate` on every probe.
+    fn assert_equivalent(p: &Pipeline, probes: &[HashMap<String, Value>]) {
+        let c = CompiledPipeline::lower(p);
+        for probe in probes {
+            let interpreted = p.evaluate(|o| probe.get(&o.key()).cloned());
+            let values: Vec<Option<Value>> =
+                c.slots().iter().map(|o| probe.get(&o.key()).cloned()).collect();
+            let compiled = c.action(c.eval(&values)).clone();
+            assert_eq!(interpreted, compiled, "diverged on probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn exact_prefix_any_resolution_matches_interpreter() {
+        let stage = StageTable::new(
+            op("stock"),
+            MatchKind::Exact,
+            vec![
+                TableEntry { state: 0, spec: MatchSpec::Any, next: 1 },
+                TableEntry { state: 0, spec: MatchSpec::StrExact("GOOGL".into()), next: 2 },
+                TableEntry { state: 0, spec: MatchSpec::StrPrefix("GO".into()), next: 3 },
+                TableEntry { state: 0, spec: MatchSpec::StrPrefix("GOO".into()), next: 4 },
+            ],
+        );
+        let p = Pipeline {
+            stages: vec![stage],
+            leaf: leaf(&[
+                (1, Action::Forward(vec![1])),
+                (2, Action::Forward(vec![2])),
+                (3, Action::Forward(vec![3])),
+                (4, Action::Forward(vec![4])),
+            ]),
+            initial: 0,
+        };
+        let probes: Vec<HashMap<String, Value>> = ["GOOGL", "GOOD", "GOLD", "MSFT"]
+            .iter()
+            .map(|s| HashMap::from([("stock".to_string(), Value::from(*s))]))
+            .collect();
+        assert_equivalent(&p, &probes);
+        // Missing field takes the Any entry only.
+        assert_equivalent(&p, &[HashMap::new()]);
+    }
+
+    #[test]
+    fn disjoint_ranges_use_binary_search() {
+        let entries: Vec<TableEntry> = (0..50)
+            .map(|i| TableEntry {
+                state: 0,
+                spec: MatchSpec::IntRange(i * 10, i * 10 + 9),
+                next: i as StateId + 1,
+            })
+            .collect();
+        let stage = StageTable::new(op("price"), MatchKind::Range, entries);
+        let c = CompiledPipeline::lower(&Pipeline {
+            stages: vec![stage.clone()],
+            leaf: leaf(&(1..=50).map(|s| (s, Action::Forward(vec![s as u16]))).collect::<Vec<_>>()),
+            initial: 0,
+        });
+        // Lowered as Disjoint: a probe costs O(log n), not O(n).
+        let mut counters = EvalCounters::default();
+        let id = c.eval_counted(&[Some(Value::Int(437))], &mut counters);
+        assert_eq!(c.action(id), &Action::Forward(vec![44]));
+        assert!(counters.entries_scanned < 16, "scanned {}", counters.entries_scanned);
+        // Out-of-domain probe misses every range and the leaf.
+        assert_eq!(c.action(c.eval(&[Some(Value::Int(1_000))])), &Action::Drop);
+    }
+
+    #[test]
+    fn overlapping_ranges_fall_back_to_scan_order() {
+        let p = Pipeline {
+            stages: vec![StageTable::new(
+                op("x"),
+                MatchKind::Range,
+                vec![
+                    TableEntry { state: 0, spec: MatchSpec::IntRange(0, 100), next: 1 },
+                    TableEntry { state: 0, spec: MatchSpec::IntRange(50, 150), next: 2 },
+                ],
+            )],
+            leaf: leaf(&[(1, Action::Forward(vec![1])), (2, Action::Forward(vec![2]))]),
+            initial: 0,
+        };
+        let probes: Vec<HashMap<String, Value>> = [-1i64, 0, 49, 50, 100, 101, 150, 151]
+            .iter()
+            .map(|v| HashMap::from([("x".to_string(), Value::Int(*v))]))
+            .collect();
+        assert_equivalent(&p, &probes);
+    }
+
+    #[test]
+    fn duplicate_exact_keys_keep_first_in_scan_order() {
+        // Two IntExact(7) entries: StageTable::new's stable sort keeps
+        // input order, so the interpreter hits next=1 first.
+        let p = Pipeline {
+            stages: vec![StageTable::new(
+                op("x"),
+                MatchKind::Exact,
+                vec![
+                    TableEntry { state: 0, spec: MatchSpec::IntExact(7), next: 1 },
+                    TableEntry { state: 0, spec: MatchSpec::IntExact(7), next: 2 },
+                ],
+            )],
+            leaf: leaf(&[(1, Action::Forward(vec![1])), (2, Action::Forward(vec![2]))]),
+            initial: 0,
+        };
+        assert_equivalent(&p, &[HashMap::from([("x".to_string(), Value::Int(7))])]);
+    }
+
+    #[test]
+    fn pass_through_and_state_isolation() {
+        // Stage 2 has entries only for state 1: state 2 passes through
+        // to the leaf unchanged.
+        let s1 = StageTable::new(
+            op("a"),
+            MatchKind::Range,
+            vec![
+                TableEntry { state: 0, spec: MatchSpec::IntRange(5, i64::MAX), next: 1 },
+                TableEntry { state: 0, spec: MatchSpec::IntRange(i64::MIN, 4), next: 2 },
+            ],
+        );
+        let s2 = StageTable::new(
+            op("b"),
+            MatchKind::Exact,
+            vec![TableEntry { state: 1, spec: MatchSpec::Any, next: 3 }],
+        );
+        let p = Pipeline {
+            stages: vec![s1, s2],
+            leaf: leaf(&[(3, Action::Forward(vec![7])), (2, Action::Drop)]),
+            initial: 0,
+        };
+        let c = CompiledPipeline::lower(&p);
+        assert_eq!(c.slots().len(), 2);
+        let mut counters = EvalCounters::default();
+        let hi = c.eval_counted(&[Some(Value::Int(9)), None], &mut counters);
+        assert_eq!(c.action(hi), &Action::Forward(vec![7]));
+        assert_eq!(counters.stage_hits, 2);
+        let lo = c.eval_counted(&[Some(Value::Int(1)), None], &mut counters);
+        assert_eq!(c.action(lo), &Action::Drop);
+        // Second eval: stage 2 misses for state 2 (pass-through).
+        assert_eq!(counters.stage_misses, 1);
+    }
+
+    #[test]
+    fn sparse_leaf_beyond_dense_limit() {
+        let far = DENSE_LEAF_LIMIT + 5;
+        let p = Pipeline {
+            stages: vec![StageTable::new(
+                op("x"),
+                MatchKind::Exact,
+                vec![TableEntry { state: 0, spec: MatchSpec::IntExact(1), next: far }],
+            )],
+            leaf: leaf(&[(far, Action::Forward(vec![9]))]),
+            initial: 0,
+        };
+        let c = CompiledPipeline::lower(&p);
+        assert!(matches!(c.leaf, LeafIndex::Sparse(_)));
+        assert_eq!(c.action(c.eval(&[Some(Value::Int(1))])), &Action::Forward(vec![9]));
+        assert_eq!(c.action(c.eval(&[Some(Value::Int(2))])), &Action::Drop);
+    }
+
+    #[test]
+    fn shared_operand_interns_to_one_slot() {
+        let s1 = StageTable::new(
+            op("x"),
+            MatchKind::Exact,
+            vec![TableEntry { state: 0, spec: MatchSpec::IntExact(1), next: 1 }],
+        );
+        let s2 = StageTable::new(
+            op("x"),
+            MatchKind::Exact,
+            vec![TableEntry { state: 1, spec: MatchSpec::IntExact(1), next: 2 }],
+        );
+        let p = Pipeline {
+            stages: vec![s1, s2],
+            leaf: leaf(&[(2, Action::Forward(vec![4]))]),
+            initial: 0,
+        };
+        let c = CompiledPipeline::lower(&p);
+        assert_eq!(c.slots().len(), 1);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.action(c.eval(&[Some(Value::Int(1))])), &Action::Forward(vec![4]));
+    }
+}

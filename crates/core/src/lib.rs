@@ -42,6 +42,7 @@
 //! ```
 
 pub mod bigtable;
+pub mod compiled;
 pub mod compiler;
 pub mod multicast;
 pub mod pipeline;
@@ -49,6 +50,7 @@ pub mod resources;
 pub mod statics;
 pub mod tables;
 
+pub use compiled::{ActionId, CompiledPipeline, EvalCounters};
 pub use compiler::{Compiled, Compiler, CompilerConfig};
 pub use pipeline::{MatchKind, MatchSpec, Pipeline, StageTable, StateId, TableEntry};
 pub use resources::ResourceReport;

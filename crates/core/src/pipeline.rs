@@ -121,18 +121,21 @@ pub struct StageTable {
 }
 
 impl StageTable {
-    pub fn new(operand: Operand, kind: MatchKind, mut entries: Vec<TableEntry>) -> Self {
-        entries
-            .sort_by(|a, b| a.state.cmp(&b.state).then(b.spec.priority().cmp(&a.spec.priority())));
-        let mut index: HashMap<StateId, Vec<usize>> = HashMap::new();
-        for (i, e) in entries.iter().enumerate() {
-            index.entry(e.state).or_default().push(i);
-        }
-        StageTable { operand, kind, entries, index }
+    pub fn new(operand: Operand, kind: MatchKind, entries: Vec<TableEntry>) -> Self {
+        let mut table = StageTable { operand, kind, entries, index: HashMap::new() };
+        table.reindex();
+        table
     }
 
-    /// Rebuild the lookup index (needed after deserialisation).
+    /// Re-sort entries into canonical priority order and rebuild the
+    /// lookup index. Needed after deserialisation and after any direct
+    /// mutation of the public `entries` field: lookup scans each
+    /// state's entries in index order, so an unsorted table would
+    /// silently resolve specificity overlaps (exact vs. prefix vs.
+    /// range vs. Any) in the wrong direction.
     pub fn reindex(&mut self) {
+        self.entries
+            .sort_by(|a, b| a.state.cmp(&b.state).then(b.spec.priority().cmp(&a.spec.priority())));
         self.index.clear();
         for (i, e) in self.entries.iter().enumerate() {
             self.index.entry(e.state).or_default().push(i);
@@ -362,6 +365,27 @@ mod tests {
         assert_eq!(act, Action::Drop); // lands in state 2, leaf entry
         assert_eq!(p.total_entries(), 3 + 2);
         assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn reindex_resorts_mutated_entries() {
+        // Mutating the public `entries` field out of priority order and
+        // calling reindex must restore canonical resolution, exactly as
+        // if the table had been built with `new`.
+        let mut t = StageTable::new(
+            op("stock"),
+            MatchKind::Exact,
+            vec![TableEntry { state: 0, spec: MatchSpec::StrExact("GOOGL".into()), next: 2 }],
+        );
+        // Worst-case order: wildcard first, most-specific last.
+        t.entries.insert(0, TableEntry { state: 0, spec: MatchSpec::Any, next: 1 });
+        t.entries.push(TableEntry { state: 0, spec: MatchSpec::StrPrefix("GO".into()), next: 3 });
+        t.reindex();
+        assert_eq!(t.lookup(0, Some(&Value::from("GOOGL"))), Some(2));
+        assert_eq!(t.lookup(0, Some(&Value::from("GOLD"))), Some(3));
+        assert_eq!(t.lookup(0, Some(&Value::from("MSFT"))), Some(1));
+        let rebuilt = StageTable::new(t.operand.clone(), t.kind, t.entries.clone());
+        assert_eq!(t, rebuilt);
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! plus a per-recirculation penalty, calibrated to the paper's "less
 //! than 1 μs" pipeline latency (§VIII-F).
 
+pub mod fastpath;
 pub mod packet;
 pub mod parser;
 pub mod state;
 pub mod switch;
 
+pub use fastpath::{EvalPlan, EvalScratch};
 pub use packet::{Packet, PacketBuilder};
 pub use parser::{DeepParser, ParseOutcome};
 pub use state::StateStore;

@@ -82,8 +82,13 @@ impl StateStore {
     }
 
     fn reg(&mut self, key: &str) -> &mut WindowRegister {
-        let w = if self.default_window_us == 0 { 1_000_000 } else { self.default_window_us };
-        self.regs.entry(key.to_string()).or_insert_with(|| WindowRegister::new(w))
+        // Probe before inserting: the steady-state hit path must not
+        // allocate a `String` just to look the register up.
+        if !self.regs.contains_key(key) {
+            let w = if self.default_window_us == 0 { 1_000_000 } else { self.default_window_us };
+            self.regs.insert(key.to_string(), WindowRegister::new(w));
+        }
+        self.regs.get_mut(key).expect("present or just inserted")
     }
 
     /// Record a field observation into the aggregate register `key`.

@@ -13,10 +13,12 @@
 //! recirculation pass, defaulting to the paper's sub-microsecond
 //! pipeline (§VIII-F).
 
+use crate::fastpath::{EvalPlan, EvalScratch, KeepLists};
 use crate::packet::Packet;
 use crate::parser::{DeepParser, ParseOutcome};
 use crate::state::StateStore;
-use camus_core::pipeline::Pipeline;
+use camus_core::compiled::{CompiledPipeline, EvalCounters};
+use camus_core::pipeline::{LeafTable, Pipeline};
 use camus_core::statics::StaticPipeline;
 use camus_lang::ast::{Action, AggFunc, Operand, Port};
 use camus_lang::spec::Spec;
@@ -74,6 +76,23 @@ pub struct SwitchStats {
     /// budget) — mirrors `truncated_messages`, kept separate so the
     /// drop-cause counters add up on their own.
     pub dropped_resource: u64,
+    /// Compiled-path stage lookups that found a transition.
+    pub stage_hits: u64,
+    /// Compiled-path stage lookups that missed (§V-D pass-through).
+    pub stage_misses: u64,
+    /// Compiled-path match probes performed (binary-search steps plus
+    /// linear entries touched) — attributes where evaluation time goes.
+    pub entries_scanned: u64,
+    /// `process_batch` invocations.
+    pub batches: u64,
+    /// Packets processed through `process_batch` (with `batches`, the
+    /// mean batch size).
+    pub batched_packets: u64,
+    /// Output copies that shared the input buffer (no pruning needed:
+    /// an `Arc` bump, not a byte copy).
+    pub shared_copies: u64,
+    /// Output copies that materialised a pruned buffer.
+    pub deep_copies: u64,
 }
 
 /// The result of processing one packet.
@@ -94,6 +113,12 @@ pub struct SwitchOutput {
 pub struct Switch {
     parser: DeepParser,
     pipeline: Pipeline,
+    /// Fast-path lowering of `pipeline`, rebuilt on install.
+    compiled: CompiledPipeline,
+    /// Slot resolution of `compiled` against the spec.
+    plan: EvalPlan,
+    /// Reusable per-packet scratch (slot values + keep lists).
+    scratch: EvalScratch,
     state: StateStore,
     config: SwitchConfig,
     stats: SwitchStats,
@@ -122,28 +147,32 @@ impl Switch {
     }
 
     fn with_spec(spec: Spec, pipeline: Pipeline, state: StateStore, config: SwitchConfig) -> Self {
-        let aggregates = pipeline
-            .stages
-            .iter()
-            .filter_map(|s| match &s.operand {
-                Operand::Aggregate { func, field } => Some((s.operand.key(), *func, field.clone())),
-                Operand::Field(_) => None,
-            })
-            .collect();
         let parser = DeepParser::new(spec, config.max_msgs_per_pass, config.recirc_ports);
-        Switch {
+        let empty = Pipeline {
+            stages: Vec::new(),
+            leaf: LeafTable { actions: HashMap::new(), default: Action::Drop },
+            initial: 0,
+        };
+        let compiled = CompiledPipeline::lower(&empty);
+        let mut sw = Switch {
             parser,
-            pipeline,
+            pipeline: empty,
+            compiled,
+            plan: EvalPlan::default(),
+            scratch: EvalScratch::default(),
             state,
             config,
             stats: SwitchStats::default(),
             port_down: HashSet::new(),
-            aggregates,
-        }
+            aggregates: Vec::new(),
+        };
+        sw.install(pipeline);
+        sw
     }
 
     /// Swap in a recompiled pipeline (dynamic reconfiguration,
-    /// §VIII-G.3). State registers persist across reconfigurations.
+    /// §VIII-G.3), lowering it to the compiled fast path. State
+    /// registers persist across reconfigurations.
     pub fn install(&mut self, pipeline: Pipeline) {
         self.aggregates = pipeline
             .stages
@@ -153,6 +182,9 @@ impl Switch {
                 Operand::Field(_) => None,
             })
             .collect();
+        self.compiled = CompiledPipeline::lower(&pipeline);
+        self.plan = EvalPlan::build(self.parser.spec(), &self.compiled, &pipeline);
+        self.scratch.reset(self.compiled.slots().len());
         self.pipeline = pipeline;
     }
 
@@ -166,6 +198,11 @@ impl Switch {
 
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// The fast-path lowering of the installed pipeline.
+    pub fn compiled(&self) -> &CompiledPipeline {
+        &self.compiled
     }
 
     /// Mark an egress port up or down (link/peer failure). While a
@@ -186,8 +223,121 @@ impl Switch {
     }
 
     /// Process a packet arriving on `ingress` at absolute time
-    /// `now_us`.
+    /// `now_us`, through the compiled fast path: slot-indexed decode
+    /// straight from the packet bytes, reusable keep lists, and
+    /// copy-on-prune replication. Allocation-free once warm.
     pub fn process(&mut self, pkt: &Packet, ingress: Port, now_us: u64) -> SwitchOutput {
+        self.stats.packets += 1;
+        // Parser budget model (≡ DeepParser::parse without the maps).
+        let total = self.plan.message_count(pkt);
+        let budget = (self.config.recirc_ports + 1) * self.config.max_msgs_per_pass;
+        let extract = total.min(budget);
+        let truncated = total - extract;
+        let passes =
+            if total == 0 { 1 } else { extract.div_ceil(self.config.max_msgs_per_pass).max(1) };
+        self.stats.truncated_messages += truncated as u64;
+        self.stats.dropped_resource += truncated as u64;
+        self.stats.recirculation_passes += (passes - 1) as u64;
+
+        let mut out = SwitchOutput {
+            passes,
+            latency_ns: self.config.base_latency_ns
+                + self.config.recirc_latency_ns * (passes as u64 - 1),
+            ..Default::default()
+        };
+
+        let mut counters = EvalCounters::default();
+        let Switch { plan, compiled, state, scratch, stats, port_down, .. } = self;
+        scratch.keep.clear();
+
+        if total == 0 {
+            // Stack-only application (e.g. INT): the packet itself is
+            // the message.
+            if plan.stack_has_fields(pkt) {
+                stats.messages += 1;
+                let id = plan.eval(
+                    compiled,
+                    state,
+                    &mut scratch.values,
+                    pkt,
+                    None,
+                    now_us,
+                    &mut counters,
+                );
+                apply_action(
+                    compiled.action(id),
+                    0,
+                    ingress,
+                    port_down,
+                    &mut scratch.keep,
+                    stats,
+                    &mut out,
+                );
+            }
+        } else {
+            for index in 0..extract {
+                stats.messages += 1;
+                let off = plan.msg_offset(index);
+                let id = plan.eval(
+                    compiled,
+                    state,
+                    &mut scratch.values,
+                    pkt,
+                    Some(off),
+                    now_us,
+                    &mut counters,
+                );
+                apply_action(
+                    compiled.action(id),
+                    index,
+                    ingress,
+                    port_down,
+                    &mut scratch.keep,
+                    stats,
+                    &mut out,
+                );
+            }
+        }
+        stats.stage_hits += counters.stage_hits;
+        stats.stage_misses += counters.stage_misses;
+        stats.entries_scanned += counters.entries_scanned;
+
+        // Crossbar replication + egress pruning: one copy per port. A
+        // copy that keeps every byte shares the input buffer (`Bytes`
+        // is refcounted) instead of deep-cloning.
+        scratch.keep.sort_ports();
+        let share_whole = plan.msg_width == 0;
+        let exact_len = plan.msg_base + total * plan.msg_width;
+        for ti in 0..scratch.keep.touched.len() {
+            let port = scratch.keep.touched[ti];
+            let indices = &scratch.keep.lists[port as usize];
+            let copy = if share_whole || (indices.len() == total && pkt.len() == exact_len) {
+                stats.shared_copies += 1;
+                pkt.clone()
+            } else {
+                stats.deep_copies += 1;
+                pkt.prune_messages(self.parser.spec(), indices)
+            };
+            stats.copies += 1;
+            out.ports.push((port, copy));
+        }
+        out
+    }
+
+    /// Process a batch of `(packet, ingress)` pairs arriving together.
+    /// Amortises per-call overhead and feeds the batch-size counters.
+    pub fn process_batch(&mut self, pkts: &[(Packet, Port)], now_us: u64) -> Vec<SwitchOutput> {
+        self.stats.batches += 1;
+        self.stats.batched_packets += pkts.len() as u64;
+        pkts.iter().map(|(pkt, ingress)| self.process(pkt, *ingress, now_us)).collect()
+    }
+
+    /// The interpreted reference path: `DeepParser::parse` into string-
+    /// keyed maps, `Pipeline::evaluate` per message. Semantically
+    /// identical to [`process`](Self::process) (the differential tests
+    /// pin this); kept for equivalence testing and as the measured
+    /// baseline in the `throughput` experiment.
+    pub fn process_reference(&mut self, pkt: &Packet, ingress: Port, now_us: u64) -> SwitchOutput {
         let outcome = self.parser.parse(pkt);
         self.stats.packets += 1;
         self.stats.truncated_messages += outcome.truncated as u64;
@@ -202,7 +352,7 @@ impl Switch {
         };
 
         // Per-port keep lists (the port mask of §VI-A).
-        let mut keep: HashMap<Port, Vec<usize>> = HashMap::new();
+        let mut keep = KeepLists::default();
 
         if outcome.messages.is_empty() {
             // Stack-only application (e.g. INT): the packet itself is
@@ -210,22 +360,38 @@ impl Switch {
             if pkt.message_count(self.parser.spec()) == 0 && !outcome.stack.is_empty() {
                 self.stats.messages += 1;
                 let action = self.eval_message(&outcome, None, now_us);
-                self.apply_action(action, 0, ingress, &mut keep, &mut out);
+                apply_action(
+                    &action,
+                    0,
+                    ingress,
+                    &self.port_down,
+                    &mut keep,
+                    &mut self.stats,
+                    &mut out,
+                );
             }
         } else {
             for mi in 0..outcome.messages.len() {
                 self.stats.messages += 1;
                 let action = self.eval_message(&outcome, Some(mi), now_us);
                 let index = outcome.messages[mi].index;
-                self.apply_action(action, index, ingress, &mut keep, &mut out);
+                apply_action(
+                    &action,
+                    index,
+                    ingress,
+                    &self.port_down,
+                    &mut keep,
+                    &mut self.stats,
+                    &mut out,
+                );
             }
         }
 
         // Crossbar replication + egress pruning: one copy per port.
-        let mut ports: Vec<Port> = keep.keys().copied().collect();
-        ports.sort_unstable();
-        for port in ports {
-            let indices = &keep[&port];
+        keep.sort_ports();
+        for ti in 0..keep.touched.len() {
+            let port = keep.touched[ti];
+            let indices = &keep.lists[port as usize];
             let copy = if self.parser.spec().messages.is_some() {
                 pkt.prune_messages(self.parser.spec(), indices)
             } else {
@@ -237,51 +403,9 @@ impl Switch {
         out
     }
 
-    fn apply_action(
-        &mut self,
-        action: Action,
-        msg_index: usize,
-        ingress: Port,
-        keep: &mut HashMap<Port, Vec<usize>>,
-        out: &mut SwitchOutput,
-    ) {
-        match action {
-            Action::Forward(ports) => {
-                let mut any = false;
-                let mut suppressed_down = false;
-                for p in ports {
-                    if p == ingress {
-                        continue;
-                    }
-                    if self.port_down.contains(&p) {
-                        self.stats.dropped_port_down += 1;
-                        suppressed_down = true;
-                        continue;
-                    }
-                    keep.entry(p).or_default().push(msg_index);
-                    any = true;
-                }
-                if !any {
-                    self.stats.dropped_messages += 1;
-                    // Attribute the loss once: a message that lost a
-                    // down port is a port-down drop (already counted
-                    // above); otherwise nothing routed it.
-                    if !suppressed_down {
-                        self.stats.dropped_no_route += 1;
-                    }
-                }
-            }
-            Action::Drop => {
-                self.stats.dropped_messages += 1;
-                self.stats.dropped_no_route += 1;
-            }
-            other => out.actions.push((msg_index, other)),
-        }
-    }
-
-    /// Evaluate the pipeline for one message (or the bare stack),
-    /// updating aggregate registers first so the aggregate includes the
-    /// current observation.
+    /// Evaluate the interpreted pipeline for one message (or the bare
+    /// stack), updating aggregate registers first so the aggregate
+    /// includes the current observation.
     fn eval_message(&mut self, outcome: &ParseOutcome, msg: Option<usize>, now_us: u64) -> Action {
         // 1. Update every aggregate register with its field value.
         let field_value = |key: &str| -> Option<Value> {
@@ -302,6 +426,50 @@ impl Switch {
             Operand::Field(_) => field_value(&op.key()),
             Operand::Aggregate { .. } => agg_values.get(&op.key()).cloned(),
         })
+    }
+}
+
+/// Route one message's action into the keep lists and stats.
+fn apply_action(
+    action: &Action,
+    msg_index: usize,
+    ingress: Port,
+    port_down: &HashSet<Port>,
+    keep: &mut KeepLists,
+    stats: &mut SwitchStats,
+    out: &mut SwitchOutput,
+) {
+    match action {
+        Action::Forward(ports) => {
+            let mut any = false;
+            let mut suppressed_down = false;
+            for &p in ports {
+                if p == ingress {
+                    continue;
+                }
+                if port_down.contains(&p) {
+                    stats.dropped_port_down += 1;
+                    suppressed_down = true;
+                    continue;
+                }
+                keep.push(p, msg_index);
+                any = true;
+            }
+            if !any {
+                stats.dropped_messages += 1;
+                // Attribute the loss once: a message that lost a down
+                // port is a port-down drop (already counted above);
+                // otherwise nothing routed it.
+                if !suppressed_down {
+                    stats.dropped_no_route += 1;
+                }
+            }
+        }
+        Action::Drop => {
+            stats.dropped_messages += 1;
+            stats.dropped_no_route += 1;
+        }
+        other => out.actions.push((msg_index, other.clone())),
     }
 }
 
@@ -521,6 +689,104 @@ mod tests {
         sw.process(&b.build(), 0, 0);
         assert_eq!(sw.stats().dropped_resource, sw.stats().truncated_messages);
         assert_eq!(sw.stats().dropped_resource, 3);
+    }
+
+    #[test]
+    fn copy_on_prune_shares_unpruned_buffers() {
+        let mut sw = itch_switch("price > 0: fwd(1)\n");
+        let spec = itch_spec();
+        // Every message kept: the output copy shares the input buffer.
+        let pkt = PacketBuilder::new(&spec).message(order("A", 1)).message(order("B", 2)).build();
+        let out = sw.process(&pkt, 0, 0);
+        assert_eq!(out.ports.len(), 1);
+        assert_eq!(out.ports[0].1, pkt);
+        assert_eq!(sw.stats().shared_copies, 1);
+        assert_eq!(sw.stats().deep_copies, 0);
+        // One message pruned: a materialised copy is unavoidable.
+        let pkt = PacketBuilder::new(&spec).message(order("A", 9)).message(order("B", 0)).build();
+        let out = sw.process(&pkt, 0, 1);
+        assert_eq!(out.ports[0].1.message_count(&spec), 1);
+        assert_eq!(sw.stats().shared_copies, 1);
+        assert_eq!(sw.stats().deep_copies, 1);
+        assert_eq!(sw.stats().copies, 2);
+    }
+
+    #[test]
+    fn stack_only_copies_are_shared() {
+        let spec = camus_lang::spec::int_spec();
+        let statics = compile_static(&spec).unwrap();
+        let rules = parse_rules("switch_id == 2: fwd(3)\n").unwrap();
+        let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+        let mut sw = Switch::new(&statics, compiled.pipeline, SwitchConfig::default());
+        let pkt = PacketBuilder::new(&spec).stack_field("int_report", "switch_id", 2i64).build();
+        sw.process(&pkt, 0, 0);
+        assert_eq!(sw.stats().shared_copies, 1);
+        assert_eq!(sw.stats().deep_copies, 0);
+    }
+
+    #[test]
+    fn process_batch_counts_batch_sizes() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let pkts: Vec<(Packet, Port)> = (0..5)
+            .map(|i| (PacketBuilder::new(&spec).message(order("GOOGL", i)).build(), 0))
+            .collect();
+        let outs = sw.process_batch(&pkts, 0);
+        assert_eq!(outs.len(), 5);
+        assert!(outs.iter().all(|o| o.ports.len() == 1));
+        assert_eq!(sw.stats().batches, 1);
+        assert_eq!(sw.stats().batched_packets, 5);
+        assert_eq!(sw.stats().packets, 5);
+    }
+
+    #[test]
+    fn eval_counters_accumulate() {
+        let mut sw = itch_switch("stock == GOOGL and price > 50: fwd(1)\n");
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec)
+            .message(order("GOOGL", 60))
+            .message(order("MSFT", 10))
+            .build();
+        sw.process(&pkt, 0, 0);
+        let s = sw.stats();
+        assert!(s.stage_hits > 0, "matching message transitions stages");
+        assert!(s.entries_scanned > 0);
+        assert_eq!(s.stage_hits + s.stage_misses, 2 * sw.compiled().depth() as u64);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_path() {
+        let rules = "stock == GOOGL and avg(price) > 40: fwd(1)\n\
+                     price > 25: fwd(2)\n\
+                     shares < 100 and price >= 30: fwd(3)\n\
+                     side == 1: drop()\n";
+        let mut fast = itch_switch(rules);
+        let mut reference = fast.clone();
+        let spec = itch_spec();
+        let feeds = [
+            vec![order("GOOGL", 50)],
+            vec![order("GOOD", 10), order("MSFT", 30)],
+            vec![order("GOOGL", 80), order("GOOGL", 5), order("AAPL", 26)],
+            vec![],
+        ];
+        for (t, msgs) in feeds.iter().enumerate() {
+            let mut b = PacketBuilder::new(&spec).stack_field("moldudp", "seq", t as i64);
+            for m in msgs {
+                b = b.message(m.clone());
+            }
+            let pkt = b.build();
+            let a = fast.process(&pkt, 0, t as u64 * 10);
+            let r = reference.process_reference(&pkt, 0, t as u64 * 10);
+            assert_eq!(a.ports, r.ports, "packet {t}");
+            assert_eq!(a.actions, r.actions, "packet {t}");
+            assert_eq!(a.latency_ns, r.latency_ns);
+            assert_eq!(a.passes, r.passes);
+        }
+        let (f, r) = (fast.stats(), reference.stats());
+        assert_eq!(f.messages, r.messages);
+        assert_eq!(f.dropped_messages, r.dropped_messages);
+        assert_eq!(f.copies, r.copies);
+        assert_eq!(f.dropped_no_route, r.dropped_no_route);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Steady-state allocation audit for the compiled fast path.
+//!
+//! A counting global allocator wraps `System`; after warming the
+//! switch (scratch slots sized, string buffers grown, aggregate
+//! registers created), repeated `Switch::process` calls on drop-path
+//! packets must perform **zero** heap allocations, and matching-path
+//! packets only the unavoidable output-assembly ones.
+//!
+//! This file holds exactly one `#[test]`: the allocator counter is
+//! global, so a second concurrently running test would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use camus_core::compiler::Compiler;
+use camus_core::statics::compile_static;
+use camus_dataplane::packet::PacketBuilder;
+use camus_dataplane::switch::{Switch, SwitchConfig};
+use camus_lang::parser::parse_rules;
+use camus_lang::spec::itch_spec;
+use camus_lang::value::Value;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_process_does_not_allocate() {
+    let spec = itch_spec();
+    let statics = compile_static(&spec).unwrap();
+    let rules = parse_rules(
+        "stock == GOOGL and avg(price) > 5: fwd(1)\n\
+         price > 900: fwd(2)\n\
+         stock == MSFT: fwd(3)\n",
+    )
+    .unwrap();
+    let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+    let mut sw = Switch::new(&statics, compiled.pipeline, SwitchConfig::default());
+
+    let order =
+        |stock: &str, price: i64| vec![("stock", Value::from(stock)), ("price", Value::Int(price))];
+    // No rule matches any of these messages: pure evaluation, no output.
+    let drop_pkt = PacketBuilder::new(&spec)
+        .message(order("ZZZZ", 10))
+        .message(order("YYYY", 20))
+        .message(order("XXXX", 30))
+        .build();
+    // Both messages match (multicast on the second): output assembly runs.
+    let fwd_pkt =
+        PacketBuilder::new(&spec).message(order("GOOGL", 99)).message(order("MSFT", 950)).build();
+
+    // Warm up: size the slot scratch's string buffers, create the
+    // aggregate registers, and grow the keep lists to every port seen.
+    for _ in 0..32 {
+        sw.process(&drop_pkt, 0, 5);
+        sw.process(&fwd_pkt, 0, 5);
+    }
+
+    // Drop path: strictly zero heap traffic per packet.
+    let before = allocs();
+    for _ in 0..500 {
+        let out = sw.process(&drop_pkt, 0, 5);
+        assert!(out.ports.is_empty());
+    }
+    assert_eq!(allocs() - before, 0, "drop-path processing must not allocate");
+
+    // Matching path: only output assembly (SwitchOutput's port vector;
+    // the shared packet clone is a refcount bump). Budget a handful of
+    // allocations per packet — evaluation itself contributes none.
+    let before = allocs();
+    let rounds = 500u64;
+    for _ in 0..rounds {
+        let out = sw.process(&fwd_pkt, 0, 5);
+        let ports: Vec<u16> = out.ports.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![1, 2, 3], "actions: {:?}", out.actions);
+    }
+    let per_packet = (allocs() - before) / rounds;
+    assert!(per_packet <= 12, "matching path allocates {per_packet}/packet, want <= 12");
+}

@@ -22,15 +22,20 @@
 //! [`CompileError::Panicked`] instead of aborting the controller.
 
 use crate::algorithm1::RoutingResult;
+use crate::par::UnitPanic;
 use crate::topology::HierNet;
 use camus_core::compiler::{CompileError, Compiled, Compiler};
 use camus_lang::ast::Rule;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+impl From<UnitPanic> for CompileError {
+    fn from(p: UnitPanic) -> Self {
+        CompileError::Panicked { unit: p.unit, message: p.message }
+    }
+}
 
 /// Per-switch compile outcome retained by the controller.
 #[derive(Debug, Clone)]
@@ -152,55 +157,14 @@ pub fn fingerprint_rules(rules: &[Rule]) -> u64 {
     h.finish()
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
-}
-
-/// Run `f(0..n)` across worker threads with an atomic work-stealing
-/// claim index: each worker grabs the next unclaimed unit, so a slow
-/// unit delays only itself. Per-unit panics become
-/// [`CompileError::Panicked`].
+/// Run `f(0..n)` with the shared work-stealing pool, mapping worker
+/// panics to [`CompileError::Panicked`].
 fn run_parallel<T, F>(n: usize, f: F) -> Vec<Result<T, CompileError>>
 where
     T: Send,
     F: Fn(usize) -> Result<T, CompileError> + Sync,
 {
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Result<T, CompileError>)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let res = catch_unwind(AssertUnwindSafe(|| f(i))).unwrap_or_else(|payload| {
-                        Err(CompileError::Panicked {
-                            unit: i,
-                            message: panic_message(payload.as_ref()),
-                        })
-                    });
-                    local.push((i, res));
-                }
-                results.lock().unwrap().extend(local);
-            });
-        }
-    });
-    let mut collected = results.into_inner().unwrap();
-    collected.sort_unstable_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    crate::par::run_parallel(n, f)
 }
 
 /// Compile every switch of a hierarchical routing result in parallel —

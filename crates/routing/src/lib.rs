@@ -28,9 +28,11 @@
 
 pub mod algorithm1;
 pub mod compile;
+pub mod par;
 pub mod spanning;
 pub mod topology;
 pub mod verify;
 
 pub use algorithm1::{route_hierarchical, Policy, RoutingConfig, RoutingResult};
+pub use par::{run_parallel, UnitPanic};
 pub use topology::{HierNet, HostId, SwitchId, LOGICAL_UP};
