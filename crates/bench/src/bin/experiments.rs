@@ -23,6 +23,7 @@ const IDS: &[&str] = &[
     "fig15",
     "churn",
     "faults",
+    "chaos",
     "throughput",
 ];
 
@@ -39,6 +40,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "fig15" => !experiments::fig15::run(scale).is_empty(),
         "churn" => !experiments::churn::run(scale).is_empty(),
         "faults" => !experiments::faults::run(scale).is_empty(),
+        "chaos" => !experiments::chaos::run(scale).is_empty(),
         "throughput" => !experiments::throughput::run(scale).is_empty(),
         _ => return false,
     };

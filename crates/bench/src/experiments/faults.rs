@@ -34,8 +34,9 @@ use camus_workloads::siena::{SienaConfig, SienaGenerator};
 use std::collections::HashMap;
 
 /// Same workload shape as the churn experiment (the point is to compare
-/// repair against subscription churn on identical state).
-fn generator(seed: u64) -> SienaGenerator {
+/// repair against subscription churn on identical state). Shared with
+/// the chaos soak, which interleaves both kinds of change.
+pub(crate) fn generator(seed: u64) -> SienaGenerator {
     SienaGenerator::new(SienaConfig {
         predicates_per_filter: 2,
         n_attributes: 3,

@@ -22,8 +22,11 @@ use camus_baselines::cost::CostModel;
 use camus_baselines::linear::LinearFilter;
 use camus_core::compiled::{ActionId, CompiledPipeline};
 use camus_core::compiler::Compiler;
+use camus_core::resources::{self, ResourceBudget};
+use camus_core::statics::compile_static;
 use camus_lang::ast::{Action, Expr, Rule};
 use camus_lang::parser::parse_expr;
+use camus_lang::spec::int_spec;
 use camus_lang::value::Value;
 use camus_workloads::int::{IntFeed, IntFeedConfig};
 use std::collections::HashMap;
@@ -88,6 +91,25 @@ pub fn measure_compiled_pps(n_filters: usize, sample_packets: usize) -> f64 {
     probes.len() as f64 / dt
 }
 
+/// Worst-dimension hardware utilization of the compiled pipeline
+/// against the default per-switch budget, as a percentage.
+fn hw_util_pct(n_filters: usize) -> f64 {
+    let statics = compile_static(&int_spec()).expect("int spec compiles");
+    let rules: Vec<Rule> = filters(n_filters)
+        .into_iter()
+        .enumerate()
+        .map(|(i, filter)| Rule { filter, action: Action::Forward(vec![(i % 64) as u16 + 1]) })
+        .collect();
+    let pipeline = Compiler::new()
+        .with_static(statics.clone())
+        .compile(&rules)
+        .expect("fig9 filters compile")
+        .pipeline;
+    let report = resources::report(&pipeline, pipeline.multicast_group_count(), &statics.widths());
+    ResourceBudget::default().utilization(&report).into_iter().map(|(_, f)| f).fold(0.0, f64::max)
+        * 100.0
+}
+
 pub fn run(scale: Scale) -> Vec<Table> {
     let model = CostModel::default();
     let counts: &[usize] = match scale {
@@ -98,13 +120,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let compiled_cap = scale.pick(1_000, 10_000);
     let mut t = Table::new(
         "Fig. 9: INT filtering throughput vs #filters",
-        &["filters", "c", "dpdk", "camus", "rust-measured", "rust-compiled"],
+        &["filters", "c", "dpdk", "camus", "rust-measured", "rust-compiled", "hw-util"],
     );
     for &n in counts {
-        let compiled = if n <= compiled_cap {
-            fmt_mpps(measure_compiled_pps(n, sample))
+        let (compiled, util) = if n <= compiled_cap {
+            (fmt_mpps(measure_compiled_pps(n, sample)), format!("{:.2}%", hw_util_pct(n)))
         } else {
-            "-".to_string()
+            ("-".to_string(), "-".to_string())
         };
         t.row([
             n.to_string(),
@@ -113,6 +135,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fmt_mpps(model.camus_pps(n)),
             fmt_mpps(measure_rust_pps(n, sample)),
             compiled,
+            util,
         ]);
     }
     t.emit("fig9");

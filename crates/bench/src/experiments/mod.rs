@@ -2,6 +2,7 @@
 //! `run(scale) -> Vec<Table>`: `Scale::Quick` shrinks workload sizes
 //! for CI; `Scale::Full` matches the paper's parameters.
 
+pub mod chaos;
 pub mod churn;
 pub mod faults;
 pub mod fig11;

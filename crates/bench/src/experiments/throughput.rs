@@ -25,6 +25,7 @@ use camus_core::compiler::Compiler;
 use camus_core::pipeline::{
     LeafTable, MatchKind, MatchSpec, Pipeline, StageTable, TableEntry, STATE_INIT,
 };
+use camus_core::resources::{self, ResourceBudget, ResourceReport};
 use camus_core::statics::compile_static;
 use camus_dataplane::packet::{Packet, PacketBuilder};
 use camus_dataplane::switch::{Switch, SwitchConfig, SwitchStats};
@@ -133,6 +134,21 @@ fn measure_lane(n_filters: usize, packets: &[Packet], shards: usize) -> Lane {
     stats.batches = batcher.stats().batches;
     stats.batched_packets = batcher.stats().batched_packets;
     Lane { filters: n_filters, interp_ns, compiled_ns, batch_mpps, parallel_mpps, stats }
+}
+
+/// The resource report a switch's admission control would see for this
+/// filter count, plus whether it fits the default Tofino-class budget.
+fn resource_lane(n_filters: usize) -> (ResourceReport, bool) {
+    let statics = compile_static(&int_spec()).expect("int spec compiles");
+    let compiled =
+        Compiler::new().with_static(statics.clone()).compile(&rules(n_filters)).expect("compiles");
+    let report = resources::report(
+        &compiled.pipeline,
+        compiled.pipeline.multicast_group_count(),
+        &statics.widths(),
+    );
+    let fits = ResourceBudget::default().admit(&report).is_ok();
+    (report, fits)
 }
 
 /// A depth-`d` state chain over one operand: stage `i` advances state
@@ -274,8 +290,40 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
     c.emit("throughput_counters");
 
+    let mut d = Table::new(
+        "Per-switch resource utilization vs the default Tofino-class budget",
+        &[
+            "filters",
+            "tables",
+            "entries",
+            "sram_kb",
+            "tcam_entries",
+            "mcast",
+            "state_bits",
+            "max_util_pct",
+            "fits_budget",
+        ],
+    );
+    let budget = ResourceBudget::default();
+    for &n in counts {
+        let (r, fits) = resource_lane(n);
+        let max_util = budget.utilization(&r).into_iter().map(|(_, f)| f).fold(0.0f64, f64::max);
+        d.row([
+            n.to_string(),
+            r.tables.to_string(),
+            r.total_entries.to_string(),
+            format!("{:.1}", r.sram_bits as f64 / 8.0 / 1024.0),
+            r.tcam_entries.to_string(),
+            r.multicast_groups.to_string(),
+            r.state_bits.to_string(),
+            format!("{:.2}", max_util * 100.0),
+            fits.to_string(),
+        ]);
+    }
+    d.emit("throughput_resources");
+
     write_json(scale, &lanes, &depths);
-    vec![a, b, c]
+    vec![a, b, c, d]
 }
 
 #[cfg(test)]
@@ -306,10 +354,29 @@ mod tests {
     #[test]
     fn quick_run_emits_tables_and_json() {
         let tables = run(Scale::Quick);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         assert_eq!(tables[0].rows.len(), 3);
         let json = std::fs::read_to_string("BENCH_throughput.json").unwrap();
         assert!(json.contains("\"by_filter_count\""));
         assert!(json.contains("\"eval_ns_by_depth\""));
+    }
+
+    #[test]
+    fn thousand_filter_workload_fits_default_budget() {
+        // The paper installs ~1 K filters on one Tofino (§VIII-E); the
+        // modelled default budget must admit that pipeline with head
+        // room to spare.
+        let (report, fits) = resource_lane(1_000);
+        assert!(fits, "1k-filter pipeline over budget: {}", report.summary());
+        let worst = ResourceBudget::default()
+            .utilization(&report)
+            .into_iter()
+            .fold(("", 0.0f64), |acc, (k, f)| if f > acc.1 { (k, f) } else { acc });
+        assert!(
+            worst.1 < 0.5,
+            "dimension {} at {:.0}% leaves no head room",
+            worst.0,
+            worst.1 * 100.0
+        );
     }
 }

@@ -53,4 +53,4 @@ pub mod tables;
 pub use compiled::{ActionId, CompiledPipeline, EvalCounters};
 pub use compiler::{Compiled, Compiler, CompilerConfig};
 pub use pipeline::{MatchKind, MatchSpec, Pipeline, StageTable, StateId, TableEntry};
-pub use resources::ResourceReport;
+pub use resources::{AdmissionError, BudgetViolation, ResourceBudget, ResourceReport};

@@ -206,6 +206,26 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
+    /// The empty pipeline: no stages, drop everything. The state a
+    /// switch boots with before its first install.
+    pub fn empty() -> Pipeline {
+        Pipeline {
+            stages: Vec::new(),
+            leaf: LeafTable { actions: HashMap::new(), default: Action::Drop },
+            initial: STATE_INIT,
+        }
+    }
+
+    /// Distinct multicast groups referenced by the leaf table — the
+    /// group count a switch must provision when it only has the
+    /// pipeline (the compiler's [`crate::resources::ResourceReport`]
+    /// carries the allocator's own count, which matches).
+    pub fn multicast_group_count(&self) -> usize {
+        let groups: std::collections::HashSet<u32> =
+            self.leaf.actions.values().filter_map(|(_, g)| *g).collect();
+        groups.len()
+    }
+
     /// Evaluate the pipeline on a packet given by an attribute lookup,
     /// returning the merged action. This is the software model of the
     /// hardware traversal of Fig. 6.

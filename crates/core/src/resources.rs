@@ -61,6 +61,181 @@ impl ResourceReport {
     }
 }
 
+/// Per-switch resource budget (Table I of the paper). A compiled
+/// pipeline is *admitted* onto a switch only if its [`ResourceReport`]
+/// fits inside every limit; otherwise the install is rejected (or the
+/// switch degrades to a coarse pipeline — the controller's choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Match stages plus the leaf stage.
+    pub max_tables: usize,
+    /// SRAM capacity in bits.
+    pub max_sram_bits: u64,
+    /// TCAM capacity in physical (post range-expansion) entries.
+    pub max_tcam_entries: u64,
+    /// Multicast group table size.
+    pub max_multicast_groups: usize,
+    /// PHV bits available to carry the inter-stage BDD state.
+    pub max_state_bits: u32,
+}
+
+impl Default for ResourceBudget {
+    /// A Tofino-class budget: 20 logical tables (one per physical
+    /// stage, plus table sharing headroom), ~120 Mb of SRAM, 64k TCAM
+    /// entries, 64k multicast groups, and a 24-bit PHV state field.
+    /// Sized so the paper's 1k-filter workloads fit comfortably while
+    /// pathological range-heavy rule sets are still rejected.
+    fn default() -> Self {
+        ResourceBudget {
+            max_tables: 20,
+            max_sram_bits: 120 * 1024 * 1024,
+            max_tcam_entries: 64 * 1024,
+            max_multicast_groups: 64 * 1024,
+            max_state_bits: 24,
+        }
+    }
+}
+
+impl ResourceBudget {
+    /// A budget that admits everything. Used where deployment is not
+    /// the subject under test (the simulator's default) so that
+    /// arbitrarily large synthetic workloads still install.
+    pub fn unlimited() -> Self {
+        ResourceBudget {
+            max_tables: usize::MAX,
+            max_sram_bits: u64::MAX,
+            max_tcam_entries: u64::MAX,
+            max_multicast_groups: usize::MAX,
+            max_state_bits: u32::MAX,
+        }
+    }
+
+    /// Every limit the report exceeds, in a stable order.
+    pub fn check(&self, r: &ResourceReport) -> Vec<BudgetViolation> {
+        let mut v = Vec::new();
+        if r.tables > self.max_tables {
+            v.push(BudgetViolation::Tables { used: r.tables, limit: self.max_tables });
+        }
+        if r.sram_bits > self.max_sram_bits {
+            v.push(BudgetViolation::SramBits { used: r.sram_bits, limit: self.max_sram_bits });
+        }
+        if r.tcam_entries > self.max_tcam_entries {
+            v.push(BudgetViolation::TcamEntries {
+                used: r.tcam_entries,
+                limit: self.max_tcam_entries,
+            });
+        }
+        if r.multicast_groups > self.max_multicast_groups {
+            v.push(BudgetViolation::MulticastGroups {
+                used: r.multicast_groups,
+                limit: self.max_multicast_groups,
+            });
+        }
+        if r.state_bits > self.max_state_bits {
+            v.push(BudgetViolation::StateBits { used: r.state_bits, limit: self.max_state_bits });
+        }
+        v
+    }
+
+    /// Admit or reject the report.
+    pub fn admit(&self, r: &ResourceReport) -> Result<(), AdmissionError> {
+        let violations = self.check(r);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(AdmissionError { violations })
+        }
+    }
+
+    /// Fractional utilisation per dimension (1.0 = at capacity).
+    /// Unlimited dimensions report 0.0.
+    pub fn utilization(&self, r: &ResourceReport) -> Vec<(&'static str, f64)> {
+        fn frac(used: u64, limit: u64, unlimited: bool) -> f64 {
+            if unlimited {
+                0.0
+            } else {
+                used as f64 / limit as f64
+            }
+        }
+        vec![
+            (
+                "tables",
+                frac(r.tables as u64, self.max_tables as u64, self.max_tables == usize::MAX),
+            ),
+            ("sram_bits", frac(r.sram_bits, self.max_sram_bits, self.max_sram_bits == u64::MAX)),
+            (
+                "tcam_entries",
+                frac(r.tcam_entries, self.max_tcam_entries, self.max_tcam_entries == u64::MAX),
+            ),
+            (
+                "mcast_groups",
+                frac(
+                    r.multicast_groups as u64,
+                    self.max_multicast_groups as u64,
+                    self.max_multicast_groups == usize::MAX,
+                ),
+            ),
+            (
+                "state_bits",
+                frac(
+                    u64::from(r.state_bits),
+                    u64::from(self.max_state_bits),
+                    self.max_state_bits == u32::MAX,
+                ),
+            ),
+        ]
+    }
+}
+
+/// One exceeded budget dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetViolation {
+    Tables { used: usize, limit: usize },
+    SramBits { used: u64, limit: u64 },
+    TcamEntries { used: u64, limit: u64 },
+    MulticastGroups { used: usize, limit: usize },
+    StateBits { used: u32, limit: u32 },
+}
+
+impl std::fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetViolation::Tables { used, limit } => write!(f, "tables {used} > {limit}"),
+            BudgetViolation::SramBits { used, limit } => write!(f, "sram bits {used} > {limit}"),
+            BudgetViolation::TcamEntries { used, limit } => {
+                write!(f, "tcam entries {used} > {limit}")
+            }
+            BudgetViolation::MulticastGroups { used, limit } => {
+                write!(f, "multicast groups {used} > {limit}")
+            }
+            BudgetViolation::StateBits { used, limit } => {
+                write!(f, "state bits {used} > {limit}")
+            }
+        }
+    }
+}
+
+/// Admission failure: the pipeline exceeds one or more budget limits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionError {
+    pub violations: Vec<BudgetViolation>,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline over budget: ")?;
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// Number of prefix (mask) entries needed to cover the integer range
 /// `[lo, hi]` inside a `width`-bit space — the classic range-to-prefix
 /// expansion. Out-of-domain bounds are clamped.
@@ -262,6 +437,46 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("tables="));
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn unlimited_budget_admits_everything() {
+        let many: String = (0..500).map(|i| format!("id == {i}: fwd({})\n", i + 1)).collect();
+        let r = report_for(&many);
+        assert!(ResourceBudget::unlimited().admit(&r).is_ok());
+    }
+
+    #[test]
+    fn tight_budget_rejects_with_named_violations() {
+        let r = report_for("price > 50: fwd(1)\nprice < 10: fwd(2)\n");
+        let budget =
+            ResourceBudget { max_tables: 1, max_tcam_entries: 0, ..ResourceBudget::unlimited() };
+        let err = budget.admit(&r).unwrap_err();
+        assert!(err.violations.iter().any(|v| matches!(v, BudgetViolation::Tables { .. })));
+        assert!(err.violations.iter().any(|v| matches!(v, BudgetViolation::TcamEntries { .. })));
+        let msg = err.to_string();
+        assert!(msg.contains("tables"), "{msg}");
+        assert!(msg.contains("tcam"), "{msg}");
+    }
+
+    #[test]
+    fn default_budget_fits_modest_workload() {
+        let many: String = (0..200).map(|i| format!("id == {i}: fwd({})\n", i + 1)).collect();
+        let r = report_for(&many);
+        assert!(ResourceBudget::default().admit(&r).is_ok(), "{}", r.summary());
+    }
+
+    #[test]
+    fn utilization_fractions_are_sane() {
+        let r = report_for("stock == A: fwd(1)\n");
+        let budget = ResourceBudget::default();
+        for (name, frac) in budget.utilization(&r) {
+            assert!((0.0..=1.0).contains(&frac), "{name} = {frac}");
+        }
+        // Unlimited budget reports zero utilisation everywhere.
+        for (_, frac) in ResourceBudget::unlimited().utilization(&r) {
+            assert_eq!(frac, 0.0);
+        }
     }
 
     #[test]

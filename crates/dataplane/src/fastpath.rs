@@ -154,6 +154,17 @@ impl EvalPlan {
         self.stack_field_ends.iter().any(|&end| pkt.len() >= end)
     }
 
+    /// Whether the packet's geometry is malformed for this spec: a
+    /// truncated stack, or trailing bytes that do not form a whole
+    /// batched message. Such bytes are never decoded — a graceful
+    /// parse miss — but the switch counts the packet.
+    pub fn is_malformed(&self, pkt: &Packet) -> bool {
+        if pkt.len() < self.msg_base {
+            return true;
+        }
+        self.msg_width != 0 && !(pkt.len() - self.msg_base).is_multiple_of(self.msg_width)
+    }
+
     /// Evaluate one message (`msg_off = Some(byte offset)`) or the bare
     /// stack (`None`) against the compiled pipeline. `values` is the
     /// reusable slot scratch (`len == compiled.slots().len()`).

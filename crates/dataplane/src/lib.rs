@@ -36,4 +36,4 @@ pub use fastpath::{EvalPlan, EvalScratch};
 pub use packet::{Packet, PacketBuilder};
 pub use parser::{DeepParser, ParseOutcome};
 pub use state::StateStore;
-pub use switch::{Switch, SwitchConfig, SwitchOutput};
+pub use switch::{InstallError, Switch, SwitchConfig, SwitchOutput, SwitchStats};

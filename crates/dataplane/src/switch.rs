@@ -18,12 +18,14 @@ use crate::packet::Packet;
 use crate::parser::{DeepParser, ParseOutcome};
 use crate::state::StateStore;
 use camus_core::compiled::{CompiledPipeline, EvalCounters};
-use camus_core::pipeline::{LeafTable, Pipeline};
+use camus_core::pipeline::Pipeline;
+use camus_core::resources::{self, AdmissionError, ResourceBudget, ResourceReport};
 use camus_core::statics::StaticPipeline;
 use camus_lang::ast::{Action, AggFunc, Operand, Port};
 use camus_lang::spec::Spec;
 use camus_lang::value::Value;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// Hardware-model parameters.
 #[derive(Debug, Clone)]
@@ -38,6 +40,10 @@ pub struct SwitchConfig {
     pub recirc_latency_ns: u64,
     /// Window for aggregates without an explicit `@counter`.
     pub default_window_us: u64,
+    /// Resource budget every installed pipeline must fit (Table I).
+    /// Defaults to unlimited so unbudgeted simulations never reject;
+    /// the controller overrides it per switch for admission control.
+    pub budget: ResourceBudget,
 }
 
 impl Default for SwitchConfig {
@@ -48,7 +54,55 @@ impl Default for SwitchConfig {
             base_latency_ns: 600,
             recirc_latency_ns: 400,
             default_window_us: 100,
+            budget: ResourceBudget::unlimited(),
         }
+    }
+}
+
+/// Why an install was refused. The previous program keeps forwarding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The compiled pipeline exceeds this switch's resource budget.
+    OverBudget(AdmissionError),
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::OverBudget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// A complete forwarding program: the control-plane pipeline plus
+/// everything lowered from it at install time. Built shadow-side and
+/// swapped in atomically, so a failed build never disturbs forwarding.
+#[derive(Debug, Clone)]
+struct Program {
+    pipeline: Pipeline,
+    /// Fast-path lowering of `pipeline`.
+    compiled: CompiledPipeline,
+    /// Slot resolution of `compiled` against the spec.
+    plan: EvalPlan,
+    /// Aggregate operands appearing in the pipeline, cached.
+    aggregates: Vec<(String, AggFunc, String)>, // (key, func, field)
+}
+
+impl Program {
+    fn build(spec: &Spec, pipeline: Pipeline) -> Program {
+        let aggregates = pipeline
+            .stages
+            .iter()
+            .filter_map(|s| match &s.operand {
+                Operand::Aggregate { func, field } => Some((s.operand.key(), *func, field.clone())),
+                Operand::Field(_) => None,
+            })
+            .collect();
+        let compiled = CompiledPipeline::lower(&pipeline);
+        let plan = EvalPlan::build(spec, &compiled, &pipeline);
+        Program { pipeline, compiled, plan, aggregates }
     }
 }
 
@@ -57,6 +111,10 @@ impl Default for SwitchConfig {
 pub struct SwitchStats {
     pub packets: u64,
     pub messages: u64,
+    /// Packets whose geometry does not fit the spec (truncated stack
+    /// or a partial trailing message). The decodable prefix is still
+    /// processed; the malformed tail is a graceful parse miss.
+    pub malformed: u64,
     pub truncated_messages: u64,
     pub recirculation_passes: u64,
     /// Messages forwarded nowhere (every target port pruned), whatever
@@ -112,11 +170,17 @@ pub struct SwitchOutput {
 #[derive(Debug, Clone)]
 pub struct Switch {
     parser: DeepParser,
-    pipeline: Pipeline,
-    /// Fast-path lowering of `pipeline`, rebuilt on install.
-    compiled: CompiledPipeline,
-    /// Slot resolution of `compiled` against the spec.
-    plan: EvalPlan,
+    /// The live forwarding program.
+    program: Program,
+    /// Shadow-side program staged by [`stage`](Self::stage), awaiting
+    /// commit. Never touches the data path.
+    staged: Option<Program>,
+    /// The program displaced by the last commit, retained until
+    /// [`finalize_install`](Self::finalize_install) so a network-wide
+    /// transaction can still revert this switch.
+    retired: Option<Program>,
+    /// Field widths for resource accounting, derived from the spec.
+    widths: HashMap<String, u32>,
     /// Reusable per-packet scratch (slot values + keep lists).
     scratch: EvalScratch,
     state: StateStore,
@@ -125,8 +189,6 @@ pub struct Switch {
     /// Egress ports currently marked down (fault model): forwarding
     /// decisions towards them are suppressed and counted.
     port_down: HashSet<Port>,
-    /// Aggregate operands appearing in the pipeline, cached.
-    aggregates: Vec<(String, AggFunc, String)>, // (key, func, field)
 }
 
 impl Switch {
@@ -147,45 +209,110 @@ impl Switch {
     }
 
     fn with_spec(spec: Spec, pipeline: Pipeline, state: StateStore, config: SwitchConfig) -> Self {
+        // Widths for resource accounting: dotted path plus bare name
+        // (the compiler keys stages by the bare name when unambiguous).
+        let mut widths = HashMap::new();
+        for (path, f) in spec.subscribable_fields() {
+            let bare = path.rsplit('.').next().unwrap_or(&path).to_string();
+            widths.insert(path, f.width_bits);
+            widths.insert(bare, f.width_bits);
+        }
         let parser = DeepParser::new(spec, config.max_msgs_per_pass, config.recirc_ports);
-        let empty = Pipeline {
-            stages: Vec::new(),
-            leaf: LeafTable { actions: HashMap::new(), default: Action::Drop },
-            initial: 0,
-        };
-        let compiled = CompiledPipeline::lower(&empty);
+        let program = Program::build(parser.spec(), Pipeline::empty());
         let mut sw = Switch {
             parser,
-            pipeline: empty,
-            compiled,
-            plan: EvalPlan::default(),
+            program,
+            staged: None,
+            retired: None,
+            widths,
             scratch: EvalScratch::default(),
             state,
             config,
             stats: SwitchStats::default(),
             port_down: HashSet::new(),
-            aggregates: Vec::new(),
         };
         sw.install(pipeline);
         sw
     }
 
-    /// Swap in a recompiled pipeline (dynamic reconfiguration,
-    /// §VIII-G.3), lowering it to the compiled fast path. State
-    /// registers persist across reconfigurations.
+    /// Account `pipeline` against this switch's budget without
+    /// touching any install state.
+    pub fn admit(&self, pipeline: &Pipeline) -> Result<ResourceReport, InstallError> {
+        let report = resources::report(pipeline, pipeline.multicast_group_count(), &self.widths);
+        self.config.budget.admit(&report).map_err(InstallError::OverBudget)?;
+        Ok(report)
+    }
+
+    /// Phase one of an install: validate `pipeline` against the
+    /// resource budget and build it shadow-side. Forwarding is
+    /// untouched; on rejection nothing is staged and the previous
+    /// staged program (if any) is kept.
+    pub fn stage(&mut self, pipeline: Pipeline) -> Result<ResourceReport, InstallError> {
+        let report = self.admit(&pipeline)?;
+        self.staged = Some(Program::build(self.parser.spec(), pipeline));
+        Ok(report)
+    }
+
+    /// Phase two: atomically swap the staged program into the data
+    /// path. The displaced program is retained so the commit can still
+    /// be reverted until [`finalize_install`](Self::finalize_install).
+    /// Returns `false` (a no-op) when nothing is staged.
+    pub fn commit_staged(&mut self) -> bool {
+        match self.staged.take() {
+            Some(p) => {
+                self.scratch.reset(p.compiled.slots().len());
+                self.retired = Some(std::mem::replace(&mut self.program, p));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Undo a not-yet-finalised commit: the retired program resumes
+    /// forwarding. Returns `false` when there is nothing to revert.
+    pub fn revert_committed(&mut self) -> bool {
+        match self.retired.take() {
+            Some(p) => {
+                self.scratch.reset(p.compiled.slots().len());
+                self.program = p;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Discard a staged-but-uncommitted program. Returns `false` when
+    /// nothing was staged.
+    pub fn abort_staged(&mut self) -> bool {
+        self.staged.take().is_some()
+    }
+
+    /// Make the last commit permanent by dropping the retired program.
+    pub fn finalize_install(&mut self) {
+        self.retired = None;
+    }
+
+    /// Whether a shadow program is currently staged.
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Admission-checked atomic install (dynamic reconfiguration,
+    /// §VIII-G.3): stage, commit, finalize. On error the previous
+    /// program keeps forwarding, byte for byte. State registers
+    /// persist across reconfigurations.
+    pub fn try_install(&mut self, pipeline: Pipeline) -> Result<ResourceReport, InstallError> {
+        let report = self.stage(pipeline)?;
+        self.commit_staged();
+        self.finalize_install();
+        Ok(report)
+    }
+
+    /// Infallible install wrapper (tests and unbudgeted simulations).
+    /// Panics if the pipeline is rejected — only possible once a
+    /// finite budget is configured.
     pub fn install(&mut self, pipeline: Pipeline) {
-        self.aggregates = pipeline
-            .stages
-            .iter()
-            .filter_map(|s| match &s.operand {
-                Operand::Aggregate { func, field } => Some((s.operand.key(), *func, field.clone())),
-                Operand::Field(_) => None,
-            })
-            .collect();
-        self.compiled = CompiledPipeline::lower(&pipeline);
-        self.plan = EvalPlan::build(self.parser.spec(), &self.compiled, &pipeline);
-        self.scratch.reset(self.compiled.slots().len());
-        self.pipeline = pipeline;
+        self.try_install(pipeline).expect("install rejected by resource budget");
     }
 
     pub fn spec(&self) -> &Spec {
@@ -197,12 +324,12 @@ impl Switch {
     }
 
     pub fn pipeline(&self) -> &Pipeline {
-        &self.pipeline
+        &self.program.pipeline
     }
 
     /// The fast-path lowering of the installed pipeline.
     pub fn compiled(&self) -> &CompiledPipeline {
-        &self.compiled
+        &self.program.compiled
     }
 
     /// Mark an egress port up or down (link/peer failure). While a
@@ -228,8 +355,11 @@ impl Switch {
     /// copy-on-prune replication. Allocation-free once warm.
     pub fn process(&mut self, pkt: &Packet, ingress: Port, now_us: u64) -> SwitchOutput {
         self.stats.packets += 1;
+        if self.program.plan.is_malformed(pkt) {
+            self.stats.malformed += 1;
+        }
         // Parser budget model (≡ DeepParser::parse without the maps).
-        let total = self.plan.message_count(pkt);
+        let total = self.program.plan.message_count(pkt);
         let budget = (self.config.recirc_ports + 1) * self.config.max_msgs_per_pass;
         let extract = total.min(budget);
         let truncated = total - extract;
@@ -247,7 +377,8 @@ impl Switch {
         };
 
         let mut counters = EvalCounters::default();
-        let Switch { plan, compiled, state, scratch, stats, port_down, .. } = self;
+        let Switch { program, state, scratch, stats, port_down, .. } = self;
+        let (plan, compiled) = (&program.plan, &program.compiled);
         scratch.keep.clear();
 
         if total == 0 {
@@ -340,6 +471,9 @@ impl Switch {
     pub fn process_reference(&mut self, pkt: &Packet, ingress: Port, now_us: u64) -> SwitchOutput {
         let outcome = self.parser.parse(pkt);
         self.stats.packets += 1;
+        if self.program.plan.is_malformed(pkt) {
+            self.stats.malformed += 1;
+        }
         self.stats.truncated_messages += outcome.truncated as u64;
         self.stats.dropped_resource += outcome.truncated as u64;
         self.stats.recirculation_passes += (outcome.passes - 1) as u64;
@@ -415,14 +549,14 @@ impl Switch {
             }
         };
         let mut agg_values: HashMap<String, Value> = HashMap::new();
-        for (key, func, field) in &self.aggregates {
+        for (key, func, field) in &self.program.aggregates {
             if let Some(Value::Int(v)) = field_value(field) {
                 self.state.update(key, now_us, v);
             }
             agg_values.insert(key.clone(), Value::Int(self.state.read(key, now_us, *func)));
         }
         // 2. Evaluate the pipeline with message + stack + aggregates.
-        self.pipeline.evaluate(|op: &Operand| match op {
+        self.program.pipeline.evaluate(|op: &Operand| match op {
             Operand::Field(_) => field_value(&op.key()),
             Operand::Aggregate { .. } => agg_values.get(&op.key()).cloned(),
         })
@@ -801,5 +935,97 @@ mod tests {
         let compiled = Compiler::new().with_static(statics).compile(&rules).unwrap();
         sw.install(compiled.pipeline);
         assert!(sw.process(&pkt, 0, 1).ports.is_empty());
+    }
+
+    fn compile_itch(rules_src: &str) -> Pipeline {
+        let statics = compile_static(&itch_spec()).unwrap();
+        let rules = parse_rules(rules_src).unwrap();
+        Compiler::new().with_static(statics).compile(&rules).unwrap().pipeline
+    }
+
+    #[test]
+    fn failed_install_preserves_previous_program() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        sw.config.budget = ResourceBudget { max_tables: 1, ..ResourceBudget::unlimited() };
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec).message(order("GOOGL", 1)).build();
+        assert_eq!(sw.process(&pkt, 0, 0).ports.len(), 1);
+        let before_pipeline = sw.pipeline().clone();
+        let before_stats = sw.stats();
+
+        let err = sw.try_install(compile_itch("stock == MSFT: fwd(2)\n")).unwrap_err();
+        let InstallError::OverBudget(adm) = &err;
+        assert!(!adm.violations.is_empty());
+
+        // The previous compiled pipeline, keep-lists and stats are
+        // untouched, and forwarding is byte-identical.
+        assert_eq!(sw.pipeline(), &before_pipeline);
+        assert_eq!(sw.stats(), before_stats);
+        assert!(!sw.has_staged());
+        let out = sw.process(&pkt, 0, 1);
+        assert_eq!(out.ports.len(), 1);
+        assert_eq!(out.ports[0].0, 1);
+        assert_eq!(out.ports[0].1, pkt);
+    }
+
+    #[test]
+    fn staged_program_only_forwards_after_commit() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        let spec = itch_spec();
+        let googl = PacketBuilder::new(&spec).message(order("GOOGL", 1)).build();
+        let msft = PacketBuilder::new(&spec).message(order("MSFT", 1)).build();
+
+        sw.stage(compile_itch("stock == MSFT: fwd(2)\n")).unwrap();
+        assert!(sw.has_staged());
+        // Shadow program does not affect the data path.
+        assert_eq!(sw.process(&googl, 0, 0).ports.len(), 1);
+        assert!(sw.process(&msft, 0, 1).ports.is_empty());
+
+        assert!(sw.commit_staged());
+        assert!(sw.process(&googl, 0, 2).ports.is_empty());
+        assert_eq!(sw.process(&msft, 0, 3).ports.len(), 1);
+
+        // The commit can still be reverted until finalised.
+        assert!(sw.revert_committed());
+        assert_eq!(sw.process(&googl, 0, 4).ports.len(), 1);
+        assert!(!sw.revert_committed(), "retired program consumed");
+
+        // A finalised commit is permanent.
+        sw.stage(compile_itch("stock == MSFT: fwd(2)\n")).unwrap();
+        sw.commit_staged();
+        sw.finalize_install();
+        assert!(!sw.revert_committed());
+        assert_eq!(sw.process(&msft, 0, 5).ports.len(), 1);
+    }
+
+    #[test]
+    fn abort_staged_discards_shadow_program() {
+        let mut sw = itch_switch("stock == GOOGL: fwd(1)\n");
+        sw.stage(compile_itch("stock == MSFT: fwd(2)\n")).unwrap();
+        assert!(sw.abort_staged());
+        assert!(!sw.abort_staged());
+        assert!(!sw.commit_staged(), "nothing staged after abort");
+        let spec = itch_spec();
+        let googl = PacketBuilder::new(&spec).message(order("GOOGL", 1)).build();
+        assert_eq!(sw.process(&googl, 0, 0).ports.len(), 1);
+    }
+
+    #[test]
+    fn malformed_packets_counted_in_both_paths() {
+        let mut fast = itch_switch("stock == GOOGL: fwd(1)\n");
+        let mut reference = fast.clone();
+        let spec = itch_spec();
+        let good = PacketBuilder::new(&spec).message(order("GOOGL", 1)).build();
+        // Chop off the last byte: a partial trailing message.
+        let truncated = Packet::new(good.bytes[..good.len() - 1].into());
+        for sw in [&mut fast, &mut reference] {
+            assert_eq!(sw.process(&good, 0, 0).ports.len(), 1);
+        }
+        let f = fast.process(&truncated, 0, 1);
+        let r = reference.process_reference(&truncated, 0, 1);
+        assert_eq!(f.ports, r.ports, "graceful miss in both paths");
+        assert_eq!(fast.stats().malformed, 1);
+        assert_eq!(reference.stats().malformed, 1);
+        assert_eq!(fast.stats().malformed, reference.stats().malformed);
     }
 }

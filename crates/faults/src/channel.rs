@@ -1,0 +1,166 @@
+//! The lossy control channel: the faults-crate implementation of
+//! [`camus_net::channel::ControlChannel`].
+//!
+//! Three failure modes, all applied via [`FaultKind`] events so a
+//! chaos schedule can turn them on and off mid-run:
+//!
+//! * [`FaultKind::InstallDrop`] — each op is silently lost with a
+//!   probability, costing the controller its per-op timeout;
+//! * [`FaultKind::InstallFail`] — the switch agent nacks (fast
+//!   failure, immediate retry);
+//! * [`FaultKind::ControlPartition`] — one switch is unreachable until
+//!   healed; no retry count will get through.
+//!
+//! Loss is drawn from a seeded RNG, so a run is a pure function of
+//! (seed, op sequence) and replays exactly.
+
+use crate::event::FaultKind;
+use camus_net::channel::{ChannelOutcome, ControlChannel, ControlOp};
+use camus_routing::topology::SwitchId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A control channel that drops, nacks, or partitions installs.
+#[derive(Debug, Clone)]
+pub struct LossyChannel {
+    rng: StdRng,
+    /// Percent of ops silently dropped.
+    pub drop_pct: u8,
+    /// Percent of ops nacked by the agent.
+    pub fail_pct: u8,
+    /// Switches currently unreachable (ordered for determinism).
+    pub partitioned: BTreeSet<SwitchId>,
+    /// Ops attempted / dropped / nacked, for reporting.
+    pub ops: u64,
+    pub dropped: u64,
+    pub nacked: u64,
+}
+
+impl LossyChannel {
+    pub fn new(seed: u64) -> Self {
+        LossyChannel {
+            rng: StdRng::seed_from_u64(seed),
+            drop_pct: 0,
+            fail_pct: 0,
+            partitioned: BTreeSet::new(),
+            ops: 0,
+            dropped: 0,
+            nacked: 0,
+        }
+    }
+
+    /// Apply a control-channel fault. Returns `false` (and changes
+    /// nothing) for data-plane fault kinds.
+    pub fn apply(&mut self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::InstallDrop { pct } => {
+                self.drop_pct = pct.min(100);
+                true
+            }
+            FaultKind::InstallFail { pct } => {
+                self.fail_pct = pct.min(100);
+                true
+            }
+            FaultKind::ControlPartition { switch, healed: false } => {
+                self.partitioned.insert(switch)
+            }
+            FaultKind::ControlPartition { switch, healed: true } => {
+                self.partitioned.remove(&switch)
+            }
+            _ => false,
+        }
+    }
+
+    /// Restore a perfect channel: no loss, no partitions.
+    pub fn heal_all(&mut self) {
+        self.drop_pct = 0;
+        self.fail_pct = 0;
+        self.partitioned.clear();
+    }
+
+    /// Whether any loss mode is currently active.
+    pub fn is_lossy(&self) -> bool {
+        self.drop_pct > 0 || self.fail_pct > 0 || !self.partitioned.is_empty()
+    }
+}
+
+impl ControlChannel for LossyChannel {
+    fn attempt(&mut self, switch: usize, _op: ControlOp, _attempt: u32) -> ChannelOutcome {
+        self.ops += 1;
+        if self.partitioned.contains(&switch) {
+            self.dropped += 1;
+            return ChannelOutcome::Dropped;
+        }
+        // Draw both rolls unconditionally so the RNG stream (and thus
+        // every later outcome) does not depend on the current pcts.
+        let drop_roll = self.rng.gen_range(0..100u8);
+        let fail_roll = self.rng.gen_range(0..100u8);
+        if drop_roll < self.drop_pct {
+            self.dropped += 1;
+            ChannelOutcome::Dropped
+        } else if fail_roll < self.fail_pct {
+            self.nacked += 1;
+            ChannelOutcome::Nacked
+        } else {
+            ChannelOutcome::Delivered
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes(ch: &mut LossyChannel, n: usize) -> Vec<ChannelOutcome> {
+        (0..n).map(|i| ch.attempt(i % 7, ControlOp::Stage, 1)).collect()
+    }
+
+    #[test]
+    fn lossless_by_default() {
+        let mut ch = LossyChannel::new(1);
+        assert!(!ch.is_lossy());
+        assert!(outcomes(&mut ch, 50).iter().all(|o| *o == ChannelOutcome::Delivered));
+        assert_eq!(ch.ops, 50);
+        assert_eq!(ch.dropped + ch.nacked, 0);
+    }
+
+    #[test]
+    fn loss_rates_follow_the_dials() {
+        let mut ch = LossyChannel::new(7);
+        assert!(ch.apply(FaultKind::InstallDrop { pct: 100 }));
+        assert!(outcomes(&mut ch, 20).iter().all(|o| *o == ChannelOutcome::Dropped));
+        ch.apply(FaultKind::InstallDrop { pct: 0 });
+        assert!(ch.apply(FaultKind::InstallFail { pct: 100 }));
+        assert!(outcomes(&mut ch, 20).iter().all(|o| *o == ChannelOutcome::Nacked));
+        ch.heal_all();
+        assert!(!ch.is_lossy());
+        assert!(outcomes(&mut ch, 20).iter().all(|o| *o == ChannelOutcome::Delivered));
+    }
+
+    #[test]
+    fn partition_blocks_one_switch_until_healed() {
+        let mut ch = LossyChannel::new(3);
+        assert!(ch.apply(FaultKind::ControlPartition { switch: 4, healed: false }));
+        assert_eq!(ch.attempt(4, ControlOp::Commit, 1), ChannelOutcome::Dropped);
+        assert_eq!(ch.attempt(5, ControlOp::Commit, 1), ChannelOutcome::Delivered);
+        assert!(ch.apply(FaultKind::ControlPartition { switch: 4, healed: true }));
+        assert_eq!(ch.attempt(4, ControlOp::Commit, 2), ChannelOutcome::Delivered);
+    }
+
+    #[test]
+    fn data_plane_faults_are_ignored() {
+        let mut ch = LossyChannel::new(3);
+        assert!(!ch.apply(FaultKind::LinkDown { switch: 0, port: 0 }));
+        assert!(!ch.is_lossy());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = LossyChannel::new(42);
+        let mut b = LossyChannel::new(42);
+        a.apply(FaultKind::InstallDrop { pct: 40 });
+        b.apply(FaultKind::InstallDrop { pct: 40 });
+        assert_eq!(outcomes(&mut a, 64), outcomes(&mut b, 64));
+    }
+}

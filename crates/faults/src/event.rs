@@ -23,6 +23,17 @@ pub enum FaultKind {
     /// The control channel is congested: the *next* fault's repair is
     /// delayed by this much on top of the normal repair window.
     ControlDelay { extra_ns: u64 },
+    /// The control channel loses install messages: each stage/commit
+    /// op is silently dropped with probability `pct`/100 (the
+    /// controller burns its per-op timeout before retrying).
+    InstallDrop { pct: u8 },
+    /// The switch agents are flaky: each install op is nacked with
+    /// probability `pct`/100 (fast failure, immediate retry).
+    InstallFail { pct: u8 },
+    /// The control channel to one switch is severed (`healed: false`)
+    /// or restored (`healed: true`). Data-plane forwarding is
+    /// unaffected; the switch just can't be reprogrammed.
+    ControlPartition { switch: SwitchId, healed: bool },
 }
 
 impl FaultKind {
@@ -34,6 +45,10 @@ impl FaultKind {
             FaultKind::SwitchCrash { .. } => "switch-crash",
             FaultKind::SwitchRestore { .. } => "switch-restore",
             FaultKind::ControlDelay { .. } => "control-delay",
+            FaultKind::InstallDrop { .. } => "install-drop",
+            FaultKind::InstallFail { .. } => "install-fail",
+            FaultKind::ControlPartition { healed: false, .. } => "control-partition",
+            FaultKind::ControlPartition { healed: true, .. } => "control-heal",
         }
     }
 
@@ -41,6 +56,18 @@ impl FaultKind {
     /// only touching the control plane)?
     pub fn is_degrading(&self) -> bool {
         matches!(self, FaultKind::LinkDown { .. } | FaultKind::SwitchCrash { .. })
+    }
+
+    /// Does this fault live on the control channel (applied to a
+    /// [`LossyChannel`](crate::channel::LossyChannel), never to the
+    /// data-plane network)?
+    pub fn is_control_channel(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::InstallDrop { .. }
+                | FaultKind::InstallFail { .. }
+                | FaultKind::ControlPartition { .. }
+        )
     }
 
     /// Check the fault names a real element of `net`.
@@ -62,6 +89,18 @@ impl FaultKind {
                 Ok(())
             }
             FaultKind::ControlDelay { .. } => Ok(()),
+            FaultKind::InstallDrop { pct } | FaultKind::InstallFail { pct } => {
+                if pct > 100 {
+                    return Err(format!("loss probability {pct}% > 100%"));
+                }
+                Ok(())
+            }
+            FaultKind::ControlPartition { switch, .. } => {
+                if switch >= net.switch_count() {
+                    return Err(format!("no switch {switch}"));
+                }
+                Ok(())
+            }
         }
     }
 }

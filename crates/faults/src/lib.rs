@@ -20,11 +20,15 @@
 //! * [`report`] — aggregation across a whole schedule
 //!   ([`report::FaultReport`]).
 
+pub mod channel;
+pub mod chaos;
 pub mod event;
 pub mod inject;
 pub mod report;
 pub mod scenario;
 
+pub use channel::LossyChannel;
+pub use chaos::{run_chaos, ChaosConfig, ChaosInput, ChaosReport, ChaosStep};
 pub use event::{FaultEvent, FaultKind, FaultSchedule};
 pub use inject::FaultInjector;
 pub use report::FaultReport;

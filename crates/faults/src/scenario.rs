@@ -17,10 +17,9 @@
 
 use crate::event::{FaultKind, FaultSchedule};
 use crate::report::FaultReport;
-use camus_core::compiler::CompileError;
 use camus_dataplane::Packet;
 use camus_lang::ast::Expr;
-use camus_net::controller::{Controller, Deployment, RepairStats};
+use camus_net::controller::{Controller, DeployError, Deployment, RepairStats};
 use camus_net::sim::Network;
 use camus_routing::topology::HostId;
 use std::collections::{HashMap, HashSet};
@@ -71,14 +70,19 @@ impl RepairModel {
 }
 
 /// Inject one fault into the running network. Returns whether the
-/// network state changed (a `ControlDelay` never changes it).
+/// network state changed (`ControlDelay` and the control-channel
+/// kinds never change the data plane — apply those to a
+/// [`LossyChannel`](crate::channel::LossyChannel) instead).
 pub fn apply_fault(network: &mut Network, kind: FaultKind) -> bool {
     match kind {
         FaultKind::LinkDown { switch, port } => network.fail_link(switch, port),
         FaultKind::LinkUp { switch, port } => network.restore_link(switch, port),
         FaultKind::SwitchCrash { switch } => network.crash_switch(switch),
         FaultKind::SwitchRestore { switch } => network.restore_switch(switch),
-        FaultKind::ControlDelay { .. } => false,
+        FaultKind::ControlDelay { .. }
+        | FaultKind::InstallDrop { .. }
+        | FaultKind::InstallFail { .. }
+        | FaultKind::ControlPartition { .. } => false,
     }
 }
 
@@ -125,7 +129,7 @@ pub fn run_fault(
     probe: &ProbeConfig,
     model: &RepairModel,
     control_extra_ns: u64,
-) -> Result<EventReport, CompileError> {
+) -> Result<EventReport, DeployError> {
     let host_count = d.network.topology.host_count();
     let before: Vec<usize> = (0..host_count).map(|h| d.network.deliveries(h).len()).collect();
 
@@ -240,7 +244,7 @@ pub fn run_schedule(
     schedule: &FaultSchedule,
     probe: &ProbeConfig,
     model: &RepairModel,
-) -> Result<FaultReport, CompileError> {
+) -> Result<FaultReport, DeployError> {
     let mut report = FaultReport::default();
     let mut extra = 0u64;
     for ev in schedule.events() {
@@ -249,6 +253,10 @@ pub fn run_schedule(
         }
         match ev.kind {
             FaultKind::ControlDelay { extra_ns } => extra += extra_ns,
+            // Control-channel faults have no effect under this
+            // harness's perfect channel; the chaos soak drives them
+            // through a `LossyChannel` instead.
+            kind if kind.is_control_channel() => {}
             kind => {
                 report.events.push(run_fault(ctrl, d, subs, kind, probe, model, extra)?);
                 extra = 0;

@@ -1,0 +1,147 @@
+//! The controller → switch control channel.
+//!
+//! On real hardware the controller programs switches over a network
+//! (gRPC to the switch agent): messages are dropped, time out, or are
+//! rejected by a busy agent. The simulator models this with a
+//! [`ControlChannel`] trait the deployment transaction drives every
+//! stage/commit operation through, plus a deterministic seeded
+//! [`RetryPolicy`] (capped exponential backoff with hash jitter — no
+//! wall-clock, so every run is reproducible).
+//!
+//! The faults crate provides the lossy implementation; here lives the
+//! abstraction and the always-delivering [`PerfectChannel`] default.
+
+/// A control-plane operation sent to one switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Validate + shadow-install a pipeline (phase one).
+    Stage,
+    /// Atomically activate the staged pipeline (phase two).
+    Commit,
+}
+
+/// What happened to one attempt on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelOutcome {
+    /// The operation reached the switch and was executed.
+    Delivered,
+    /// The message (or its ack) was lost: the controller burns the
+    /// full per-op timeout before retrying.
+    Dropped,
+    /// The switch agent answered with a transient failure.
+    Nacked,
+}
+
+/// The transport the deployment transaction sends every per-switch
+/// operation through. `attempt` is 1-based, letting implementations
+/// model first-try-only loss or flaky-until-retried behaviour.
+pub trait ControlChannel {
+    fn attempt(&mut self, switch: usize, op: ControlOp, attempt: u32) -> ChannelOutcome;
+}
+
+/// The lossless default: every operation is delivered first try.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectChannel;
+
+impl ControlChannel for PerfectChannel {
+    fn attempt(&mut self, _switch: usize, _op: ControlOp, _attempt: u32) -> ChannelOutcome {
+        ChannelOutcome::Delivered
+    }
+}
+
+/// Deterministic retry/backoff parameters for control-channel
+/// operations. All time is modelled (summed into the deploy report),
+/// never slept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per operation before the transaction gives up.
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt.
+    pub base_backoff_ns: u64,
+    /// Backoff growth cap.
+    pub max_backoff_ns: u64,
+    /// Modelled cost of one delivered (or nacked) operation.
+    pub op_ns: u64,
+    /// Modelled cost of waiting out a dropped operation.
+    pub timeout_ns: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ns: 50_000,
+            max_backoff_ns: 800_000,
+            op_ns: 20_000,
+            timeout_ns: 100_000,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0 = after the first
+    /// failure) of an operation to `switch`: capped exponential with
+    /// deterministic jitter in `[cap/2, cap]`, decorrelated across
+    /// switches and retries so a fleet-wide partition does not retry
+    /// in lockstep.
+    pub fn backoff_ns(&self, switch: usize, retry: u32) -> u64 {
+        let exp = self.base_backoff_ns.saturating_mul(1u64 << retry.min(20));
+        let cap = exp.min(self.max_backoff_ns).max(1);
+        let h = fnv64(self.seed ^ (switch as u64).rotate_left(17) ^ u64::from(retry) << 40);
+        cap / 2 + h % (cap - cap / 2 + 1)
+    }
+}
+
+/// FNV-1a over the 8 bytes of `x` — the same cheap deterministic hash
+/// the fingerprint machinery uses.
+fn fnv64(x: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_always_delivers() {
+        let mut ch = PerfectChannel;
+        for a in 1..5 {
+            assert_eq!(ch.attempt(3, ControlOp::Stage, a), ChannelOutcome::Delivered);
+            assert_eq!(ch.attempt(3, ControlOp::Commit, a), ChannelOutcome::Delivered);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::default();
+        for retry in 0..12 {
+            let b = p.backoff_ns(0, retry);
+            let exp = p.base_backoff_ns.saturating_mul(1 << retry.min(20));
+            let cap = exp.min(p.max_backoff_ns);
+            assert!(b >= cap / 2 && b <= cap, "retry {retry}: {b} not in [{}, {cap}]", cap / 2);
+        }
+        // Late retries saturate at the cap window.
+        assert!(p.backoff_ns(0, 30) <= p.max_backoff_ns);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_decorrelated() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ns(5, 2), p.backoff_ns(5, 2));
+        // Different switches (almost surely) jitter differently.
+        let distinct: std::collections::HashSet<u64> =
+            (0..16).map(|s| p.backoff_ns(s, 3)).collect();
+        assert!(distinct.len() > 1, "jitter must decorrelate switches");
+        // A different seed reshuffles the jitter.
+        let q = RetryPolicy { seed: 99, ..p };
+        assert!((0..16).any(|s| p.backoff_ns(s, 3) != q.backoff_ns(s, 3)));
+    }
+}

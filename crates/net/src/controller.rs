@@ -8,14 +8,19 @@
 //! change it recomputes and reinstalls only the pipelines, preserving
 //! switch state.
 
+use crate::channel::{ChannelOutcome, ControlChannel, ControlOp, PerfectChannel, RetryPolicy};
 use crate::sim::Network;
 use camus_core::compiler::{CompileError, Compiler};
+use camus_core::pipeline::{LeafTable, Pipeline, STATE_INIT};
+use camus_core::resources::ResourceBudget;
 use camus_core::statics::StaticPipeline;
-use camus_dataplane::{Switch, SwitchConfig};
-use camus_lang::ast::Expr;
+use camus_dataplane::{InstallError, Switch, SwitchConfig};
+use camus_lang::ast::{Action, Expr, Port};
 use camus_routing::algorithm1::{route_hierarchical_degraded, RoutingConfig, RoutingResult};
 use camus_routing::compile::{compile_network, compile_network_incremental, NetworkCompile};
 use camus_routing::topology::{FaultMask, HierNet};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Controller configuration and handles.
@@ -25,6 +30,15 @@ pub struct Controller {
     pub routing: RoutingConfig,
     pub switch_config: SwitchConfig,
     pub link_latency_ns: u64,
+    /// Retry/backoff for control-channel operations.
+    pub retry: RetryPolicy,
+    /// When a switch's precise pipeline is over budget, fall back to a
+    /// conservative coarse pipeline (over-deliver, never under-deliver)
+    /// instead of failing the whole deploy.
+    pub degrade_over_budget: bool,
+    /// Per-switch resource budgets; switches not listed use
+    /// `switch_config.budget`.
+    pub budget_overrides: HashMap<usize, ResourceBudget>,
 }
 
 /// A deployed network plus the artefacts the evaluation wants to see.
@@ -33,6 +47,156 @@ pub struct Deployment {
     pub routing: RoutingResult,
     /// Per-switch compile results (entry counts, times).
     pub compile: NetworkCompile,
+    /// What the last successful deploy/repair transaction did on the
+    /// control channel, per touched switch.
+    pub report: DeployReport,
+    /// Switches currently running the coarse degraded pipeline because
+    /// their precise one was over budget.
+    pub degraded: BTreeSet<usize>,
+}
+
+/// Why a deployment transaction failed. Any error leaves the previous
+/// deployment forwarding byte-identically: staged state is rolled
+/// back, nothing is half-committed.
+#[derive(Debug)]
+pub enum DeployError {
+    /// A switch pipeline failed to compile.
+    Compile(CompileError),
+    /// One or more switches rejected their pipeline at admission; the
+    /// offenders (every one found, not just the first) are named with
+    /// their budget violations.
+    Admission { rejected: Vec<(usize, InstallError)>, report: DeployReport },
+    /// A control-channel operation to the named switches exhausted its
+    /// retries.
+    Channel { failed: Vec<usize>, report: DeployReport },
+}
+
+impl From<CompileError> for DeployError {
+    fn from(e: CompileError) -> Self {
+        DeployError::Compile(e)
+    }
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Compile(e) => write!(f, "compile failed: {e}"),
+            DeployError::Admission { rejected, .. } => {
+                write!(f, "deploy rejected at admission:")?;
+                for (s, e) in rejected {
+                    write!(f, " switch {s}: {e};")?;
+                }
+                Ok(())
+            }
+            DeployError::Channel { failed, .. } => {
+                write!(f, "control channel exhausted retries to switches {failed:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Admission outcome for one switch in a deploy transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// The precise pipeline fits the budget.
+    Admitted,
+    /// Precise pipeline over budget; the coarse fallback was staged
+    /// instead (over-delivers, never under-delivers).
+    Degraded,
+    /// Over budget and degradation disabled (or the fallback itself
+    /// rejected).
+    Rejected(InstallError),
+    /// The control channel never reached the switch.
+    Unreachable,
+}
+
+/// Per-switch record of what one deploy transaction did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchDeploy {
+    pub switch: usize,
+    /// Control-channel attempts across stage and commit ops.
+    pub attempts: u32,
+    /// Attempts beyond the first per op.
+    pub retries: u32,
+    pub verdict: AdmissionVerdict,
+    pub staged: bool,
+    pub committed: bool,
+    /// Staged or committed state undone because the transaction
+    /// failed elsewhere.
+    pub rolled_back: bool,
+    /// Modelled control-plane time spent on this switch (ops, timeouts
+    /// and backoff).
+    pub control_ns: u64,
+}
+
+impl SwitchDeploy {
+    fn new(switch: usize) -> Self {
+        SwitchDeploy {
+            switch,
+            attempts: 0,
+            retries: 0,
+            verdict: AdmissionVerdict::Unreachable,
+            staged: false,
+            committed: false,
+            rolled_back: false,
+            control_ns: 0,
+        }
+    }
+}
+
+/// The per-switch ledger of a two-phase deploy transaction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeployReport {
+    pub switches: Vec<SwitchDeploy>,
+}
+
+impl DeployReport {
+    pub fn committed(&self) -> usize {
+        self.switches.iter().filter(|s| s.committed).count()
+    }
+
+    pub fn total_attempts(&self) -> u32 {
+        self.switches.iter().map(|s| s.attempts).sum()
+    }
+
+    pub fn total_retries(&self) -> u32 {
+        self.switches.iter().map(|s| s.retries).sum()
+    }
+
+    pub fn total_control_ns(&self) -> u64 {
+        self.switches.iter().map(|s| s.control_ns).sum()
+    }
+
+    pub fn degraded_switches(&self) -> Vec<usize> {
+        self.switches
+            .iter()
+            .filter(|s| s.verdict == AdmissionVerdict::Degraded)
+            .map(|s| s.switch)
+            .collect()
+    }
+}
+
+/// The conservative fallback for an over-budget switch: no match
+/// stages at all, every message forwarded to every port any of the
+/// switch's rules forwards to. Over-delivers (downstream switches and
+/// hosts still filter), never under-delivers; deterministic in the
+/// rule list so repair and fresh deploy converge to the same program.
+fn coarse_pipeline(rules: &[camus_lang::ast::Rule]) -> Pipeline {
+    let mut ports: BTreeSet<Port> = BTreeSet::new();
+    for r in rules {
+        if let Action::Forward(ps) = &r.action {
+            ports.extend(ps.iter().copied());
+        }
+    }
+    let default =
+        if ports.is_empty() { Action::Drop } else { Action::Forward(ports.into_iter().collect()) };
+    Pipeline {
+        stages: Vec::new(),
+        leaf: LeafTable { actions: HashMap::new(), default },
+        initial: STATE_INIT,
+    }
 }
 
 /// What a [`Controller::repair`] pass did (§VIII-G.3 extended to
@@ -61,6 +225,9 @@ impl Controller {
             routing,
             switch_config: SwitchConfig::default(),
             link_latency_ns: 1_000, // 1 μs per hop by default
+            retry: RetryPolicy::default(),
+            degrade_over_budget: true,
+            budget_overrides: HashMap::new(),
         }
     }
 
@@ -68,12 +235,153 @@ impl Controller {
         Compiler::new().with_static(self.statics.clone())
     }
 
-    /// Compute routing, compile every switch, and build the network.
-    pub fn deploy(
+    /// The switch config for slot `s`, with any budget override.
+    fn config_for(&self, s: usize) -> SwitchConfig {
+        let mut cfg = self.switch_config.clone();
+        if let Some(b) = self.budget_overrides.get(&s) {
+            cfg.budget = *b;
+        }
+        cfg
+    }
+
+    /// Drive one per-switch control operation through the channel with
+    /// retry + capped exponential backoff, accounting attempts and
+    /// modelled time into `entry`. Returns whether the op ever landed.
+    fn channel_op(
         &self,
-        topology: HierNet,
-        subs: &[Vec<Expr>],
-    ) -> Result<Deployment, CompileError> {
+        channel: &mut dyn ControlChannel,
+        entry: &mut SwitchDeploy,
+        op: ControlOp,
+    ) -> bool {
+        for attempt in 1..=self.retry.max_attempts {
+            entry.attempts += 1;
+            if attempt > 1 {
+                entry.retries += 1;
+                entry.control_ns += self.retry.backoff_ns(entry.switch, attempt - 2);
+            }
+            match channel.attempt(entry.switch, op, attempt) {
+                ChannelOutcome::Delivered => {
+                    entry.control_ns += self.retry.op_ns;
+                    return true;
+                }
+                ChannelOutcome::Dropped => entry.control_ns += self.retry.timeout_ns,
+                ChannelOutcome::Nacked => entry.control_ns += self.retry.op_ns,
+            }
+        }
+        false
+    }
+
+    /// The two-phase deployment transaction over `targets` (slot ids):
+    /// stage everything (admission happens at the switch), then commit
+    /// only if every stage landed and was admitted; any failure rolls
+    /// every touched switch back so forwarding is byte-identical to
+    /// before the call. Returns the ledger and the switches that fell
+    /// back to the coarse degraded pipeline.
+    fn apply_transaction(
+        &self,
+        network: &mut Network,
+        compile: &NetworkCompile,
+        routing: &RoutingResult,
+        targets: &[usize],
+        channel: &mut dyn ControlChannel,
+    ) -> Result<(DeployReport, BTreeSet<usize>), DeployError> {
+        let mut report = DeployReport::default();
+        let mut degraded = BTreeSet::new();
+        let mut rejected: Vec<(usize, InstallError)> = Vec::new();
+
+        // Phase one: stage every target shadow-side.
+        for (ti, &s) in targets.iter().enumerate() {
+            let mut entry = SwitchDeploy::new(s);
+            if !self.channel_op(channel, &mut entry, ControlOp::Stage) {
+                // Channel exhausted: abort the scan, roll back
+                // everything staged so far.
+                report.switches.push(entry);
+                for e in &mut report.switches {
+                    if e.staged {
+                        network.switches[e.switch].abort_staged();
+                        e.rolled_back = true;
+                    }
+                }
+                // Remaining targets were never attempted; record them
+                // as untouched for a complete ledger.
+                for &rest in &targets[ti + 1..] {
+                    report.switches.push(SwitchDeploy::new(rest));
+                }
+                return Err(DeployError::Channel { failed: vec![s], report });
+            }
+            let pipeline = compile.switches[s].compiled.pipeline.clone();
+            match network.switches[s].stage(pipeline) {
+                Ok(_) => {
+                    entry.verdict = AdmissionVerdict::Admitted;
+                    entry.staged = true;
+                }
+                Err(err) if self.degrade_over_budget => {
+                    // Fall back to the coarse pipeline; admission of
+                    // the fallback is still the switch's call.
+                    match network.switches[s].stage(coarse_pipeline(&routing.switch_rules(s))) {
+                        Ok(_) => {
+                            entry.verdict = AdmissionVerdict::Degraded;
+                            entry.staged = true;
+                            degraded.insert(s);
+                        }
+                        Err(fallback_err) => {
+                            entry.verdict = AdmissionVerdict::Rejected(fallback_err.clone());
+                            rejected.push((s, err));
+                        }
+                    }
+                }
+                Err(err) => {
+                    entry.verdict = AdmissionVerdict::Rejected(err.clone());
+                    rejected.push((s, err));
+                }
+            }
+            report.switches.push(entry);
+        }
+
+        // Every admission verdict is in; reject the whole transaction
+        // if any switch refused, naming all offenders.
+        if !rejected.is_empty() {
+            for e in &mut report.switches {
+                if e.staged {
+                    network.switches[e.switch].abort_staged();
+                    e.staged = false;
+                    e.rolled_back = true;
+                }
+            }
+            return Err(DeployError::Admission { rejected, report });
+        }
+
+        // Phase two: commit. A commit keeps the displaced program
+        // retired until finalisation, so a late channel failure can
+        // still revert the already-committed prefix.
+        for i in 0..report.switches.len() {
+            if !self.channel_op(channel, &mut report.switches[i], ControlOp::Commit) {
+                let failed = report.switches[i].switch;
+                for e in &mut report.switches {
+                    if e.committed {
+                        network.switches[e.switch].revert_committed();
+                        e.committed = false;
+                        e.rolled_back = true;
+                    } else if e.staged {
+                        network.switches[e.switch].abort_staged();
+                        e.staged = false;
+                        e.rolled_back = true;
+                    }
+                }
+                return Err(DeployError::Channel { failed: vec![failed], report });
+            }
+            let s = report.switches[i].switch;
+            network.switches[s].commit_staged();
+            report.switches[i].committed = true;
+        }
+        for e in &report.switches {
+            network.switches[e.switch].finalize_install();
+        }
+        Ok((report, degraded))
+    }
+
+    /// Compute routing, compile every switch, and build the network.
+    pub fn deploy(&self, topology: HierNet, subs: &[Vec<Expr>]) -> Result<Deployment, DeployError> {
         self.deploy_degraded(topology, subs, &FaultMask::default())
     }
 
@@ -86,20 +394,38 @@ impl Controller {
         topology: HierNet,
         subs: &[Vec<Expr>],
         mask: &FaultMask,
-    ) -> Result<Deployment, CompileError> {
+    ) -> Result<Deployment, DeployError> {
+        self.deploy_degraded_with(topology, subs, mask, &mut PerfectChannel)
+    }
+
+    /// [`deploy_degraded`](Self::deploy_degraded) over an explicit
+    /// control channel. On error no [`Deployment`] is produced at all,
+    /// so the caller's previous deployment (if any) is untouched.
+    pub fn deploy_degraded_with(
+        &self,
+        topology: HierNet,
+        subs: &[Vec<Expr>],
+        mask: &FaultMask,
+        channel: &mut dyn ControlChannel,
+    ) -> Result<Deployment, DeployError> {
         let routing = route_hierarchical_degraded(&topology, subs, self.routing, mask);
         let compile = compile_network(&routing, &self.compiler())?;
         let mut switches = Vec::with_capacity(topology.switch_count());
         for sc in &compile.switches {
+            // Switches boot with the empty pipeline; the real one goes
+            // in through the admission-checked transaction below.
             switches.push(Switch::new(
                 &self.statics,
-                sc.compiled.pipeline.clone(),
-                self.switch_config.clone(),
+                Pipeline::empty(),
+                self.config_for(sc.switch),
             ));
         }
         let mut network = Network::new(topology, switches, self.link_latency_ns);
         network.apply_mask(mask);
-        Ok(Deployment { network, routing, compile })
+        let targets: Vec<usize> = (0..compile.switches.len()).collect();
+        let (report, degraded) =
+            self.apply_transaction(&mut network, &compile, &routing, &targets, channel)?;
+        Ok(Deployment { network, routing, compile, report, degraded })
     }
 
     /// Recompute and reinstall pipelines after a subscription change,
@@ -114,7 +440,7 @@ impl Controller {
         &self,
         deployment: &mut Deployment,
         subs: &[Vec<Expr>],
-    ) -> Result<Duration, CompileError> {
+    ) -> Result<Duration, DeployError> {
         Ok(self.repair(deployment, subs)?.compile_elapsed)
     }
 
@@ -128,7 +454,21 @@ impl Controller {
         &self,
         deployment: &mut Deployment,
         subs: &[Vec<Expr>],
-    ) -> Result<RepairStats, CompileError> {
+    ) -> Result<RepairStats, DeployError> {
+        self.repair_with(deployment, subs, &mut PerfectChannel)
+    }
+
+    /// [`repair`](Self::repair) over an explicit control channel. Any
+    /// error (admission or exhausted retries) rolls the transaction
+    /// back: the deployment keeps its previous routing, compile state
+    /// and installed pipelines, and deliveries are byte-identical to
+    /// before the call.
+    pub fn repair_with(
+        &self,
+        deployment: &mut Deployment,
+        subs: &[Vec<Expr>],
+        channel: &mut dyn ControlChannel,
+    ) -> Result<RepairStats, DeployError> {
         let start = Instant::now();
         let mask = deployment.network.fault_mask().clone();
         let routing =
@@ -141,21 +481,25 @@ impl Controller {
         // switch's previous pipeline while its own installed one is
         // stale.
         let changed = compile.changed_since(&deployment.compile);
-        for sc in &compile.switches {
-            if changed.contains(&sc.switch) {
-                deployment.network.switches[sc.switch].install(sc.compiled.pipeline.clone());
-            }
-        }
+        let (report, degraded) =
+            self.apply_transaction(&mut deployment.network, &compile, &routing, &changed, channel)?;
         let stats = RepairStats {
             elapsed: start.elapsed(),
             compile_elapsed: compile.elapsed,
             recompiled: compile.recompiled,
             reused: compile.reused,
             distinct_compiles: compile.distinct_compiles,
-            reinstalled: changed.len(),
+            reinstalled: report.committed(),
         };
+        // A changed switch that re-admitted its precise pipeline is no
+        // longer degraded; newly over-budget ones join the set.
+        for s in &changed {
+            deployment.degraded.remove(s);
+        }
+        deployment.degraded.extend(degraded);
         deployment.routing = routing;
         deployment.compile = compile;
+        deployment.report = report;
         Ok(stats)
     }
 }
@@ -477,5 +821,186 @@ mod tests {
         assert!(d.network.pending() > 0);
         d.network.run(None);
         assert_eq!(d.network.pending(), 0);
+    }
+
+    /// A channel that eats every op of one kind to one switch; every
+    /// other op is delivered.
+    struct DeadOp {
+        switch: usize,
+        op: Option<ControlOp>,
+    }
+
+    impl ControlChannel for DeadOp {
+        fn attempt(&mut self, switch: usize, op: ControlOp, _attempt: u32) -> ChannelOutcome {
+            if switch == self.switch && self.op.is_none_or(|o| o == op) {
+                ChannelOutcome::Dropped
+            } else {
+                ChannelOutcome::Delivered
+            }
+        }
+    }
+
+    fn msft_packet(price: i64) -> camus_dataplane::Packet {
+        let spec = itch_spec();
+        PacketBuilder::new(&spec)
+            .message(vec![("stock", Value::from("MSFT")), ("price", Value::Int(price))])
+            .build()
+    }
+
+    #[test]
+    fn admission_rejection_names_offenders_and_preserves_delivery() {
+        let net = paper_fat_tree();
+        let tor = net.designated_chain(15)[0];
+        let mut ctrl = controller(Policy::TrafficReduction);
+        // The ToR has no TCAM: equality filters fit, ranges do not.
+        ctrl.budget_overrides
+            .insert(tor, ResourceBudget { max_tcam_entries: 0, ..ResourceBudget::unlimited() });
+        ctrl.degrade_over_budget = false;
+
+        let old = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = ctrl.deploy(net.clone(), &old).unwrap();
+
+        // A range filter needs TCAM on the ToR: the deploy must be
+        // rejected naming that switch, with a budget violation inside.
+        let new =
+            subs(&net, |h| if h == 15 { vec!["stock == GOOGL", "price > 5"] } else { vec![] });
+        let before_fp: Vec<u64> = d.compile.switches.iter().map(|s| s.fingerprint).collect();
+        match ctrl.reconfigure(&mut d, &new) {
+            Err(DeployError::Admission { rejected, report }) => {
+                assert!(rejected.iter().any(|(s, _)| *s == tor), "must name the ToR");
+                for (_, e) in &rejected {
+                    assert!(matches!(e, InstallError::OverBudget(_)));
+                }
+                let entry = report.switches.iter().find(|e| e.switch == tor).unwrap();
+                assert!(matches!(entry.verdict, AdmissionVerdict::Rejected(_)));
+                assert_eq!(report.committed(), 0, "nothing may commit");
+            }
+            other => panic!("expected admission rejection, got {other:?}"),
+        }
+        // The rejected deploy left the old program running everywhere.
+        let after_fp: Vec<u64> = d.compile.switches.iter().map(|s| s.fingerprint).collect();
+        assert_eq!(before_fp, after_fp);
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.publish(0, msft_packet(10), 100);
+        d.network.run(None);
+        // Old subscription still delivers; the half-deployed new one
+        // must not (price > 5 would also match the MSFT packet).
+        assert_eq!(d.network.deliveries(15).len(), 1);
+        assert_eq!(d.network.deliveries(15)[0].values["stock"], Value::from("GOOGL"));
+    }
+
+    #[test]
+    fn over_budget_switch_degrades_to_coarse_overdelivery() {
+        let net = paper_fat_tree();
+        let tor = net.designated_chain(15)[0];
+        let mut ctrl = controller(Policy::TrafficReduction);
+        ctrl.budget_overrides
+            .insert(tor, ResourceBudget { max_tcam_entries: 0, ..ResourceBudget::unlimited() });
+
+        // Host 14 shares the ToR with host 15, so its messages meet
+        // only the degraded switch on the way.
+        let subs = subs(&net, |h| if h == 15 { vec!["price > 5"] } else { vec![] });
+        let d0 = ctrl.deploy(net.clone(), &subs);
+        let mut d = d0.unwrap();
+        assert!(d.degraded.contains(&tor), "the ToR must be degraded");
+        assert_eq!(d.report.degraded_switches(), vec![tor]);
+
+        d.network.publish(14, googl_packet(10), 0); // matches price > 5
+        d.network.publish(14, googl_packet(2), 100); // does not match
+        d.network.run(None);
+        // The coarse pipeline over-delivers: host 15 receives both the
+        // matching and the non-matching message, and nobody else
+        // receives anything.
+        assert_eq!(d.network.deliveries(15).len(), 2);
+        for h in 0..net.host_count() {
+            if h != 15 {
+                assert!(d.network.deliveries(h).is_empty(), "host {h} must stay silent");
+            }
+        }
+
+        // Lifting the budget and repairing restores the precise
+        // pipeline: a later non-matching message is filtered again.
+        ctrl.budget_overrides.clear();
+        let mut fixed = ctrl.deploy(net.clone(), &subs).unwrap();
+        assert!(fixed.degraded.is_empty());
+        fixed.network.publish(14, googl_packet(2), 0);
+        fixed.network.run(None);
+        assert!(fixed.network.deliveries(15).is_empty());
+    }
+
+    #[test]
+    fn exhausted_stage_op_rolls_the_transaction_back() {
+        let net = paper_fat_tree();
+        let tor = net.designated_chain(15)[0];
+        let ctrl = controller(Policy::TrafficReduction);
+        let old = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = ctrl.deploy(net.clone(), &old).unwrap();
+
+        let new =
+            subs(&net, |h| if h == 15 { vec!["stock == GOOGL", "stock == MSFT"] } else { vec![] });
+        let before_fp: Vec<u64> = d.compile.switches.iter().map(|s| s.fingerprint).collect();
+        let mut dead = DeadOp { switch: tor, op: Some(ControlOp::Stage) };
+        match ctrl.repair_with(&mut d, &new, &mut dead) {
+            Err(DeployError::Channel { failed, report }) => {
+                assert_eq!(failed, vec![tor]);
+                let entry = report.switches.iter().find(|e| e.switch == tor).unwrap();
+                assert_eq!(entry.attempts, ctrl.retry.max_attempts);
+                assert_eq!(entry.retries, ctrl.retry.max_attempts - 1);
+                assert!(!entry.staged && !entry.committed);
+                assert_eq!(entry.verdict, AdmissionVerdict::Unreachable);
+                assert!(entry.control_ns > 0, "timeouts and backoff must cost time");
+                assert_eq!(report.committed(), 0);
+            }
+            other => panic!("expected channel failure, got {other:?}"),
+        }
+        let after_fp: Vec<u64> = d.compile.switches.iter().map(|s| s.fingerprint).collect();
+        assert_eq!(before_fp, after_fp, "failed repair must keep the old compile state");
+
+        d.network.publish(0, msft_packet(10), 0);
+        d.network.publish(0, googl_packet(10), 100);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1, "only the old subscription delivers");
+    }
+
+    #[test]
+    fn exhausted_commit_op_reverts_committed_switches() {
+        let net = paper_fat_tree();
+        let tor = net.designated_chain(15)[0];
+        let ctrl = controller(Policy::TrafficReduction);
+        let old = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = ctrl.deploy(net.clone(), &old).unwrap();
+
+        let new =
+            subs(&net, |h| if h == 15 { vec!["stock == GOOGL", "stock == MSFT"] } else { vec![] });
+        // Stages land everywhere, but the ToR never acks its commit:
+        // switches committed before it must be reverted.
+        let mut dead = DeadOp { switch: tor, op: Some(ControlOp::Commit) };
+        match ctrl.repair_with(&mut d, &new, &mut dead) {
+            Err(DeployError::Channel { failed, report }) => {
+                assert_eq!(failed, vec![tor]);
+                let entry = report.switches.iter().find(|e| e.switch == tor).unwrap();
+                // The ledger reflects final state: the stage was
+                // rolled back, so nothing is left staged or committed.
+                assert!(!entry.staged && !entry.committed && entry.rolled_back);
+                // Every touched switch was rolled back, none left
+                // staged or committed.
+                for e in &report.switches {
+                    assert!(!e.committed, "switch {} left committed", e.switch);
+                    assert!(e.rolled_back || e.verdict == AdmissionVerdict::Unreachable);
+                }
+            }
+            other => panic!("expected channel failure, got {other:?}"),
+        }
+        d.network.publish(0, msft_packet(10), 0);
+        d.network.publish(0, googl_packet(10), 100);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1, "reverted network forwards as before");
+
+        // The same repair over a healthy channel then succeeds and the
+        // new subscription goes live.
+        ctrl.repair(&mut d, &new).unwrap();
+        d.network.publish(0, msft_packet(10), 1_000_000);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 2);
     }
 }

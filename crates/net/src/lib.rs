@@ -20,8 +20,12 @@
 //! * end-to-end message delivery records with publish→deliver latency
 //!   (the Fig. 8 metric).
 
+pub mod channel;
 pub mod controller;
 pub mod sim;
 
-pub use controller::{Controller, Deployment};
+pub use channel::{ChannelOutcome, ControlChannel, ControlOp, PerfectChannel, RetryPolicy};
+pub use controller::{
+    AdmissionVerdict, Controller, DeployError, DeployReport, Deployment, SwitchDeploy,
+};
 pub use sim::{Delivered, Network, NetworkStats};
