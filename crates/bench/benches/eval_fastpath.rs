@@ -12,12 +12,14 @@ use camus_core::pipeline::{
 use camus_core::statics::compile_static;
 use camus_dataplane::packet::{Packet, PacketBuilder};
 use camus_dataplane::switch::{Switch, SwitchConfig};
+use camus_dataplane::telemetry::SwitchTelemetry;
 use camus_lang::ast::{Action, Operand, Port, Rule};
 use camus_lang::parser::parse_expr;
 use camus_lang::spec::int_spec;
 use camus_lang::value::Value;
+use camus_telemetry::metrics::{MetricsRegistry, SampleRate};
 use camus_workloads::int::{IntFeed, IntFeedConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::collections::HashMap;
 
 fn rules(n: usize) -> Vec<Rule> {
@@ -137,5 +139,60 @@ fn bench_switch_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_eval, bench_depth, bench_switch_batch);
+/// Guard: attaching *disabled* telemetry (sampling rate 0) must keep
+/// whole-switch batched throughput within 3% of the bare PR-3
+/// `rust-compiled` lane. Interleaved best-of-N timing so scheduler
+/// noise hits both lanes alike; the assert fails the bench run.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let _ = c;
+    let spec = int_spec();
+    let statics = compile_static(&spec).unwrap();
+    let mut feed = IntFeed::new(IntFeedConfig::default());
+    let batch: Vec<(Packet, Port)> = feed
+        .reports(256)
+        .iter()
+        .map(|r| {
+            let mut b = PacketBuilder::new(&spec);
+            for (k, v) in r.fields() {
+                b = b.stack_field("int_report", &k, v);
+            }
+            (b.build(), 0)
+        })
+        .collect();
+    let compiled = Compiler::new().with_static(statics.clone()).compile(&rules(1_000)).unwrap();
+    let mut bare = Switch::new(&statics, compiled.pipeline.clone(), SwitchConfig::default());
+    let mut instrumented = Switch::new(&statics, compiled.pipeline, SwitchConfig::default());
+    let registry = MetricsRegistry::new();
+    instrumented.attach_telemetry(SwitchTelemetry::new(&registry, SampleRate::DISABLED));
+
+    let time_batches = |sw: &mut Switch, rounds: usize| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..rounds {
+            black_box(sw.process_batch(&batch, 0).len());
+        }
+        t0.elapsed()
+    };
+    // Warm both switches (scratch sizing, allocator reuse).
+    time_batches(&mut bare, 8);
+    time_batches(&mut instrumented, 8);
+    let (mut best_bare, mut best_dis) = (std::time::Duration::MAX, std::time::Duration::MAX);
+    for _ in 0..9 {
+        best_bare = best_bare.min(time_batches(&mut bare, 16));
+        best_dis = best_dis.min(time_batches(&mut instrumented, 16));
+    }
+    let overhead = best_dis.as_secs_f64() / best_bare.as_secs_f64() - 1.0;
+    println!(
+        "telemetry_overhead/disabled: bare {:?} disabled {:?} overhead {:.2}%",
+        best_bare,
+        best_dis,
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.03,
+        "disabled telemetry costs {:.2}% (> 3%) over the rust-compiled lane",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(benches, bench_eval, bench_depth, bench_switch_batch, bench_telemetry_overhead);
 criterion_main!(benches);

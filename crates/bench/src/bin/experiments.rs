@@ -25,6 +25,7 @@ const IDS: &[&str] = &[
     "faults",
     "chaos",
     "throughput",
+    "telemetry",
 ];
 
 fn run_one(id: &str, scale: Scale) -> bool {
@@ -42,6 +43,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "faults" => !experiments::faults::run(scale).is_empty(),
         "chaos" => !experiments::chaos::run(scale).is_empty(),
         "throughput" => !experiments::throughput::run(scale).is_empty(),
+        "telemetry" => !experiments::telemetry::run(scale).is_empty(),
         _ => return false,
     };
     eprintln!("[{id}] done in {:.1?}\n", t0.elapsed());

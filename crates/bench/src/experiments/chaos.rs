@@ -26,6 +26,7 @@ use camus_lang::ast::{Expr, Operand};
 use camus_lang::value::Value;
 use camus_net::controller::Controller;
 use camus_routing::algorithm1::{Policy, RoutingConfig};
+use camus_telemetry::SampleRate;
 
 fn soak(n_subs: usize, pool_size: usize, cfg: &ChaosConfig) -> ChaosReport {
     let net = churn_net();
@@ -74,6 +75,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         seed: 0xC4A05,
         steps: scale.pick(10, 40),
         probes_per_step: scale.pick(2, 3),
+        // Trace every witness: the soak then audits its dark windows
+        // from the postcard collector and cross-checks the logs.
+        sample: SampleRate::always(),
         ..Default::default()
     };
     let r = soak(n_subs, 16, &cfg);
@@ -96,6 +100,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "drop_pct",
             "fail_pct",
             "partitions",
+            "blackholes",
+            "loops",
         ],
     );
     for s in &r.steps {
@@ -106,6 +112,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         if s.outcome != "rolled-back" {
             assert_eq!(s.missed, 0, "step {}: committed repair must deliver", s.step);
         }
+        // Telemetry detection: every missed delivery surfaces as a
+        // blackhole anomaly, and nothing ever loops.
+        assert_eq!(s.traced, cfg.probes_per_step, "step {}: sampler missed probes", s.step);
+        assert_eq!(s.blackholes > 0, s.missed > 0, "step {}: blackhole detection", s.step);
+        assert_eq!(s.loops, 0, "step {}: false loop report", s.step);
         t.row([
             s.step.to_string(),
             s.label.clone(),
@@ -122,6 +133,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
             s.drop_pct.to_string(),
             s.fail_pct.to_string(),
             s.partitions.to_string(),
+            s.blackholes.to_string(),
+            s.loops.to_string(),
         ]);
     }
     t.emit("chaos");

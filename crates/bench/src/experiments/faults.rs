@@ -30,6 +30,7 @@ use camus_lang::value::Value;
 use camus_net::controller::Controller;
 use camus_routing::algorithm1::{Policy, RoutingConfig};
 use camus_routing::topology::{DownTarget, HierNet, SwitchId};
+use camus_telemetry::SampleRate;
 use camus_workloads::siena::{SienaConfig, SienaGenerator};
 use std::collections::HashMap;
 
@@ -50,7 +51,7 @@ pub(crate) fn generator(seed: u64) -> SienaGenerator {
 
 /// The agg→ToR edge of `host`'s designated chain: cutting it blacks the
 /// host out until the controller re-routes through a sibling agg.
-fn chain_link(net: &HierNet, host: usize) -> (SwitchId, Port) {
+pub(crate) fn chain_link(net: &HierNet, host: usize) -> (SwitchId, Port) {
     let chain = net.designated_chain(host);
     let (tor, agg) = (chain[0], chain[1]);
     let port = net.switches[agg]
@@ -82,6 +83,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "dropped",
             "duplicated",
             "misdelivered",
+            "blackholes",
+            "loops",
             "recovered",
         ],
     );
@@ -122,6 +125,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ProbeConfig { publisher, packet: b.build(), expected, interval_ns, warmup, after };
 
         let mut d = ctrl.deploy(net.clone(), &subs).expect("deploy compiles");
+        // Postcard telemetry on every probe: the blackout and delivery
+        // columns below come from the collector, cross-checked against
+        // the legacy delivery-log accounting.
+        d.network.attach_telemetry(SampleRate::always());
         let (agg, port) = chain_link(&net, target);
         let events = [
             FaultKind::LinkDown { switch: agg, port },
@@ -137,6 +144,20 @@ pub fn run(scale: Scale) -> Vec<Table> {
             assert_eq!(r.misdelivered, 0, "{}: mis-delivery", r.label);
             assert_eq!(r.duplicated, 0, "{}: duplicate delivery", r.label);
             assert!(r.recovered, "{}: subscribers still dark after repair", r.label);
+            // Telemetry equivalence: every accounting column below is
+            // the collector's number, and it must equal the probe-based
+            // one (1/1 sampling traces every probe).
+            let tel = r.telemetry.as_ref().expect("telemetry attached");
+            assert_eq!(tel.traced, r.probes, "{}: sampler missed probes", r.label);
+            assert_eq!(tel.dropped, r.dropped, "{}: telemetry dropped", r.label);
+            assert_eq!(tel.blackout_ns, r.blackout_ns, "{}: telemetry blackout", r.label);
+            assert_eq!(tel.misdelivered, r.misdelivered, "{}: telemetry misdelivery", r.label);
+            assert_eq!(tel.duplicated, r.duplicated, "{}: telemetry duplicates", r.label);
+            // Detection: a dropped probe is a blackhole anomaly, a
+            // clean probe is not, and loop-free forwarding never trips
+            // the loop detector.
+            assert_eq!(tel.blackholes > 0, tel.dropped > 0, "{}: blackhole detection", r.label);
+            assert_eq!(tel.loops, 0, "{}: false loop report", r.label);
             assert!(r.repair.reused > 0, "{}: repair must reuse off-path pipelines", r.label);
             if kind.is_degrading() {
                 assert!(
@@ -156,10 +177,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 r.repair.recompiled.to_string(),
                 r.repair.reused.to_string(),
                 r.repair.reinstalled.to_string(),
-                format!("{:.1}", r.blackout_ns as f64 / 1e3),
-                r.dropped.to_string(),
-                r.duplicated.to_string(),
-                r.misdelivered.to_string(),
+                format!("{:.1}", tel.blackout_ns as f64 / 1e3),
+                tel.dropped.to_string(),
+                tel.duplicated.to_string(),
+                tel.misdelivered.to_string(),
+                tel.blackholes.to_string(),
+                tel.loops.to_string(),
                 r.recovered.to_string(),
             ]);
         }
@@ -188,7 +211,7 @@ mod tests {
         // Timing columns (2, 3) vary run to run; everything the fault
         // model controls must not.
         for (ra, rb) in a[0].rows.iter().zip(b[0].rows.iter()) {
-            for i in [0usize, 1, 4, 5, 6, 7, 8, 9, 10, 11] {
+            for i in [0usize, 1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13] {
                 assert_eq!(ra[i], rb[i], "column {i}");
             }
         }

@@ -13,6 +13,7 @@ pub mod fig15;
 pub mod fig8;
 pub mod fig9;
 pub mod tab1;
+pub mod telemetry;
 pub mod throughput;
 
 /// Workload sizing.

@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// The fig. 9 filter family: 100 switch ids × rotating latency bounds.
-fn rules(n: usize) -> Vec<Rule> {
+pub(crate) fn rules(n: usize) -> Vec<Rule> {
     (0..n)
         .map(|i| Rule {
             filter: parse_expr(&format!(
@@ -53,7 +53,7 @@ fn rules(n: usize) -> Vec<Rule> {
         .collect()
 }
 
-fn build_switch(n_filters: usize) -> Switch {
+pub(crate) fn build_switch(n_filters: usize) -> Switch {
     let statics = compile_static(&int_spec()).expect("int spec compiles");
     let compiled =
         Compiler::new().with_static(statics.clone()).compile(&rules(n_filters)).expect("compiles");
@@ -61,7 +61,7 @@ fn build_switch(n_filters: usize) -> Switch {
 }
 
 /// INT reports encoded as stack-only wire packets.
-fn int_packets(n: usize) -> Vec<Packet> {
+pub(crate) fn int_packets(n: usize) -> Vec<Packet> {
     let spec = int_spec();
     let mut feed = IntFeed::new(IntFeedConfig::default());
     feed.reports(n)

@@ -21,6 +21,9 @@
 //!   replication (one copy per output port) → egress pruning of the
 //!   messages each subscriber did not ask for (§VI-A) → custom actions
 //!   (e.g. `answerDNS`).
+//! * [`telemetry`] — optional sampled instruments on the switch path
+//!   ([`camus_telemetry`] handles); one mask test per packet when
+//!   attached, nothing at all when not.
 //!
 //! Latency is modelled, not measured: a base pipeline traversal cost
 //! plus a per-recirculation penalty, calibrated to the paper's "less
@@ -31,9 +34,11 @@ pub mod packet;
 pub mod parser;
 pub mod state;
 pub mod switch;
+pub mod telemetry;
 
 pub use fastpath::{EvalPlan, EvalScratch};
 pub use packet::{Packet, PacketBuilder};
 pub use parser::{DeepParser, ParseOutcome};
 pub use state::StateStore;
 pub use switch::{InstallError, Switch, SwitchConfig, SwitchOutput, SwitchStats};
+pub use telemetry::SwitchTelemetry;

@@ -17,6 +17,7 @@ use crate::fastpath::{EvalPlan, EvalScratch, KeepLists};
 use crate::packet::Packet;
 use crate::parser::{DeepParser, ParseOutcome};
 use crate::state::StateStore;
+use crate::telemetry::SwitchTelemetry;
 use camus_core::compiled::{CompiledPipeline, EvalCounters};
 use camus_core::pipeline::Pipeline;
 use camus_core::resources::{self, AdmissionError, ResourceBudget, ResourceReport};
@@ -189,6 +190,13 @@ pub struct Switch {
     /// Egress ports currently marked down (fault model): forwarding
     /// decisions towards them are suppressed and counted.
     port_down: HashSet<Port>,
+    /// Optional sampled instruments; `None` keeps the fast path free
+    /// of even the sampler tick. Boxed so the common case stays one
+    /// pointer in the hot struct.
+    telemetry: Option<Box<SwitchTelemetry>>,
+    /// Evaluation counters of the most recent [`process`](Self::process)
+    /// call, for the simulator to copy into packet postcards.
+    last_eval: EvalCounters,
 }
 
 impl Switch {
@@ -230,6 +238,8 @@ impl Switch {
             config,
             stats: SwitchStats::default(),
             port_down: HashSet::new(),
+            telemetry: None,
+            last_eval: EvalCounters::default(),
         };
         sw.install(pipeline);
         sw
@@ -349,6 +359,28 @@ impl Switch {
         self.port_down.contains(&port)
     }
 
+    /// Attach sampled instruments to this switch. Until detached,
+    /// every processed packet pays one sampler tick; sampled packets
+    /// record into the instruments' shared registry.
+    pub fn attach_telemetry(&mut self, telemetry: SwitchTelemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// Remove the instruments, restoring the telemetry-free path.
+    pub fn detach_telemetry(&mut self) -> Option<SwitchTelemetry> {
+        self.telemetry.take().map(|t| *t)
+    }
+
+    pub fn telemetry(&self) -> Option<&SwitchTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Evaluation counters of the most recent fast-path
+    /// [`process`](Self::process) call (postcard source material).
+    pub fn last_eval(&self) -> EvalCounters {
+        self.last_eval
+    }
+
     /// Process a packet arriving on `ingress` at absolute time
     /// `now_us`, through the compiled fast path: slot-indexed decode
     /// straight from the packet bytes, reusable keep lists, and
@@ -377,7 +409,7 @@ impl Switch {
         };
 
         let mut counters = EvalCounters::default();
-        let Switch { program, state, scratch, stats, port_down, .. } = self;
+        let Switch { program, state, scratch, stats, port_down, telemetry, last_eval, .. } = self;
         let (plan, compiled) = (&program.plan, &program.compiled);
         scratch.keep.clear();
 
@@ -432,6 +464,10 @@ impl Switch {
         stats.stage_hits += counters.stage_hits;
         stats.stage_misses += counters.stage_misses;
         stats.entries_scanned += counters.entries_scanned;
+        *last_eval = counters;
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.observe(&counters, out.latency_ns, passes);
+        }
 
         // Crossbar replication + egress pruning: one copy per port. A
         // copy that keeps every byte shares the input buffer (`Bytes`

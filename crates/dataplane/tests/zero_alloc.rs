@@ -16,9 +16,11 @@ use camus_core::compiler::Compiler;
 use camus_core::statics::compile_static;
 use camus_dataplane::packet::PacketBuilder;
 use camus_dataplane::switch::{Switch, SwitchConfig};
+use camus_dataplane::telemetry::SwitchTelemetry;
 use camus_lang::parser::parse_rules;
 use camus_lang::spec::itch_spec;
 use camus_lang::value::Value;
+use camus_telemetry::metrics::{MetricsRegistry, SampleRate};
 
 struct CountingAlloc;
 
@@ -104,4 +106,33 @@ fn steady_state_process_does_not_allocate() {
     }
     let per_packet = (allocs() - before) / rounds;
     assert!(per_packet <= 12, "matching path allocates {per_packet}/packet, want <= 12");
+
+    // Telemetry attached but disabled: the hot path gains one sampler
+    // tick and must stay strictly allocation-free.
+    let registry = MetricsRegistry::new();
+    sw.attach_telemetry(SwitchTelemetry::new(&registry, SampleRate::DISABLED));
+    for _ in 0..32 {
+        sw.process(&drop_pkt, 0, 5);
+    }
+    let before = allocs();
+    for _ in 0..500 {
+        let out = sw.process(&drop_pkt, 0, 5);
+        assert!(out.ports.is_empty());
+    }
+    assert_eq!(allocs() - before, 0, "disabled-telemetry drop path must not allocate");
+
+    // Telemetry at full rate: instruments are lock-free atomics, so
+    // even the every-packet-sampled path allocates nothing.
+    sw.detach_telemetry();
+    sw.attach_telemetry(SwitchTelemetry::new(&registry, SampleRate::always()));
+    for _ in 0..32 {
+        sw.process(&drop_pkt, 0, 5);
+    }
+    let before = allocs();
+    for _ in 0..500 {
+        let out = sw.process(&drop_pkt, 0, 5);
+        assert!(out.ports.is_empty());
+    }
+    assert_eq!(allocs() - before, 0, "sampled-telemetry drop path must not allocate");
+    assert!(registry.snapshot().histograms["switch.eval_ns"].count >= 500);
 }

@@ -32,4 +32,7 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosInput, ChaosReport, ChaosStep};
 pub use event::{FaultEvent, FaultKind, FaultSchedule};
 pub use inject::FaultInjector;
 pub use report::FaultReport;
-pub use scenario::{apply_fault, run_fault, run_schedule, EventReport, ProbeConfig, RepairModel};
+pub use scenario::{
+    apply_fault, run_fault, run_schedule, EventReport, ProbeConfig, RepairModel,
+    TelemetryAccounting,
+};

@@ -22,7 +22,8 @@ use camus_lang::ast::Expr;
 use camus_net::controller::{Controller, DeployError, Deployment, RepairStats};
 use camus_net::sim::Network;
 use camus_routing::topology::HostId;
-use std::collections::{HashMap, HashSet};
+use camus_telemetry::PostcardId;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The probe stream published around each fault.
 #[derive(Debug, Clone)]
@@ -117,6 +118,31 @@ pub struct EventReport {
     pub misdelivered: usize,
     /// Every measured host received the final probe.
     pub recovered: bool,
+    /// The same accounting derived from postcard telemetry instead of
+    /// the host delivery logs; present when the network had telemetry
+    /// attached and at least one probe was sampled.
+    pub telemetry: Option<TelemetryAccounting>,
+}
+
+/// Per-fault accounting computed from the postcard
+/// [`Collector`](camus_telemetry::Collector). With a 1/1 sampling rate
+/// this must agree exactly with the probe-based numbers in
+/// [`EventReport`]; at lower rates it is a sampled estimate over the
+/// `traced` probes only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryAccounting {
+    /// Probes the sampler picked up.
+    pub traced: usize,
+    pub delivered: usize,
+    pub dropped: usize,
+    pub duplicated: usize,
+    pub misdelivered: usize,
+    pub blackout_ns: u64,
+    /// Blackhole anomalies among this fault's traced probes.
+    pub blackholes: usize,
+    /// Loop anomalies among this fault's traced probes (must be zero —
+    /// never-re-ascend forwarding cannot loop).
+    pub loops: usize,
 }
 
 /// Inject `kind` into a deployed network under probe traffic, let the
@@ -140,8 +166,11 @@ pub fn run_fault(
     let probe_times: Vec<u64> = (0..total as u64).map(|i| t0 + (i + 1) * iv).collect();
     let fault_ns = t0 + probe.warmup as u64 * iv + iv / 2;
 
+    let mut traced: Vec<(PostcardId, u64)> = Vec::new();
     for &t in &probe_times[..probe.warmup] {
-        d.network.publish(probe.publisher, probe.packet.clone(), t);
+        if let Some(id) = d.network.publish(probe.publisher, probe.packet.clone(), t) {
+            traced.push((id, t));
+        }
     }
     d.network.run(Some(fault_ns));
     // Failures take effect immediately — the network breaks first, the
@@ -154,7 +183,9 @@ pub fn run_fault(
         apply_fault(&mut d.network, kind);
     }
     for &t in &probe_times[probe.warmup..] {
-        d.network.publish(probe.publisher, probe.packet.clone(), t);
+        if let Some(id) = d.network.publish(probe.publisher, probe.packet.clone(), t) {
+            traced.push((id, t));
+        }
     }
     // The outage persists for the detection + repair window, then the
     // controller converges the tables; remaining probes ride the
@@ -217,6 +248,8 @@ pub fn run_fault(
             .count();
     }
 
+    let telemetry = account_from_telemetry(&mut d.network, &traced, &measured, &expected_hosts);
+
     Ok(EventReport {
         label: kind.label(),
         fault_ns,
@@ -231,7 +264,75 @@ pub fn run_fault(
         duplicated,
         misdelivered,
         recovered,
+        telemetry,
     })
+}
+
+/// Rebuild the probe accounting from the collector's postcard groups.
+/// Registers the post-fault expectation (the `measured` hosts) for each
+/// traced probe first, so the collector's blackhole detector and this
+/// accounting agree on who was owed a copy.
+fn account_from_telemetry(
+    network: &mut Network,
+    traced: &[(PostcardId, u64)],
+    measured: &[HostId],
+    expected_hosts: &HashSet<HostId>,
+) -> Option<TelemetryAccounting> {
+    if traced.is_empty() {
+        return None;
+    }
+    let now = network.now_ns();
+    {
+        let col = network.collector_mut()?;
+        for &(id, t) in traced {
+            col.expect(id, t, measured);
+        }
+    }
+    let col = network.collector()?;
+    let mut acc = TelemetryAccounting { traced: traced.len(), ..TelemetryAccounting::default() };
+    for &h in measured {
+        let mut missed: Vec<u64> = Vec::new();
+        let mut landed: Vec<(u64, u64)> = Vec::new();
+        for &(id, t) in traced {
+            let g = col.group(id).expect("expectation registered above");
+            let mut copies = 0usize;
+            for &(dh, tn) in &g.deliveries {
+                if dh == h {
+                    copies += 1;
+                    landed.push((t, tn));
+                }
+            }
+            if copies == 0 {
+                missed.push(t);
+            } else {
+                acc.delivered += copies;
+                acc.duplicated += copies - 1;
+            }
+        }
+        acc.dropped += missed.len();
+        if let (Some(&first), Some(&last)) = (missed.first(), missed.last()) {
+            let end =
+                landed.iter().filter(|&&(t, _)| t > last).map(|&(_, tn)| tn).min().unwrap_or(now);
+            acc.blackout_ns = acc.blackout_ns.max(end.saturating_sub(first));
+        }
+    }
+    for &(id, _) in traced {
+        let g = col.group(id).expect("expectation registered above");
+        acc.misdelivered +=
+            g.deliveries.iter().filter(|(h, _)| !expected_hosts.contains(h)).count();
+        if !g.missing_hosts().is_empty() {
+            acc.blackholes += 1;
+        }
+        let mut looped: BTreeSet<usize> = BTreeSet::new();
+        for (card, _) in &g.completed {
+            if let Some(s) = card.find_loop() {
+                if looped.insert(s) {
+                    acc.loops += 1;
+                }
+            }
+        }
+    }
+    Some(acc)
 }
 
 /// Run a whole schedule. `ControlDelay` events are not faults of their
@@ -390,6 +491,54 @@ mod tests {
         assert!(slow.blackout_ns > fast.blackout_ns, "congested control plane converges later");
         assert_eq!(slow.control_extra_ns, extra);
         assert!(slow.recovered);
+    }
+
+    #[test]
+    fn telemetry_accounting_matches_probe_accounting() {
+        use camus_telemetry::SampleRate;
+        let (ctrl, mut d, subs, probe) = setup();
+        d.network.attach_telemetry(SampleRate::always());
+        let (agg, port) = chain_link(&d, 15);
+        let model = RepairModel::default();
+        let r = run_fault(
+            &ctrl,
+            &mut d,
+            &subs,
+            FaultKind::LinkDown { switch: agg, port },
+            &probe,
+            &model,
+            0,
+        )
+        .unwrap();
+        let t = r.telemetry.as_ref().expect("1/1 sampling traces every probe");
+        assert_eq!(t.traced, r.probes);
+        // Every number the probe harness computed from host delivery
+        // logs must be reproduced from postcards alone.
+        assert_eq!(t.delivered, r.delivered);
+        assert_eq!(t.dropped, r.dropped);
+        assert_eq!(t.duplicated, r.duplicated);
+        assert_eq!(t.misdelivered, r.misdelivered);
+        assert_eq!(t.blackout_ns, r.blackout_ns);
+        // One measured host: each missed probe is exactly one
+        // blackhole anomaly, and loop-free forwarding reports none.
+        assert_eq!(t.blackholes, r.dropped);
+        assert_eq!(t.loops, 0);
+
+        // Without telemetry attached the field stays empty and the
+        // legacy accounting is unaffected.
+        d.network.detach_telemetry().expect("collector was attached");
+        let up = run_fault(
+            &ctrl,
+            &mut d,
+            &subs,
+            FaultKind::LinkUp { switch: agg, port },
+            &probe,
+            &model,
+            0,
+        )
+        .unwrap();
+        assert!(up.telemetry.is_none());
+        assert!(up.recovered);
     }
 
     #[test]

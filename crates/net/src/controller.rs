@@ -19,6 +19,7 @@ use camus_lang::ast::{Action, Expr, Port};
 use camus_routing::algorithm1::{route_hierarchical_degraded, RoutingConfig, RoutingResult};
 use camus_routing::compile::{compile_network, compile_network_incremental, NetworkCompile};
 use camus_routing::topology::{FaultMask, HierNet};
+use camus_telemetry::{DeployTrace, SwitchSpan};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -53,6 +54,9 @@ pub struct Deployment {
     /// Switches currently running the coarse degraded pipeline because
     /// their precise one was over budget.
     pub degraded: BTreeSet<usize>,
+    /// Per-phase span trace of the last successful deploy/repair
+    /// transaction (route/compile wall-clock, stage/commit modelled).
+    pub trace: DeployTrace,
 }
 
 /// Why a deployment transaction failed. Any error leaves the previous
@@ -127,8 +131,12 @@ pub struct SwitchDeploy {
     /// failed elsewhere.
     pub rolled_back: bool,
     /// Modelled control-plane time spent on this switch (ops, timeouts
-    /// and backoff).
+    /// and backoff). Always `stage_ns + commit_ns`.
     pub control_ns: u64,
+    /// The stage-op share of `control_ns` (span tracing).
+    pub stage_ns: u64,
+    /// The commit-op share of `control_ns` (span tracing).
+    pub commit_ns: u64,
 }
 
 impl SwitchDeploy {
@@ -142,6 +150,8 @@ impl SwitchDeploy {
             committed: false,
             rolled_back: false,
             control_ns: 0,
+            stage_ns: 0,
+            commit_ns: 0,
         }
     }
 }
@@ -253,6 +263,8 @@ impl Controller {
         entry: &mut SwitchDeploy,
         op: ControlOp,
     ) -> bool {
+        let before = entry.control_ns;
+        let mut landed = false;
         for attempt in 1..=self.retry.max_attempts {
             entry.attempts += 1;
             if attempt > 1 {
@@ -262,13 +274,21 @@ impl Controller {
             match channel.attempt(entry.switch, op, attempt) {
                 ChannelOutcome::Delivered => {
                     entry.control_ns += self.retry.op_ns;
-                    return true;
+                    landed = true;
+                    break;
                 }
                 ChannelOutcome::Dropped => entry.control_ns += self.retry.timeout_ns,
                 ChannelOutcome::Nacked => entry.control_ns += self.retry.op_ns,
             }
         }
-        false
+        // Attribute the op's modelled time to its phase for span
+        // tracing; `control_ns` stays the cross-phase total.
+        let spent = entry.control_ns - before;
+        match op {
+            ControlOp::Stage => entry.stage_ns += spent,
+            ControlOp::Commit => entry.commit_ns += spent,
+        }
+        landed
     }
 
     /// The two-phase deployment transaction over `targets` (slot ids):
@@ -285,6 +305,12 @@ impl Controller {
         targets: &[usize],
         channel: &mut dyn ControlChannel,
     ) -> Result<(DeployReport, BTreeSet<usize>), DeployError> {
+        // The ledger is ordered by switch index regardless of how the
+        // caller discovered the targets, so reports from different
+        // change-detection orders compare equal.
+        let mut targets: Vec<usize> = targets.to_vec();
+        targets.sort_unstable();
+        let targets = &targets[..];
         let mut report = DeployReport::default();
         let mut degraded = BTreeSet::new();
         let mut rejected: Vec<(usize, InstallError)> = Vec::new();
@@ -408,7 +434,9 @@ impl Controller {
         mask: &FaultMask,
         channel: &mut dyn ControlChannel,
     ) -> Result<Deployment, DeployError> {
+        let route_start = Instant::now();
         let routing = route_hierarchical_degraded(&topology, subs, self.routing, mask);
+        let route_ns = route_start.elapsed().as_nanos() as u64;
         let compile = compile_network(&routing, &self.compiler())?;
         let mut switches = Vec::with_capacity(topology.switch_count());
         for sc in &compile.switches {
@@ -425,7 +453,8 @@ impl Controller {
         let targets: Vec<usize> = (0..compile.switches.len()).collect();
         let (report, degraded) =
             self.apply_transaction(&mut network, &compile, &routing, &targets, channel)?;
-        Ok(Deployment { network, routing, compile, report, degraded })
+        let trace = build_trace(route_ns, &compile, &report);
+        Ok(Deployment { network, routing, compile, report, degraded, trace })
     }
 
     /// Recompute and reinstall pipelines after a subscription change,
@@ -473,6 +502,7 @@ impl Controller {
         let mask = deployment.network.fault_mask().clone();
         let routing =
             route_hierarchical_degraded(&deployment.network.topology, subs, self.routing, &mask);
+        let route_ns = start.elapsed().as_nanos() as u64;
         let compile =
             compile_network_incremental(&routing, &self.compiler(), Some(&deployment.compile))?;
         // Reinstall exactly the switches whose own rule list changed.
@@ -497,11 +527,30 @@ impl Controller {
             deployment.degraded.remove(s);
         }
         deployment.degraded.extend(degraded);
+        deployment.trace = build_trace(route_ns, &compile, &report);
         deployment.routing = routing;
         deployment.compile = compile;
         deployment.report = report;
         Ok(stats)
     }
+}
+
+/// Render a transaction ledger as a per-phase span trace.
+fn build_trace(route_ns: u64, compile: &NetworkCompile, report: &DeployReport) -> DeployTrace {
+    let switches = report
+        .switches
+        .iter()
+        .map(|e| SwitchSpan {
+            switch: e.switch,
+            stage_ns: e.stage_ns,
+            commit_ns: e.commit_ns,
+            attempts: e.attempts,
+            retries: e.retries,
+            committed: e.committed,
+            rolled_back: e.rolled_back,
+        })
+        .collect();
+    DeployTrace::build(route_ns, compile.elapsed.as_nanos() as u64, switches)
 }
 
 #[cfg(test)]
@@ -1002,5 +1051,91 @@ mod tests {
         d.network.publish(0, msft_packet(10), 1_000_000);
         d.network.run(None);
         assert_eq!(d.network.deliveries(15).len(), 2);
+    }
+
+    #[test]
+    fn postcards_trace_delivery_and_flag_blackholes() {
+        use camus_telemetry::{Anomaly, SampleRate};
+        let net = paper_fat_tree();
+        let ctrl = controller(Policy::TrafficReduction);
+        let subs = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = ctrl.deploy(net.clone(), &subs).unwrap();
+        d.network.attach_telemetry(SampleRate::always());
+
+        let id = d.network.publish(0, googl_packet(10), 0).expect("sampled");
+        d.network.collector_mut().unwrap().expect(id, 0, &[15]);
+        d.network.run(None);
+        let c = d.network.collector().unwrap();
+        let g = c.group(id).unwrap();
+        assert_eq!(g.delivered_hosts().into_iter().collect::<Vec<_>>(), vec![15]);
+        assert_eq!(g.delivery_ns(15), Some(d.network.deliveries(15)[0].time_ns));
+        // Host 0 (pod 0) to host 15 (pod 3) crosses the core: the one
+        // delivered path is ToR→agg→core→agg→ToR, five switch hops.
+        assert_eq!(c.path_percentile(0.5), 5, "{:?}", c.path_lengths());
+        assert!(c.link_utilization().values().all(|&m| m == 1));
+        assert!(c.anomalies().is_empty(), "{:?}", c.anomalies());
+
+        // Cut the subscriber's access link: the next traced packet dies
+        // mid-network and the collector calls it a blackhole (and never
+        // a loop — the postcard path has no repeated switch).
+        let (tor, port) = net.access[15];
+        d.network.fail_link(tor, port);
+        let id2 = d.network.publish(0, googl_packet(11), 1_000).expect("sampled");
+        d.network.collector_mut().unwrap().expect(id2, 1_000, &[15]);
+        d.network.run(None);
+        let c = d.network.collector().unwrap();
+        assert_eq!(c.blackholes(), 1);
+        assert_eq!(c.loops(), 0);
+        assert!(c
+            .anomalies()
+            .iter()
+            .any(|a| matches!(a, Anomaly::Blackhole { id, missing, .. } if *id == id2 && missing.contains(&15))));
+    }
+
+    #[test]
+    fn deploy_ledger_is_ordered_by_switch_index() {
+        let net = paper_fat_tree();
+        let ctrl = controller(Policy::TrafficReduction);
+        let subs = subs(&net, |h| if h % 3 == 0 { vec!["stock == GOOGL"] } else { vec![] });
+        let mut d = ctrl.deploy(net.clone(), &subs).unwrap();
+        let sorted = |r: &DeployReport| r.switches.windows(2).all(|w| w[0].switch < w[1].switch);
+        assert!(sorted(&d.report), "full deploy ledger out of order");
+        assert_eq!(d.report.switches.len(), net.switch_count());
+
+        // Feed the transaction a deliberately shuffled target list; the
+        // ledger must come back sorted anyway.
+        let shuffled: Vec<usize> = (0..net.switch_count()).rev().collect();
+        let (report, _) = ctrl
+            .apply_transaction(
+                &mut d.network,
+                &d.compile,
+                &d.routing,
+                &shuffled,
+                &mut PerfectChannel,
+            )
+            .unwrap();
+        assert!(sorted(&report), "shuffled-target ledger out of order");
+        assert_eq!(report.switches.len(), net.switch_count());
+    }
+
+    #[test]
+    fn deploy_trace_accounts_for_ledger_control_time() {
+        use camus_telemetry::DeployPhase;
+        let net = paper_fat_tree();
+        let ctrl = controller(Policy::TrafficReduction);
+        let subs = subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] });
+        let d = ctrl.deploy(net.clone(), &subs).unwrap();
+        let total: u64 = d.report.switches.iter().map(|e| e.control_ns).sum();
+        let split: u64 = d.report.switches.iter().map(|e| e.stage_ns + e.commit_ns).sum();
+        assert_eq!(total, split, "per-phase split must tile control_ns");
+        assert_eq!(
+            d.trace.phase_ns(DeployPhase::Stage) + d.trace.phase_ns(DeployPhase::Commit),
+            total
+        );
+        assert_eq!(d.trace.modelled_control_ns(), total);
+        assert_eq!(d.trace.switches.len(), d.report.switches.len());
+        assert!(d.trace.phase_ns(DeployPhase::Compile) > 0, "compile wall time recorded");
+        let rendered = d.trace.render();
+        assert!(rendered.contains("stage") && rendered.contains("commit"), "{rendered}");
     }
 }

@@ -18,7 +18,11 @@
 //! * per-link traffic accounting (the Fig. 13d "extra traffic in the
 //!   core layer" metric),
 //! * end-to-end message delivery records with publish→deliver latency
-//!   (the Fig. 8 metric).
+//!   (the Fig. 8 metric),
+//! * optional INT-style postcard tracing ([`camus_telemetry`]): sampled
+//!   publications accumulate per-hop records that finalize into a
+//!   controller-side collector, and deploy/repair transactions carry a
+//!   per-phase [`DeployTrace`](camus_telemetry::DeployTrace).
 
 pub mod channel;
 pub mod controller;
@@ -28,4 +32,4 @@ pub use channel::{ChannelOutcome, ControlChannel, ControlOp, PerfectChannel, Ret
 pub use controller::{
     AdmissionVerdict, Controller, DeployError, DeployReport, Deployment, SwitchDeploy,
 };
-pub use sim::{Delivered, Network, NetworkStats};
+pub use sim::{Delivered, NetTelemetry, Network, NetworkStats};

@@ -22,6 +22,8 @@ use camus_dataplane::{Packet, Switch};
 use camus_lang::ast::Port;
 use camus_lang::value::Value;
 use camus_routing::topology::{DownTarget, FaultMask, HierNet, HostId, SwitchId, LOGICAL_UP};
+use camus_telemetry::metrics::{SampleRate, Sampler};
+use camus_telemetry::postcard::{Collector, HopRecord, Postcard, PostcardEnd, PostcardId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -112,6 +114,10 @@ struct Event {
     dest: Dest,
     packet: Packet,
     published_ns: u64,
+    /// The INT-style postcard riding with a sampled packet. Side-band
+    /// (never serialized into the packet), so tracing cannot perturb
+    /// parsing or forwarding.
+    card: Option<Box<Postcard>>,
 }
 
 impl PartialEq for Event {
@@ -131,6 +137,25 @@ impl Ord for Event {
     }
 }
 
+/// Network-level telemetry state: the publish-time postcard sampler
+/// and the controller-side collector postcards finalize into.
+#[derive(Debug, Clone)]
+pub struct NetTelemetry {
+    sampler: Sampler,
+    next_id: PostcardId,
+    pub collector: Collector,
+}
+
+impl NetTelemetry {
+    pub fn new(rate: SampleRate) -> Self {
+        NetTelemetry { sampler: Sampler::new(rate), next_id: 0, collector: Collector::new() }
+    }
+
+    pub fn rate(&self) -> SampleRate {
+        self.sampler.rate()
+    }
+}
+
 /// The simulated network: topology + per-switch dataplanes.
 pub struct Network {
     pub topology: HierNet,
@@ -145,6 +170,8 @@ pub struct Network {
     /// Currently injected faults; drives per-switch port-down state.
     mask: FaultMask,
     drops: Vec<DropRecord>,
+    /// Postcard sampling + collection; `None` = untraced (free).
+    telemetry: Option<Box<NetTelemetry>>,
 }
 
 impl Network {
@@ -162,6 +189,33 @@ impl Network {
             stats: NetworkStats::default(),
             mask: FaultMask::default(),
             drops: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Start sampling published packets into postcards at `rate`.
+    /// Replaces any previous telemetry state.
+    pub fn attach_telemetry(&mut self, rate: SampleRate) {
+        self.telemetry = Some(Box::new(NetTelemetry::new(rate)));
+    }
+
+    /// Stop tracing, returning the collector and everything it
+    /// aggregated.
+    pub fn detach_telemetry(&mut self) -> Option<Collector> {
+        self.telemetry.take().map(|t| t.collector)
+    }
+
+    pub fn collector(&self) -> Option<&Collector> {
+        self.telemetry.as_ref().map(|t| &t.collector)
+    }
+
+    pub fn collector_mut(&mut self) -> Option<&mut Collector> {
+        self.telemetry.as_mut().map(|t| &mut t.collector)
+    }
+
+    fn ingest_card(&mut self, card: Postcard, end: PostcardEnd) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.collector.ingest(card, end);
         }
     }
 
@@ -238,8 +292,19 @@ impl Network {
         (packet.message_count(self.switches[switch].spec()) as u64).max(1)
     }
 
-    /// Publish a packet from a host at an absolute time.
-    pub fn publish(&mut self, host: HostId, packet: Packet, time_ns: u64) {
+    /// Publish a packet from a host at an absolute time. When
+    /// telemetry is attached and the sampler selects this packet, a
+    /// postcard rides along and its id is returned so the caller can
+    /// register delivery expectations with the collector.
+    pub fn publish(&mut self, host: HostId, packet: Packet, time_ns: u64) -> Option<PostcardId> {
+        let card = self.telemetry.as_mut().and_then(|t| {
+            t.sampler.tick().then(|| {
+                let id = t.next_id;
+                t.next_id += 1;
+                Box::new(Postcard::new(id, time_ns))
+            })
+        });
+        let id = card.as_ref().map(|c| c.id);
         let (s, p) = self.topology.access[host];
         if !self.topology.link_usable(s, p, &self.mask) {
             // The host's access link (or ToR) is dead: the publication
@@ -248,7 +313,10 @@ impl Network {
                 if self.mask.switch_alive(s) { DropCause::LinkDown } else { DropCause::SwitchDown };
             let msgs = self.message_units(s, &packet);
             self.record_drop(time_ns, s, cause, msgs);
-            return;
+            if let Some(c) = card {
+                self.ingest_card(*c, PostcardEnd::FaultDropped { switch: s, time_ns });
+            }
+            return id;
         }
         self.push(Event {
             time_ns: time_ns + self.link_latency_ns,
@@ -256,7 +324,9 @@ impl Network {
             dest: Dest::Switch { id: s, ingress: p },
             packet,
             published_ns: time_ns,
+            card,
         });
+        id
     }
 
     fn push(&mut self, mut ev: Event) {
@@ -278,7 +348,7 @@ impl Network {
             self.now_ns = self.now_ns.max(ev.time_ns);
             self.stats.events += 1;
             match ev.dest {
-                Dest::Host(h) => self.deliver(h, &ev),
+                Dest::Host(h) => self.deliver(h, ev),
                 Dest::Switch { id, ingress } => {
                     if self.mask.switch_alive(id) {
                         self.forward(id, ingress, ev);
@@ -286,14 +356,21 @@ impl Network {
                         // The packet was in flight when the switch died.
                         let msgs = self.message_units(id, &ev.packet);
                         self.record_drop(ev.time_ns, id, DropCause::SwitchDown, msgs);
+                        if let Some(c) = ev.card {
+                            let end = PostcardEnd::FaultDropped { switch: id, time_ns: ev.time_ns };
+                            self.ingest_card(*c, end);
+                        }
                     }
                 }
             }
         }
     }
 
-    fn deliver(&mut self, host: HostId, ev: &Event) {
+    fn deliver(&mut self, host: HostId, mut ev: Event) {
         self.stats.deliveries += 1;
+        if let Some(c) = ev.card.take() {
+            self.ingest_card(*c, PostcardEnd::Delivered { host, time_ns: ev.time_ns });
+        }
         let spec = {
             // All switches share the application spec; take it from the
             // host's access switch.
@@ -333,6 +410,22 @@ impl Network {
         let now_us = ev.time_ns / 1_000;
         let out = self.switches[id].process(&ev.packet, ingress, now_us);
         let depart = ev.time_ns + out.latency_ns;
+        // What this switch did to a traced packet: the postcard hop
+        // every forwarded copy extends (with its own egress).
+        let base_hop = ev.card.as_ref().map(|_| {
+            let eval = self.switches[id].last_eval();
+            HopRecord {
+                switch: id,
+                ingress,
+                egress: None,
+                stage_hits: eval.stage_hits,
+                stage_misses: eval.stage_misses,
+                entries_scanned: eval.entries_scanned,
+                eval_ns: out.latency_ns,
+                recirculations: out.passes as u64 - 1,
+            }
+        });
+        let card = ev.card;
         let counted: Vec<(Port, Packet, u64)> = out
             .ports
             .into_iter()
@@ -342,7 +435,34 @@ impl Network {
                 (port, copy, n)
             })
             .collect();
+        if counted.is_empty() {
+            // The data plane forwarded nowhere: a legitimate filter
+            // (or every egress suppressed). The postcard ends here.
+            if let (Some(c), Some(hop)) = (card, base_hop) {
+                let mut c = *c;
+                c.record_hop(hop);
+                self.ingest_card(c, PostcardEnd::Filtered { switch: id, time_ns: depart });
+            }
+            return;
+        }
         for (port, copy, msgs) in counted {
+            // Each forwarded copy carries its own postcard clone with
+            // this switch's hop stamped with the copy's egress.
+            let copy_card = match (&card, &base_hop) {
+                (Some(c), Some(hop)) => {
+                    let mut cc = (**c).clone();
+                    let full = !cc.record_hop(HopRecord { egress: Some(port), ..*hop });
+                    if full {
+                        // Record bound hit: the packet forwards on
+                        // untracked, the card ends here.
+                        self.ingest_card(cc, PostcardEnd::HopLimit { switch: id, time_ns: depart });
+                        None
+                    } else {
+                        Some(Box::new(cc))
+                    }
+                }
+                _ => None,
+            };
             if port == LOGICAL_UP {
                 // Ascend via the designated up link. (The paper allows
                 // random/round-robin here; deterministic designated
@@ -354,15 +474,27 @@ impl Network {
                 let Some((peer, peer_port)) = self.topology.designated_up_masked(id, &self.mask)
                 else {
                     self.record_drop(depart, id, DropCause::NoAscent, msgs);
+                    if let Some(c) = copy_card {
+                        self.ingest_card(
+                            *c,
+                            PostcardEnd::FaultDropped { switch: id, time_ns: depart },
+                        );
+                    }
                     continue;
                 };
                 *self.stats.link_messages.entry((id, LOGICAL_UP)).or_insert(0) += msgs;
+                if let Some(t) = self.telemetry.as_mut() {
+                    if copy_card.is_some() {
+                        t.collector.record_link(id, LOGICAL_UP, msgs);
+                    }
+                }
                 self.push(Event {
                     time_ns: depart + self.link_latency_ns,
                     seq: 0,
                     dest: Dest::Switch { id: peer, ingress: peer_port },
                     packet: copy,
                     published_ns: ev.published_ns,
+                    card: copy_card,
                 });
             } else {
                 let target = self.topology.switches[id].down.get(port as usize).copied();
@@ -377,7 +509,18 @@ impl Network {
                         _ => DropCause::LinkDown,
                     };
                     self.record_drop(depart, id, cause, msgs);
+                    if let Some(c) = copy_card {
+                        self.ingest_card(
+                            *c,
+                            PostcardEnd::FaultDropped { switch: id, time_ns: depart },
+                        );
+                    }
                     continue;
+                }
+                if let Some(t) = self.telemetry.as_mut() {
+                    if copy_card.is_some() && target.is_some() {
+                        t.collector.record_link(id, port, msgs);
+                    }
                 }
                 match target {
                     Some(DownTarget::Host(h)) => {
@@ -388,6 +531,7 @@ impl Network {
                             dest: Dest::Host(h),
                             packet: copy,
                             published_ns: ev.published_ns,
+                            card: copy_card,
                         });
                     }
                     Some(DownTarget::Switch(c, _)) => {
@@ -400,9 +544,18 @@ impl Network {
                             dest: Dest::Switch { id: c, ingress: LOGICAL_UP },
                             packet: copy,
                             published_ns: ev.published_ns,
+                            card: copy_card,
                         });
                     }
-                    None => {} // dangling port: drop
+                    None => {
+                        // Dangling port: the copy goes nowhere.
+                        if let Some(c) = copy_card {
+                            self.ingest_card(
+                                *c,
+                                PostcardEnd::Filtered { switch: id, time_ns: depart },
+                            );
+                        }
+                    }
                 }
             }
         }
