@@ -37,22 +37,17 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// Per-packet cost of one full pass over `packets` through the batched
-/// fast path, best of `reps` timings (median is too jittery for a
-/// guard; best-of discards scheduler noise one-sidedly).
-fn time_ns_per_packet(sw: &mut Switch, packets: &[(Packet, Port)], reps: usize) -> f64 {
-    // Warm caches and the branch predictor off the clock.
-    for chunk in packets.chunks(64).take(4) {
-        std::hint::black_box(sw.process_batch(chunk, 0));
+/// fast path (global packet indices, reusable output allocation).
+fn one_pass_ns(sw: &mut Switch, packets: &[(Packet, Port)]) -> f64 {
+    let mut out = Vec::with_capacity(64);
+    let t0 = Instant::now();
+    let mut idx = 0u64;
+    for chunk in packets.chunks(64) {
+        sw.process_batch_indexed(chunk, idx, &mut out);
+        std::hint::black_box(&mut out);
+        idx += chunk.len() as u64;
     }
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        for chunk in packets.chunks(64) {
-            std::hint::black_box(sw.process_batch(chunk, 0));
-        }
-        best = best.min(t0.elapsed().as_nanos() as f64 / packets.len() as f64);
-    }
-    best
+    t0.elapsed().as_nanos() as f64 / packets.len() as f64
 }
 
 struct OverheadLane {
@@ -63,10 +58,15 @@ struct OverheadLane {
 }
 
 /// Measure bare vs telemetry-attached throughput at each sampling rate.
-/// Lanes interleave their repetitions via a shared rep budget? No —
-/// each lane is best-of-`reps`, which is stable enough for the table;
-/// the hard 3% guard with interleaved timing lives in the
-/// `eval_fastpath` bench.
+///
+/// All lanes are built and warmed before any timing, then repetitions
+/// are *interleaved* round-robin with a per-lane best-of (the same
+/// discipline as the `eval_fastpath` bench guard). An earlier revision
+/// timed the bare lane first, start to finish: it absorbed the
+/// process-wide warmup alone and the experiment reported *negative*
+/// telemetry overhead. Interleaving spreads drift evenly, so the bare
+/// lane is a fair baseline; residual negative differences are asserted
+/// to sit within a small epsilon and clamped to zero in the report.
 fn overhead_lanes(scale: Scale) -> (Vec<OverheadLane>, f64) {
     let n_filters = 1_000;
     let n_packets = scale.pick(4_000, 50_000);
@@ -74,30 +74,69 @@ fn overhead_lanes(scale: Scale) -> (Vec<OverheadLane>, f64) {
     let packets: Vec<(Packet, Port)> = int_packets(n_packets).into_iter().map(|p| (p, 0)).collect();
     let base = build_switch(n_filters);
 
-    let mut bare = base.clone();
-    let bare_ns = time_ns_per_packet(&mut bare, &packets, reps);
-
     let rates = [
         ("off", SampleRate::DISABLED),
         ("1/256", SampleRate::every(256)),
         ("1/16", SampleRate::every(16)),
         ("1/1", SampleRate::always()),
     ];
-    let mut lanes =
-        vec![OverheadLane { label: "bare", ns_per_pkt: bare_ns, overhead_pct: 0.0, sampled: 0 }];
-    let mut disabled_overhead = 0.0;
+    // Build every lane before any clock starts.
+    let mut built: Vec<(&'static str, Switch, Option<MetricsRegistry>)> =
+        vec![("bare", base.clone(), None)];
     for (label, rate) in rates {
         let registry = MetricsRegistry::new();
         let mut sw = base.clone();
         sw.attach_telemetry(SwitchTelemetry::new(&registry, rate));
-        let ns = time_ns_per_packet(&mut sw, &packets, reps);
-        let overhead = (ns - bare_ns) / bare_ns * 100.0;
-        let sampled = registry.snapshot().counters["switch.sampled_packets"];
-        if rate.is_disabled() {
+        built.push((label, sw, Some(registry)));
+    }
+    // Warm caches and the branch predictor of every lane off the clock.
+    for (_, sw, _) in built.iter_mut() {
+        for chunk in packets.chunks(64).take(4) {
+            std::hint::black_box(sw.process_batch(chunk, 0));
+        }
+    }
+    // Interleaved best-of-N: one pass per lane per round. A lane
+    // measuring *faster* than bare beyond eps means the bare minimum
+    // has not hit a quiet window yet (e.g. the test harness runs
+    // other suites concurrently), so keep adding rounds — best-of is
+    // monotone, extra rounds only tighten both sides — and only treat
+    // a persistent violation as a broken harness.
+    let eps = scale.pick(15.0, 3.0);
+    let mut best = vec![f64::INFINITY; built.len()];
+    let mut rounds = 0;
+    loop {
+        for (i, (_, sw, _)) in built.iter_mut().enumerate() {
+            best[i] = best[i].min(one_pass_ns(sw, &packets));
+        }
+        rounds += 1;
+        let settled = best[1..].iter().all(|&ns| (ns - best[0]) / best[0] * 100.0 >= -eps);
+        if (rounds >= reps && settled) || rounds >= reps * 5 {
+            break;
+        }
+    }
+
+    let bare_ns = best[0];
+    // Negative overhead beyond measurement noise means the harness is
+    // broken again (quick CI timings jitter more than the effect).
+    let mut lanes =
+        vec![OverheadLane { label: "bare", ns_per_pkt: bare_ns, overhead_pct: 0.0, sampled: 0 }];
+    let mut disabled_overhead = 0.0;
+    for (i, (label, _, registry)) in built.iter().enumerate().skip(1) {
+        let ns = best[i];
+        let raw = (ns - bare_ns) / bare_ns * 100.0;
+        assert!(
+            raw >= -eps,
+            "{label}: telemetry measured {raw:.2}% *faster* than bare (eps {eps}%) — \
+             the baseline absorbed warmup or drift"
+        );
+        let overhead = raw.max(0.0);
+        let sampled = registry.as_ref().expect("instrumented lane").snapshot().counters
+            ["switch.sampled_packets"];
+        if *label == "off" {
             disabled_overhead = overhead;
             assert_eq!(sampled, 0, "disabled sampler must select nothing");
         }
-        if label == "1/1" {
+        if *label == "1/1" {
             assert!(sampled as usize >= packets.len(), "1/1 sampler must select every packet");
         }
         lanes.push(OverheadLane { label, ns_per_pkt: ns, overhead_pct: overhead, sampled });

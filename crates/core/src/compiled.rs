@@ -13,9 +13,20 @@
 //!   never hashes a field-name string.
 //! * **Dense state dispatch** — each stage keeps its states in a sorted
 //!   array with one match [`Group`] per state; `(state, value)` lookup
-//!   is a binary search plus typed probes (exact via binary search over
-//!   sorted keys, prefixes via a length-ordered linear scan, ranges via
-//!   binary search when provably disjoint), not a priority scan.
+//!   is typed probes (exact via open-addressing hash tables for large
+//!   groups, binary search for small ones, prefixes via a
+//!   length-ordered linear scan, ranges via binary search when provably
+//!   disjoint), not a priority scan.
+//! * **Flattened dispatch** — instead of walking every stage and
+//!   binary-searching each stage's state list (depth-linear even for
+//!   states most stages cannot transition), lowering builds a CSR jump
+//!   index from each state id to the stages that actually hold entries
+//!   for it. Evaluation jumps straight from transition to transition;
+//!   skipped stages are §V-D pass-throughs by construction and are
+//!   accounted as bulk stage misses, so the hit/miss totals match the
+//!   stage walk exactly while the probe count (`entries_scanned`, the
+//!   memory-accesses-per-lookup currency) drops to the transitions
+//!   actually taken.
 //! * **Action arena** — leaf states map to [`ActionId`]s into a shared
 //!   arena, so evaluation returns a copy-free id; callers borrow the
 //!   `Action` only when they need it.
@@ -63,9 +74,158 @@ impl EvalCounters {
     }
 }
 
+/// Occupancy sentinel for the open-addressing exact tables. Real BDD
+/// state ids are dense and start at 0; a pipeline that actually uses
+/// `u32::MAX` falls back to the sorted encoding.
+const EMPTY_STATE: StateId = StateId::MAX;
+
+/// Groups at or above this many exact keys get an open-addressing
+/// table (≤50% load): ~1–2 probes per lookup instead of log₂(n).
+const HASH_MIN_KEYS: usize = 8;
+
+/// Fibonacci multiply + xor-fold: a full-avalanche hash for interned
+/// integer keys.
+#[inline]
+fn hash_int(x: i64) -> u64 {
+    let h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 29)
+}
+
+/// FNV-1a over the key bytes (string exact keys).
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// Exact-match dispatch over int keys: open-addressed for large
+/// groups, sorted binary search for small ones.
+#[derive(Debug, Clone)]
+enum IntIndex {
+    Sorted(Vec<(i64, StateId)>),
+    /// Power-of-two open-addressing table, linear probing, `EMPTY_STATE`
+    /// marks a free slot.
+    Hashed(Vec<(i64, StateId)>),
+}
+
+impl IntIndex {
+    fn build(keys: Vec<(i64, StateId)>) -> IntIndex {
+        if keys.len() < HASH_MIN_KEYS || keys.iter().any(|&(_, s)| s == EMPTY_STATE) {
+            return IntIndex::Sorted(keys);
+        }
+        let cap = (keys.len() * 2).next_power_of_two();
+        let mut table = vec![(0i64, EMPTY_STATE); cap];
+        for (k, s) in keys {
+            let mut i = hash_int(k) as usize & (cap - 1);
+            while table[i].1 != EMPTY_STATE {
+                i = (i + 1) & (cap - 1);
+            }
+            table[i] = (k, s);
+        }
+        IntIndex::Hashed(table)
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            IntIndex::Sorted(v) => v.len(),
+            IntIndex::Hashed(t) => t.iter().filter(|&&(_, s)| s != EMPTY_STATE).count(),
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, x: i64, scanned: &mut u64) -> Option<StateId> {
+        match self {
+            IntIndex::Sorted(v) => {
+                *scanned += bsearch_cost(v.len());
+                v.binary_search_by(|probe| probe.0.cmp(&x)).ok().map(|i| v[i].1)
+            }
+            IntIndex::Hashed(t) => {
+                let mask = t.len() - 1;
+                let mut i = hash_int(x) as usize & mask;
+                loop {
+                    *scanned += 1;
+                    let (k, s) = t[i];
+                    if s == EMPTY_STATE {
+                        return None;
+                    }
+                    if k == x {
+                        return Some(s);
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+}
+
+/// Exact-match dispatch over string keys, same strategy split.
+#[derive(Debug, Clone)]
+enum StrIndex {
+    Sorted(Vec<(String, StateId)>),
+    Hashed(Vec<(String, StateId)>),
+}
+
+impl StrIndex {
+    fn build(keys: Vec<(String, StateId)>) -> StrIndex {
+        if keys.len() < HASH_MIN_KEYS || keys.iter().any(|&(_, s)| s == EMPTY_STATE) {
+            return StrIndex::Sorted(keys);
+        }
+        let cap = (keys.len() * 2).next_power_of_two();
+        let mut table = vec![(String::new(), EMPTY_STATE); cap];
+        for (k, s) in keys {
+            let mut i = hash_str(&k) as usize & (cap - 1);
+            while table[i].1 != EMPTY_STATE {
+                i = (i + 1) & (cap - 1);
+            }
+            table[i] = (k, s);
+        }
+        StrIndex::Hashed(table)
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            StrIndex::Sorted(v) => v.len(),
+            StrIndex::Hashed(t) => t.iter().filter(|&(_, s)| *s != EMPTY_STATE).count(),
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, x: &str, scanned: &mut u64) -> Option<StateId> {
+        match self {
+            StrIndex::Sorted(v) => {
+                *scanned += bsearch_cost(v.len());
+                v.binary_search_by(|probe| probe.0.as_str().cmp(x)).ok().map(|i| v[i].1)
+            }
+            StrIndex::Hashed(t) => {
+                let mask = t.len() - 1;
+                let mut i = hash_str(x) as usize & mask;
+                loop {
+                    *scanned += 1;
+                    let (k, s) = &t[i];
+                    if *s == EMPTY_STATE {
+                        return None;
+                    }
+                    if k == x {
+                        return Some(*s);
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+}
+
 /// Range dispatch strategy for one `(stage, state)` group.
 #[derive(Debug, Clone)]
 enum RangeIndex {
+    /// Exactly one range: a pair of compares, no search. Deep state
+    /// chains lower to one threshold range per stage, so this is the
+    /// hottest shape in the depth ladder.
+    Single(i64, i64, StateId),
     /// Pairwise-disjoint ranges sorted by `lo`: one binary search finds
     /// the only candidate. This is the common case — Algorithm 2 emits
     /// a partition of the value domain per In-node.
@@ -77,14 +237,9 @@ enum RangeIndex {
 }
 
 impl RangeIndex {
-    fn is_empty(&self) -> bool {
-        match self {
-            RangeIndex::Disjoint(v) | RangeIndex::Ordered(v) => v.is_empty(),
-        }
-    }
-
     fn len(&self) -> usize {
         match self {
+            RangeIndex::Single(..) => 1,
             RangeIndex::Disjoint(v) | RangeIndex::Ordered(v) => v.len(),
         }
     }
@@ -96,10 +251,10 @@ impl RangeIndex {
 /// so probing exact → prefix/range → any preserves first-match-wins.
 #[derive(Debug, Clone)]
 struct Group {
-    /// Exact int keys, sorted, first-in-scan-order on duplicates.
-    int_exact: Vec<(i64, StateId)>,
-    /// Exact string keys, sorted, first-in-scan-order on duplicates.
-    str_exact: Vec<(String, StateId)>,
+    /// Exact int keys, first-in-scan-order on duplicates.
+    int_exact: IntIndex,
+    /// Exact string keys, first-in-scan-order on duplicates.
+    str_exact: StrIndex,
     /// Prefix entries in interpreter scan order (length-descending,
     /// stable): a linear first-match scan is exact-equivalent.
     str_prefix: Vec<(String, StateId)>,
@@ -109,6 +264,19 @@ struct Group {
 }
 
 impl Group {
+    /// A group with no entries: every probe misses. Used to pad
+    /// strided jump rows for states with no transitions.
+    fn empty() -> Group {
+        Group {
+            int_exact: IntIndex::Sorted(Vec::new()),
+            str_exact: StrIndex::Sorted(Vec::new()),
+            str_prefix: Vec::new(),
+            ranges: RangeIndex::Disjoint(Vec::new()),
+            any: None,
+        }
+    }
+
+    #[inline]
     fn lookup(&self, value: Option<&Value>, scanned: &mut u64) -> Option<StateId> {
         match value {
             // Missing attribute: only the unconstrained Any region
@@ -118,45 +286,47 @@ impl Group {
                 self.any
             }
             Some(Value::Int(x)) => {
-                if !self.int_exact.is_empty() {
-                    *scanned += bsearch_cost(self.int_exact.len());
-                    if let Ok(i) = self.int_exact.binary_search_by(|probe| probe.0.cmp(x)) {
-                        return Some(self.int_exact[i].1);
-                    }
+                // No emptiness pre-checks: an empty index probes at
+                // `bsearch_cost(0) == 0` cost, so skipping the guard
+                // branches is counter-neutral and shorter hot code.
+                if let Some(next) = self.int_exact.lookup(*x, scanned) {
+                    return Some(next);
                 }
-                if !self.ranges.is_empty() {
-                    match &self.ranges {
-                        RangeIndex::Disjoint(rs) => {
-                            *scanned += bsearch_cost(rs.len());
-                            let i = rs.partition_point(|&(lo, _, _)| lo <= *x);
-                            if i > 0 {
-                                let (_, hi, next) = rs[i - 1];
-                                if *x <= hi {
-                                    return Some(next);
-                                }
+                match &self.ranges {
+                    // Cost parity with the counters' search model:
+                    // bsearch_cost(1) == 1 probe.
+                    RangeIndex::Single(lo, hi, next) => {
+                        *scanned += 1;
+                        if *lo <= *x && *x <= *hi {
+                            return Some(*next);
+                        }
+                    }
+                    RangeIndex::Disjoint(rs) => {
+                        *scanned += bsearch_cost(rs.len());
+                        let i = rs.partition_point(|&(lo, _, _)| lo <= *x);
+                        if i > 0 {
+                            let (_, hi, next) = rs[i - 1];
+                            if *x <= hi {
+                                return Some(next);
                             }
                         }
-                        RangeIndex::Ordered(rs) => {
-                            for (k, &(lo, hi, next)) in rs.iter().enumerate() {
-                                if lo <= *x && *x <= hi {
-                                    *scanned += k as u64 + 1;
-                                    return Some(next);
-                                }
+                    }
+                    RangeIndex::Ordered(rs) => {
+                        for (k, &(lo, hi, next)) in rs.iter().enumerate() {
+                            if lo <= *x && *x <= hi {
+                                *scanned += k as u64 + 1;
+                                return Some(next);
                             }
-                            *scanned += rs.len() as u64;
                         }
+                        *scanned += rs.len() as u64;
                     }
                 }
                 *scanned += 1;
                 self.any
             }
             Some(Value::Str(s)) => {
-                if !self.str_exact.is_empty() {
-                    *scanned += bsearch_cost(self.str_exact.len());
-                    if let Ok(i) = self.str_exact.binary_search_by(|probe| probe.0.as_str().cmp(s))
-                    {
-                        return Some(self.str_exact[i].1);
-                    }
+                if let Some(next) = self.str_exact.lookup(s, scanned) {
+                    return Some(next);
                 }
                 for (k, (prefix, next)) in self.str_prefix.iter().enumerate() {
                     if s.starts_with(prefix.as_str()) {
@@ -187,6 +357,140 @@ struct CompiledStage {
     states: Vec<StateId>,
     /// `groups[i]` holds the entries for `states[i]`.
     groups: Vec<Group>,
+}
+
+/// One row of the flattened-dispatch jump index: stage `stage` can
+/// transition the row's state, reading value slot `slot`, probing a
+/// row-ordered clone of the stage's match group. Fusing the header and
+/// group into one arena element makes a transition two dependent loads
+/// (offset, row) instead of four (offset, entry, stage, group), and
+/// consecutive probes of a row touch adjacent memory rather than
+/// hopping across stages.
+#[derive(Debug, Clone)]
+struct JumpRow {
+    stage: u32,
+    slot: u32,
+    /// Precomputed single-compare probe for the dominant group shape;
+    /// `FastProbe::No` falls back to the full [`Group::lookup`].
+    fast: FastProbe,
+    group: Group,
+}
+
+/// A branch-free shortcut for groups that are exactly one int range
+/// plus an optional `Any` entry — the shape Algorithm 2 emits for
+/// threshold predicates (`hop_latency > k`), and every stage of a deep
+/// state chain. The row header, the tag, and the bounds share the
+/// row's first cache line, so a transition is one load and two
+/// compares. Probe-count parity with [`Group::lookup`] is exact: a hit
+/// scans 1 entry (`bsearch_cost(1)`), a miss scans the range and the
+/// `Any` fallthrough (2).
+#[derive(Debug, Clone)]
+enum FastProbe {
+    No,
+    IntSingle { lo: i64, hi: i64, next: StateId, any_next: Option<StateId> },
+}
+
+impl FastProbe {
+    fn of(group: &Group) -> FastProbe {
+        match group {
+            Group {
+                int_exact: IntIndex::Sorted(ie),
+                str_exact: StrIndex::Sorted(se),
+                str_prefix,
+                ranges: RangeIndex::Single(lo, hi, next),
+                any,
+            } if ie.is_empty() && se.is_empty() && str_prefix.is_empty() => {
+                FastProbe::IntSingle { lo: *lo, hi: *hi, next: *next, any_next: *any }
+            }
+            _ => FastProbe::No,
+        }
+    }
+}
+
+/// Map from state id → the stages that can transition it, in stage
+/// order. Evaluation jumps from transition to transition instead of
+/// probing every stage; stages with no entry for the current state are
+/// §V-D pass-throughs by construction and are bulk-counted as misses.
+#[derive(Debug, Clone)]
+enum JumpIndex {
+    /// One-row-per-state layout — the common case: Algorithm 2 gives
+    /// every BDD state one owning stage. `rows[s]` IS the row for
+    /// state `s`, so locating it is pure arithmetic (no offset load on
+    /// the `state → row → probe` dependency chain) and the row scan
+    /// degenerates to a single probe. States with no entries hold an
+    /// always-miss element at stage 0.
+    Unit { rows: Vec<JumpRow> },
+    /// CSR layout for states spanning several stages:
+    /// `offsets[s]..offsets[s + 1]` indexes `rows` for state `s`.
+    Dense { offsets: Vec<u32>, rows: Vec<JumpRow> },
+    /// State ids too sparse for a dense offset table: fall back to the
+    /// depth-linear stage walk.
+    Walk,
+}
+
+/// Largest state id the dense jump encoding will allocate offsets for
+/// (mirrors `DENSE_LEAF_LIMIT`); walk beyond that.
+const DENSE_JUMP_LIMIT: StateId = 1 << 22;
+
+impl JumpIndex {
+    fn build(stages: &[CompiledStage]) -> JumpIndex {
+        let max_state = stages.iter().filter_map(|st| st.states.last().copied()).max();
+        let Some(max_state) = max_state else {
+            return JumpIndex::Unit { rows: Vec::new() };
+        };
+        if max_state >= DENSE_JUMP_LIMIT {
+            return JumpIndex::Walk;
+        }
+        let n = max_state as usize + 1;
+        let mut offsets = vec![0u32; n + 1];
+        for st in stages {
+            for &s in &st.states {
+                offsets[s as usize + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = offsets[n] as usize;
+        let mut slots: Vec<Option<(u32, u32)>> = vec![None; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        // Stage-major fill keeps each row stage-ascending.
+        for (si, st) in stages.iter().enumerate() {
+            for (gi, &s) in st.states.iter().enumerate() {
+                slots[cursor[s as usize] as usize] = Some((si as u32, gi as u32));
+                cursor[s as usize] += 1;
+            }
+        }
+        let row_of = |slot: Option<(u32, u32)>| {
+            let (si, gi) = slot.expect("counting sort fills every jump slot");
+            let group = stages[si as usize].groups[gi as usize].clone();
+            JumpRow {
+                stage: si,
+                slot: stages[si as usize].slot,
+                fast: FastProbe::of(&group),
+                group,
+            }
+        };
+        let widest = (0..n).map(|s| (offsets[s + 1] - offsets[s]) as usize).max().unwrap_or(0);
+        if widest <= 1 {
+            let rows = (0..n)
+                .map(|s| {
+                    let lo = offsets[s] as usize;
+                    if offsets[s + 1] as usize > lo {
+                        row_of(slots[lo])
+                    } else {
+                        // No entries anywhere for this state: an
+                        // always-miss element at stage 0 keeps the
+                        // hit/miss accounting identical to the walk.
+                        JumpRow { stage: 0, slot: 0, fast: FastProbe::No, group: Group::empty() }
+                    }
+                })
+                .collect();
+            return JumpIndex::Unit { rows };
+        }
+        let rows = slots.into_iter().map(row_of).collect();
+        JumpIndex::Dense { offsets, rows }
+    }
 }
 
 /// Leaf dispatch: dense vector when the state space is small (the
@@ -246,6 +550,7 @@ pub struct CompiledPipeline {
     /// Interned operands; `slots[i]` is what value index `i` must hold.
     slots: Vec<Operand>,
     stages: Vec<CompiledStage>,
+    jump: JumpIndex,
     leaf: LeafIndex,
     /// Action arena; index 0 is the leaf default.
     actions: Vec<Action>,
@@ -272,7 +577,8 @@ impl CompiledPipeline {
         }
         let mut actions = vec![pipeline.leaf.default.clone()];
         let leaf = LeafIndex::build(&pipeline.leaf, &mut actions);
-        CompiledPipeline { slots, stages, leaf, actions, initial: pipeline.initial }
+        let jump = JumpIndex::build(&stages);
+        CompiledPipeline { slots, stages, jump, leaf, actions, initial: pipeline.initial }
     }
 
     /// The interned operands, in slot order. The parser resolves each
@@ -305,7 +611,150 @@ impl CompiledPipeline {
     }
 
     /// [`eval`](Self::eval), accumulating hit/miss/scan counters.
+    ///
+    /// Flattened dispatch: follow the jump row for the current state
+    /// instead of probing every stage. Stages skipped between
+    /// transitions have no entry for the state — guaranteed §V-D
+    /// pass-throughs — so they are bulk-counted as misses and the
+    /// hit/miss totals stay identical to the stage walk
+    /// (`hits + misses == depth` per message); only `entries_scanned`
+    /// drops, which is the measured improvement.
+    #[inline]
     pub fn eval_counted(&self, values: &[Option<Value>], counters: &mut EvalCounters) -> ActionId {
+        match &self.jump {
+            JumpIndex::Unit { rows } => self.eval_jump_unit(rows, values, counters),
+            JumpIndex::Dense { offsets, rows } => self.eval_jump(rows, values, counters, |s| {
+                if s + 1 < offsets.len() {
+                    (offsets[s] as usize, offsets[s + 1] as usize)
+                } else {
+                    (0, 0)
+                }
+            }),
+            JumpIndex::Walk => self.eval_walked(values, counters),
+        }
+    }
+
+    /// The flattened-dispatch hot loop for the one-row-per-state
+    /// layout: `rows[state]` is the only stage that can transition the
+    /// current state, so each step is one arithmetic row locate, one
+    /// cursor compare, and one probe — no inner scan.
+    #[inline]
+    fn eval_jump_unit(
+        &self,
+        rows: &[JumpRow],
+        values: &[Option<Value>],
+        counters: &mut EvalCounters,
+    ) -> ActionId {
+        let depth = self.stages.len() as u32;
+        let mut state = self.initial;
+        let mut pos: u32 = 0;
+        // Accumulate in registers; one write-back on exit.
+        let mut hits: u64 = 0;
+        let mut misses: u64 = 0;
+        let mut scanned = counters.entries_scanned;
+        while pos < depth {
+            // A row behind the cursor was consumed by a probe under
+            // this state's predecessor (or a previous miss): with one
+            // row per state, no later stage can transition the state,
+            // so the rest of the pipeline passes it through.
+            let s = state as usize;
+            if s >= rows.len() {
+                misses += u64::from(depth - pos);
+                break;
+            }
+            let e = &rows[s];
+            if e.stage < pos {
+                misses += u64::from(depth - pos);
+                break;
+            }
+            misses += u64::from(e.stage - pos);
+            let value = values[e.slot as usize].as_ref();
+            match probe_row(e, value, &mut scanned) {
+                Some(next) => {
+                    hits += 1;
+                    pos = e.stage + 1;
+                    state = next;
+                }
+                // Probe miss: the next iteration's cursor check turns
+                // the remaining stages into pass-throughs.
+                None => {
+                    misses += 1;
+                    pos = e.stage + 1;
+                }
+            }
+        }
+        counters.stage_hits += hits;
+        counters.stage_misses += misses;
+        counters.entries_scanned = scanned;
+        self.leaf.lookup(state)
+    }
+
+    /// The flattened-dispatch hot loop, generic over how a state's row
+    /// bounds are located (CSR offsets today).
+    /// `inline(always)`: the `bounds` closure must fold into the loop —
+    /// an out-of-line call per transition costs more than the loads it
+    /// saves.
+    #[inline(always)]
+    fn eval_jump(
+        &self,
+        rows: &[JumpRow],
+        values: &[Option<Value>],
+        counters: &mut EvalCounters,
+        bounds: impl Fn(usize) -> (usize, usize),
+    ) -> ActionId {
+        let depth = self.stages.len() as u32;
+        let mut state = self.initial;
+        let mut pos: u32 = 0;
+        // Accumulate in registers; one write-back on exit.
+        let mut hits: u64 = 0;
+        let mut misses: u64 = 0;
+        let mut scanned = counters.entries_scanned;
+        while pos < depth {
+            let (mut i, end) = bounds(state as usize);
+            let mut advanced = false;
+            while i < end {
+                let e = &rows[i];
+                // Rows are stage-ascending; entries behind the cursor
+                // belong to stages already evaluated under this state's
+                // predecessors.
+                if e.stage >= pos {
+                    misses += u64::from(e.stage - pos);
+                    let value = values[e.slot as usize].as_ref();
+                    match probe_row(e, value, &mut scanned) {
+                        Some(next) => {
+                            hits += 1;
+                            pos = e.stage + 1;
+                            state = next;
+                            advanced = true;
+                            break;
+                        }
+                        // Probe miss: the value matched no entry; stay
+                        // on this state's row.
+                        None => {
+                            misses += 1;
+                            pos = e.stage + 1;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            if !advanced {
+                // No further stage can transition this state: the rest
+                // of the pipeline passes it through.
+                misses += u64::from(depth - pos);
+                break;
+            }
+        }
+        counters.stage_hits += hits;
+        counters.stage_misses += misses;
+        counters.entries_scanned = scanned;
+        self.leaf.lookup(state)
+    }
+
+    /// Depth-linear stage walk: the fallback when state ids are too
+    /// sparse for the dense jump index.
+    #[inline]
+    fn eval_walked(&self, values: &[Option<Value>], counters: &mut EvalCounters) -> ActionId {
         let mut state = self.initial;
         for stage in &self.stages {
             let value = values[stage.slot as usize].as_ref();
@@ -341,6 +790,26 @@ impl CompiledPipeline {
     }
 }
 
+/// Probe one jump row: the precomputed fast path when it applies,
+/// [`Group::lookup`] otherwise. Counter-exact either way.
+#[inline(always)]
+fn probe_row(row: &JumpRow, value: Option<&Value>, scanned: &mut u64) -> Option<StateId> {
+    if let (FastProbe::IntSingle { lo, hi, next, any_next }, Some(Value::Int(x))) =
+        (&row.fast, value)
+    {
+        *scanned += 1;
+        return if *lo <= *x && *x <= *hi {
+            Some(*next)
+        } else {
+            // The range missed: the only remaining probe is `Any`.
+            *scanned += 1;
+            *any_next
+        };
+    }
+    row.group.lookup(value, scanned)
+}
+
+#[inline]
 fn lookup_stage(
     stage: &CompiledStage,
     state: StateId,
@@ -424,12 +893,21 @@ where
     int_exact.sort_by_key(|&(k, _)| k);
     str_exact.sort_by(|a, b| a.0.cmp(&b.0));
     let ranges = index_ranges(ranges);
-    Group { int_exact, str_exact, str_prefix, ranges, any }
+    Group {
+        int_exact: IntIndex::build(int_exact),
+        str_exact: StrIndex::build(str_exact),
+        str_prefix,
+        ranges,
+        any,
+    }
 }
 
 /// Choose the range dispatch strategy: binary search when the ranges
 /// are pairwise disjoint, priority-scan order otherwise.
 fn index_ranges(ranges: Vec<(i64, i64, StateId)>) -> RangeIndex {
+    if let [(lo, hi, next)] = ranges[..] {
+        return RangeIndex::Single(lo, hi, next);
+    }
     let mut sorted = ranges.clone();
     sorted.sort_by_key(|&(lo, _, _)| lo);
     let disjoint = sorted.windows(2).all(|w| w[0].1 < w[1].0);
@@ -596,6 +1074,84 @@ mod tests {
         assert_eq!(c.action(lo), &Action::Drop);
         // Second eval: stage 2 misses for state 2 (pass-through).
         assert_eq!(counters.stage_misses, 1);
+    }
+
+    #[test]
+    fn large_exact_groups_hash_in_constant_probes() {
+        // 1000 exact int keys: hashed lookup costs ~1-2 probes, far
+        // below the log2(1000) ≈ 10 a binary search would take.
+        let entries: Vec<TableEntry> = (0..1000)
+            .map(|i| TableEntry {
+                state: 0,
+                spec: MatchSpec::IntExact(i * 3),
+                next: i as StateId + 1,
+            })
+            .collect();
+        let p = Pipeline {
+            stages: vec![StageTable::new(op("k"), MatchKind::Exact, entries)],
+            leaf: leaf(
+                &(1..=1000)
+                    .map(|s| (s, Action::Forward(vec![(s % 100) as u16])))
+                    .collect::<Vec<_>>(),
+            ),
+            initial: 0,
+        };
+        let c = CompiledPipeline::lower(&p);
+        let mut counters = EvalCounters::default();
+        let id = c.eval_counted(&[Some(Value::Int(437 * 3))], &mut counters);
+        assert_eq!(c.action(id), &Action::Forward(vec![438 % 100]));
+        assert!(counters.entries_scanned <= 4, "scanned {}", counters.entries_scanned);
+        // Misses terminate at the first empty probe and fall through to
+        // the (absent) Any region.
+        assert_eq!(c.action(c.eval(&[Some(Value::Int(1))])), &Action::Drop);
+        assert_equivalent(
+            &p,
+            &[
+                HashMap::from([("k".to_string(), Value::Int(999 * 3))]),
+                HashMap::from([("k".to_string(), Value::Int(7))]),
+                HashMap::new(),
+            ],
+        );
+    }
+
+    #[test]
+    fn flattened_dispatch_counts_skipped_stages_as_misses() {
+        // Depth-4 chain: state i transitions only in stage i. A probe
+        // that resets to state 0 at stage 1 leaves stages 2..4 with no
+        // row entries — they must still be accounted as misses so
+        // hits + misses == depth.
+        let mk = |stage_state: StateId, next: StateId| {
+            StageTable::new(
+                op(&format!("f{stage_state}")),
+                MatchKind::Exact,
+                vec![TableEntry { state: stage_state, spec: MatchSpec::IntExact(1), next }],
+            )
+        };
+        let p = Pipeline {
+            stages: vec![mk(0, 1), mk(1, 2), mk(2, 3), mk(3, 4)],
+            leaf: leaf(&[(4, Action::Forward(vec![9]))]),
+            initial: 0,
+        };
+        let c = CompiledPipeline::lower(&p);
+        // Full chain: 4 hits, 0 misses.
+        let all = vec![Some(Value::Int(1)); 4];
+        let mut counters = EvalCounters::default();
+        assert_eq!(c.action(c.eval_counted(&all, &mut counters)), &Action::Forward(vec![9]));
+        assert_eq!((counters.stage_hits, counters.stage_misses), (4, 0));
+        // Break the chain at stage 1: stage 0 hits, stage 1 probe
+        // misses, stages 2-3 are bulk pass-throughs.
+        let broken = vec![Some(Value::Int(1)), Some(Value::Int(2)), None, None];
+        counters = EvalCounters::default();
+        assert_eq!(c.action(c.eval_counted(&broken, &mut counters)), &Action::Drop);
+        assert_eq!((counters.stage_hits, counters.stage_misses), (1, 3));
+        assert_equivalent(
+            &p,
+            &[
+                (0..4).map(|i| (format!("f{i}"), Value::Int(1))).collect(),
+                HashMap::from([("f0".to_string(), Value::Int(1))]),
+                HashMap::new(),
+            ],
+        );
     }
 
     #[test]

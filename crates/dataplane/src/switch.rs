@@ -108,6 +108,12 @@ impl Program {
 }
 
 /// Running counters exposed for the evaluation.
+///
+/// Cache-line aligned so per-shard switches laid out contiguously (the
+/// sharded throughput driver owns one `Switch` per shard) never share a
+/// line of hot counters between cores — false sharing on these would
+/// serialise the very scaling the shards exist to measure.
+#[repr(align(64))]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchStats {
     pub packets: u64,
@@ -152,6 +158,39 @@ pub struct SwitchStats {
     pub shared_copies: u64,
     /// Output copies that materialised a pruned buffer.
     pub deep_copies: u64,
+}
+
+impl SwitchStats {
+    /// Fold another switch's counters into this one — the reduction the
+    /// sharded throughput driver applies across per-shard switches.
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.packets += other.packets;
+        self.messages += other.messages;
+        self.malformed += other.malformed;
+        self.truncated_messages += other.truncated_messages;
+        self.recirculation_passes += other.recirculation_passes;
+        self.dropped_messages += other.dropped_messages;
+        self.copies += other.copies;
+        self.dropped_no_route += other.dropped_no_route;
+        self.dropped_port_down += other.dropped_port_down;
+        self.dropped_resource += other.dropped_resource;
+        self.stage_hits += other.stage_hits;
+        self.stage_misses += other.stage_misses;
+        self.entries_scanned += other.entries_scanned;
+        self.batches += other.batches;
+        self.batched_packets += other.batched_packets;
+        self.shared_copies += other.shared_copies;
+        self.deep_copies += other.deep_copies;
+    }
+
+    /// The counters that describe *what was forwarded*, with the
+    /// batching-shape counters (`batches`, `batched_packets`) zeroed.
+    /// Drivers with different chunk sizes legitimately disagree on
+    /// those two while forwarding identically; this is the projection
+    /// the shard-sum differential tests compare.
+    pub fn forwarding_stats(&self) -> SwitchStats {
+        SwitchStats { batches: 0, batched_packets: 0, ..*self }
+    }
 }
 
 /// The result of processing one packet.
@@ -494,9 +533,48 @@ impl Switch {
     /// Process a batch of `(packet, ingress)` pairs arriving together.
     /// Amortises per-call overhead and feeds the batch-size counters.
     pub fn process_batch(&mut self, pkts: &[(Packet, Port)], now_us: u64) -> Vec<SwitchOutput> {
+        let mut out = Vec::new();
+        self.batch_into(pkts, now_us, 0, &mut out);
+        out
+    }
+
+    /// [`process_batch`](Self::process_batch) with per-packet
+    /// timestamps and caller-owned output: packet `j` of the batch is
+    /// processed at time `first_index + j`, so a driver that splits one
+    /// packet stream across shards can hand each shard its *global*
+    /// packet indices and every shard agrees with the sequential lanes
+    /// on timestamp-keyed aggregate/window semantics. `out` is cleared
+    /// and refilled, letting a hot loop reuse one allocation across
+    /// batches.
+    pub fn process_batch_indexed(
+        &mut self,
+        pkts: &[(Packet, Port)],
+        first_index: u64,
+        out: &mut Vec<SwitchOutput>,
+    ) {
+        out.clear();
+        self.batch_into(pkts, first_index, 1, out);
+    }
+
+    /// Shared batch loop: packet `j` runs at `base_us + j * step_us`,
+    /// with the next packet's header bytes prefetched while the current
+    /// one evaluates.
+    fn batch_into(
+        &mut self,
+        pkts: &[(Packet, Port)],
+        base_us: u64,
+        step_us: u64,
+        out: &mut Vec<SwitchOutput>,
+    ) {
         self.stats.batches += 1;
         self.stats.batched_packets += pkts.len() as u64;
-        pkts.iter().map(|(pkt, ingress)| self.process(pkt, *ingress, now_us)).collect()
+        out.reserve(pkts.len());
+        for (j, (pkt, ingress)) in pkts.iter().enumerate() {
+            if let Some((next, _)) = pkts.get(j + 1) {
+                crate::fastpath::prefetch_read(next.bytes.as_slice());
+            }
+            out.push(self.process(pkt, *ingress, base_us + j as u64 * step_us));
+        }
     }
 
     /// The interpreted reference path: `DeepParser::parse` into string-

@@ -1,0 +1,206 @@
+//! Differential equivalence of the batch drivers.
+//!
+//! The sharded throughput driver feeds [`Switch::process_batch_indexed`]
+//! with global packet indices; correctness of everything it reports
+//! rests on three identities, pinned here on *stateful* rule sets whose
+//! tumbling-window aggregates span batch boundaries:
+//!
+//! * `process_batch_indexed` over any chunking of a packet stream is
+//!   byte-identical to driving [`Switch::process`] packet-by-packet at
+//!   the same global timestamps — batching is a driver optimisation,
+//!   never a semantic change;
+//! * both agree with [`Switch::process_reference`], the interpreted
+//!   oracle, on ports and actions;
+//! * per-shard switches driven over a partition of the stream produce
+//!   stats that [`SwitchStats::merge`] sums to the single-core totals
+//!   (for stateless rules, where partitioning cannot change per-message
+//!   outcomes).
+
+use camus_core::compiler::Compiler;
+use camus_core::statics::compile_static;
+use camus_dataplane::packet::{Packet, PacketBuilder};
+use camus_dataplane::switch::{Switch, SwitchConfig, SwitchOutput, SwitchStats};
+use camus_lang::ast::Port;
+use camus_lang::parser::parse_rules;
+use camus_lang::spec::itch_spec;
+use camus_lang::value::Value;
+use proptest::prelude::*;
+
+/// Stateful rules: the `avg(price)` aggregate makes every forwarding
+/// decision depend on the whole history of timestamps seen so far, so
+/// any batching bug that perturbs timestamps shows up as a port
+/// divergence. The default window is 100 μs and timestamps advance
+/// 1 μs per packet, so a ~200-packet stream tumbles the window twice.
+fn stateful_switch() -> Switch {
+    let spec = itch_spec();
+    let statics = compile_static(&spec).unwrap();
+    let rules = parse_rules(
+        "stock == GOOGL and avg(price) > 60: fwd(1)\n\
+         price > 500: fwd(2)\n\
+         stock == MSFT and count(price) > 3: fwd(3)\n",
+    )
+    .unwrap();
+    let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+    Switch::new(&statics, compiled.pipeline, SwitchConfig::default())
+}
+
+/// Stateless rules, for the shard-sum identity (per-shard state
+/// registers legitimately differ from a single switch's, so the
+/// stats-sum identity holds only without aggregates).
+fn stateless_switch() -> Switch {
+    let spec = itch_spec();
+    let statics = compile_static(&spec).unwrap();
+    let rules = parse_rules(
+        "stock == GOOGL: fwd(1)\n\
+         price > 500: fwd(2)\n",
+    )
+    .unwrap();
+    let compiled = Compiler::new().with_static(statics.clone()).compile(&rules).unwrap();
+    Switch::new(&statics, compiled.pipeline, SwitchConfig::default())
+}
+
+fn packet(stock: &str, price: i64) -> Packet {
+    let spec = itch_spec();
+    PacketBuilder::new(&spec)
+        .message(vec![("stock", Value::from(stock)), ("price", Value::Int(price))])
+        .build()
+}
+
+fn arb_symbol() -> impl Strategy<Value = String> {
+    prop_oneof![Just("GOOGL".to_string()), Just("MSFT".to_string()), Just("AAPL".to_string()),]
+}
+
+/// A stream of (symbol, price) orders long enough that the 100 μs
+/// default window tumbles mid-stream.
+fn arb_stream() -> impl Strategy<Value = Vec<(String, i64)>> {
+    prop::collection::vec((arb_symbol(), 0i64..1_000), 1..220)
+}
+
+fn ports_of(out: &SwitchOutput) -> Vec<Port> {
+    out.ports.iter().map(|(p, _)| *p).collect()
+}
+
+/// Drive `pkts` through `process_batch_indexed` in `chunk`-sized
+/// batches with global indices, returning every output in order.
+fn drive_batched(sw: &mut Switch, pkts: &[(Packet, Port)], chunk: usize) -> Vec<SwitchOutput> {
+    let mut all = Vec::with_capacity(pkts.len());
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    for c in pkts.chunks(chunk.max(1)) {
+        sw.process_batch_indexed(c, idx, &mut out);
+        idx += c.len() as u64;
+        all.append(&mut out);
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Batched ≡ sequential ≡ reference on stateful streams, for every
+    /// chunking — including chunk sizes that split aggregate windows
+    /// across batch boundaries.
+    #[test]
+    fn batch_matches_sequential_and_reference(
+        stream in arb_stream(),
+        chunk in 1usize..70,
+    ) {
+        let pkts: Vec<(Packet, Port)> =
+            stream.iter().map(|(s, p)| (packet(s, *p), 0)).collect();
+        let base = stateful_switch();
+
+        let mut batched = base.clone();
+        let outs_batch = drive_batched(&mut batched, &pkts, chunk);
+
+        let mut seq = base.clone();
+        let outs_seq: Vec<SwitchOutput> =
+            pkts.iter().enumerate().map(|(i, (p, port))| seq.process(p, *port, i as u64)).collect();
+
+        let mut oracle = base.clone();
+        let outs_ref: Vec<SwitchOutput> = pkts
+            .iter()
+            .enumerate()
+            .map(|(i, (p, port))| oracle.process_reference(p, *port, i as u64))
+            .collect();
+
+        for (i, ((b, s), r)) in outs_batch.iter().zip(&outs_seq).zip(&outs_ref).enumerate() {
+            prop_assert_eq!(b.ports.clone(), s.ports.clone(), "batch/seq ports @ {}", i);
+            prop_assert_eq!(&b.actions, &s.actions, "batch/seq actions @ {}", i);
+            prop_assert_eq!(ports_of(b), ports_of(r), "batch/reference ports @ {}", i);
+            prop_assert_eq!(&b.actions, &r.actions, "batch/reference actions @ {}", i);
+        }
+        // Everything but the batching shape matches the per-packet
+        // drive exactly.
+        prop_assert_eq!(
+            batched.stats().forwarding_stats(),
+            seq.stats().forwarding_stats()
+        );
+    }
+
+    /// Per-shard stats over any contiguous partition of a stateless
+    /// stream merge to the single-core totals.
+    #[test]
+    fn shard_stats_sum_to_single_core(
+        stream in arb_stream(),
+        shards in 1usize..9,
+    ) {
+        let pkts: Vec<(Packet, Port)> =
+            stream.iter().map(|(s, p)| (packet(s, *p), 0)).collect();
+        let base = stateless_switch();
+
+        let mut single = base.clone();
+        drive_batched(&mut single, &pkts, 64);
+
+        let chunk = pkts.len().div_ceil(shards).max(1);
+        let mut merged = SwitchStats::default();
+        for (u, slice) in pkts.chunks(chunk).enumerate() {
+            let mut sw = base.clone();
+            let mut out = Vec::new();
+            sw.process_batch_indexed(slice, (u * chunk) as u64, &mut out);
+            merged.merge(&sw.stats());
+        }
+        prop_assert_eq!(
+            merged.forwarding_stats(),
+            single.stats().forwarding_stats(),
+            "sharded counters diverged from the single-core run"
+        );
+        prop_assert_eq!(merged.packets, pkts.len() as u64);
+    }
+}
+
+/// The window-tumble boundary case, deterministically: the aggregate
+/// register must see the same global timestamps whether the stream is
+/// driven in one batch or split exactly at the tumble.
+#[test]
+fn window_spanning_batches_agree_with_sequential() {
+    // 150 MSFT orders: `count(price) > 3` opens the gate at the 4th
+    // packet of each window, and the window tumbles at ts = 100,
+    // resetting the count so packets 100..103 are *not* forwarded.
+    // Any driver that restarts timestamps at a batch boundary (or
+    // pins them, like the legacy single-timestamp API) tumbles at the
+    // wrong packets.
+    let pkts: Vec<(Packet, Port)> = (0..150).map(|_| (packet("MSFT", 10), 0)).collect();
+    let base = stateful_switch();
+
+    let mut seq = base.clone();
+    let seq_ports: Vec<Vec<Port>> = pkts
+        .iter()
+        .enumerate()
+        .map(|(i, (p, port))| ports_of(&seq.process(p, *port, i as u64)))
+        .collect();
+
+    for chunk in [1usize, 7, 64, 100, 150] {
+        let mut batched = base.clone();
+        let got: Vec<Vec<Port>> =
+            drive_batched(&mut batched, &pkts, chunk).iter().map(ports_of).collect();
+        assert_eq!(got, seq_ports, "chunk size {chunk} diverged");
+    }
+
+    // The legacy single-timestamp batch API is *not* equivalent on
+    // stateful streams (every packet lands in one window) — pin that
+    // the indexed API is the one with global-time semantics.
+    let mut legacy = base.clone();
+    let legacy_ports: Vec<Vec<Port>> =
+        legacy.process_batch(&pkts, 0).iter().map(ports_of).collect();
+    assert_ne!(legacy_ports, seq_ports, "stateful stream must distinguish the two batch APIs");
+}

@@ -80,6 +80,10 @@ impl Counter {
 
 /// A last-value instrument (signed, so it can model levels that go
 /// down as well as up).
+///
+/// Cache-line aligned: per-shard instruments allocated back-to-back
+/// must not share a line, or concurrent shards serialise on it.
+#[repr(align(64))]
 #[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicI64,
@@ -133,6 +137,9 @@ pub fn bucket_bounds(idx: usize) -> (u64, u64) {
 ///
 /// Recording is five relaxed atomic RMWs (bucket, count, sum, min,
 /// max) and never allocates, so the data plane can call it directly.
+/// Cache-line aligned so the count/sum/min/max header words of
+/// adjacent per-shard histograms never false-share.
+#[repr(align(64))]
 pub struct Histogram {
     buckets: Box<[AtomicU64; BUCKETS]>,
     count: AtomicU64,
