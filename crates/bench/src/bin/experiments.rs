@@ -22,6 +22,7 @@ const IDS: &[&str] = &[
     "fig14",
     "fig15",
     "churn",
+    "service",
     "faults",
     "chaos",
     "throughput",
@@ -40,6 +41,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "fig14" => !experiments::fig14::run(scale).is_empty(),
         "fig15" => !experiments::fig15::run(scale).is_empty(),
         "churn" => !experiments::churn::run(scale).is_empty(),
+        "service" => !experiments::service::run(scale).is_empty(),
         "faults" => !experiments::faults::run(scale).is_empty(),
         "chaos" => !experiments::chaos::run(scale).is_empty(),
         "throughput" => !experiments::throughput::run(scale).is_empty(),

@@ -10,6 +10,15 @@
 //!
 //! The faults crate provides the lossy implementation; here lives the
 //! abstraction and the always-delivering [`PerfectChannel`] default.
+//!
+//! Time accounting is factored out of the controller: [`timed_op`]
+//! drives one operation through a channel with retries and charges
+//! every modelled cost (op, timeout, backoff) to an explicit
+//! [`Clock`], so the deployment transaction and the service
+//! scheduler's overlapped timelines share one reproducible notion of
+//! control-plane time.
+
+use crate::clock::Clock;
 
 /// A control-plane operation sent to one switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +104,54 @@ impl RetryPolicy {
     }
 }
 
+/// What one [`timed_op`] call did: whether the op ever landed, and the
+/// attempt/retry counts the transaction ledger wants. All modelled
+/// time was charged to the caller's [`Clock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome {
+    pub landed: bool,
+    pub attempts: u32,
+    pub retries: u32,
+}
+
+/// Drive one per-switch control operation through `channel` with the
+/// policy's retry + capped exponential backoff, advancing `clock` by
+/// the modelled cost of every attempt: `op_ns` for a delivered or
+/// nacked op, `timeout_ns` for a dropped one, and the deterministic
+/// jittered backoff before each retry. The clock is the *only* time
+/// sink, so any two runs that feed the same attempt outcomes advance
+/// identically.
+pub fn timed_op(
+    channel: &mut dyn ControlChannel,
+    retry: &RetryPolicy,
+    clock: &mut Clock,
+    switch: usize,
+    op: ControlOp,
+) -> OpOutcome {
+    let mut out = OpOutcome { landed: false, attempts: 0, retries: 0 };
+    for attempt in 1..=retry.max_attempts {
+        out.attempts += 1;
+        if attempt > 1 {
+            out.retries += 1;
+            clock.advance(retry.backoff_ns(switch, attempt - 2));
+        }
+        match channel.attempt(switch, op, attempt) {
+            ChannelOutcome::Delivered => {
+                clock.advance(retry.op_ns);
+                out.landed = true;
+                break;
+            }
+            ChannelOutcome::Dropped => {
+                clock.advance(retry.timeout_ns);
+            }
+            ChannelOutcome::Nacked => {
+                clock.advance(retry.op_ns);
+            }
+        }
+    }
+    out
+}
+
 /// FNV-1a over the 8 bytes of `x` — the same cheap deterministic hash
 /// the fingerprint machinery uses.
 fn fnv64(x: u64) -> u64 {
@@ -130,6 +187,56 @@ mod tests {
         }
         // Late retries saturate at the cap window.
         assert!(p.backoff_ns(0, 30) <= p.max_backoff_ns);
+    }
+
+    /// Fails `fail` times, then delivers.
+    struct FlakyN {
+        fail: u32,
+        with: ChannelOutcome,
+    }
+
+    impl ControlChannel for FlakyN {
+        fn attempt(&mut self, _s: usize, _op: ControlOp, attempt: u32) -> ChannelOutcome {
+            if attempt <= self.fail {
+                self.with
+            } else {
+                ChannelOutcome::Delivered
+            }
+        }
+    }
+
+    #[test]
+    fn timed_op_charges_every_attempt_to_the_clock() {
+        let p = RetryPolicy::default();
+        let mut clock = Clock::new();
+        let mut ch = FlakyN { fail: 2, with: ChannelOutcome::Dropped };
+        let out = timed_op(&mut ch, &p, &mut clock, 7, ControlOp::Stage);
+        assert!(out.landed);
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.retries, 2);
+        // Two timeouts, two backoffs, one delivered op — exactly.
+        let want = 2 * p.timeout_ns + p.backoff_ns(7, 0) + p.backoff_ns(7, 1) + p.op_ns;
+        assert_eq!(clock.now_ns(), want);
+
+        // A nack costs an op, not a timeout.
+        let mut clock2 = Clock::new();
+        let mut ch2 = FlakyN { fail: 1, with: ChannelOutcome::Nacked };
+        timed_op(&mut ch2, &p, &mut clock2, 7, ControlOp::Commit);
+        assert_eq!(clock2.now_ns(), 2 * p.op_ns + p.backoff_ns(7, 0));
+    }
+
+    #[test]
+    fn timed_op_exhaustion_burns_all_attempts() {
+        let p = RetryPolicy::default();
+        let mut clock = Clock::new();
+        let mut ch = FlakyN { fail: u32::MAX, with: ChannelOutcome::Dropped };
+        let out = timed_op(&mut ch, &p, &mut clock, 0, ControlOp::Stage);
+        assert!(!out.landed);
+        assert_eq!(out.attempts, p.max_attempts);
+        assert_eq!(out.retries, p.max_attempts - 1);
+        let want: u64 = u64::from(p.max_attempts) * p.timeout_ns
+            + (0..p.max_attempts - 1).map(|r| p.backoff_ns(0, r)).sum::<u64>();
+        assert_eq!(clock.now_ns(), want);
     }
 
     #[test]

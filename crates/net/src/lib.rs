@@ -25,11 +25,16 @@
 //!   per-phase [`DeployTrace`](camus_telemetry::DeployTrace).
 
 pub mod channel;
+pub mod clock;
 pub mod controller;
 pub mod sim;
 
-pub use channel::{ChannelOutcome, ControlChannel, ControlOp, PerfectChannel, RetryPolicy};
+pub use channel::{
+    timed_op, ChannelOutcome, ControlChannel, ControlOp, OpOutcome, PerfectChannel, RetryPolicy,
+};
+pub use clock::Clock;
 pub use controller::{
-    AdmissionVerdict, Controller, DeployError, DeployReport, Deployment, SwitchDeploy,
+    AdmissionError, AdmissionVerdict, ChannelError, Controller, DeployError, DeployReport,
+    Deployment, RepairStats, SwitchDeploy, TransactionError,
 };
 pub use sim::{Delivered, NetTelemetry, Network, NetworkStats};

@@ -1,0 +1,394 @@
+//! Subscription intake: the live API surface and the churn batcher.
+//!
+//! Intake owns the authoritative target subscription state. Every
+//! request mutates that state immediately (or is rejected), and gets
+//! folded into the *open batch window*. The window is adaptive:
+//!
+//! * it opens at the first request's arrival `t0`;
+//! * each further arrival within the window extends a short quiet
+//!   period (`min_window_ns` past the last arrival), so a burst is
+//!   absorbed whole;
+//! * a hard deadline `t0 + max_window_ns` bounds the wait, so a
+//!   steady trickle still makes progress;
+//! * `max_ops` caps the batch outright.
+//!
+//! Batch boundaries are decided purely on the *modelled arrival
+//! timestamps* carried by the requests — never on when a thread
+//! happened to run — so the same request schedule always produces the
+//! same batches.
+//!
+//! A batch carries a full snapshot of the target state, not a delta.
+//! That makes downstream coalescing trivially safe (merging two
+//! batches = taking the later snapshot) and makes rejected
+//! transactions self-healing (the next committed batch carries the
+//! complete desired state).
+
+use crate::core::{Pipe, Service};
+use crate::error::IntakeError;
+use camus_lang::ast::Expr;
+use camus_telemetry::Gauge;
+use std::sync::Arc;
+
+/// Service-assigned request identifier.
+pub type RequestId = u64;
+
+/// What a request asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOp {
+    Subscribe(Expr),
+    /// Drop one instance of an equal filter held by the host (the
+    /// most recently added one).
+    Unsubscribe(Expr),
+}
+
+/// One subscription request with its modelled arrival time.
+#[derive(Debug, Clone)]
+pub struct SubRequest {
+    pub id: RequestId,
+    pub host: usize,
+    pub op: RequestOp,
+    /// Modelled arrival, ns on the service clock.
+    pub arrival_ns: u64,
+}
+
+/// The adaptive batching window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Quiet period: the window stays open this long past the most
+    /// recent arrival.
+    pub min_window_ns: u64,
+    /// Hard deadline past the window's first arrival.
+    pub max_window_ns: u64,
+    /// Op-count cap per batch.
+    pub max_ops: usize,
+}
+
+impl BatchPolicy {
+    /// The batched service default: absorb half-millisecond bursts,
+    /// never hold a request hostage past 2 ms.
+    pub fn adaptive() -> Self {
+        BatchPolicy { min_window_ns: 500_000, max_window_ns: 2_000_000, max_ops: 256 }
+    }
+
+    /// The one-op-at-a-time baseline: every request is its own
+    /// transaction.
+    pub fn naive() -> Self {
+        BatchPolicy { min_window_ns: 0, max_window_ns: 0, max_ops: 1 }
+    }
+
+    /// When a window opened at `opened_ns` whose latest arrival is
+    /// `last_ns` closes, absent new arrivals.
+    pub fn deadline_ns(&self, opened_ns: u64, last_ns: u64) -> u64 {
+        (opened_ns + self.max_window_ns).min(last_ns + self.min_window_ns)
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::adaptive()
+    }
+}
+
+/// A closed batch window: the requests it absorbed and the full
+/// target subscription state after them.
+#[derive(Debug, Clone)]
+pub struct ChurnBatch {
+    /// Transaction id (intake-assigned, monotonic).
+    pub txn: u64,
+    /// Target per-host subscriptions after this batch's ops.
+    pub subs: Vec<Vec<Expr>>,
+    /// The accepted requests folded in, arrival order.
+    pub requests: Vec<SubRequest>,
+    /// First arrival in the window.
+    pub opened_ns: u64,
+    /// When the window closed (deadline, cap, or drain).
+    pub closed_ns: u64,
+}
+
+impl ChurnBatch {
+    pub fn ops(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+struct OpenWindow {
+    txn: u64,
+    opened_ns: u64,
+    last_ns: u64,
+    requests: Vec<SubRequest>,
+}
+
+/// The intake stage.
+pub struct IntakeService {
+    policy: BatchPolicy,
+    /// Authoritative target state (what the network *should* run).
+    subs: Vec<Vec<Expr>>,
+    open: Option<OpenWindow>,
+    next_txn: u64,
+    /// Monotonic arrival clamp: arrivals never run backwards.
+    clock_ns: u64,
+    inflight: Arc<Gauge>,
+    /// Accepted request count.
+    pub accepted: u64,
+    /// Soft per-request rejects, in arrival order.
+    pub rejected: Vec<IntakeError>,
+    /// Requests whose stamps arrived out of order (clamped forward).
+    pub out_of_order: u64,
+    /// Batches emitted.
+    pub batches: u64,
+}
+
+impl IntakeService {
+    pub fn new(policy: BatchPolicy, subs: Vec<Vec<Expr>>, inflight: Arc<Gauge>) -> Self {
+        IntakeService {
+            policy,
+            subs,
+            open: None,
+            next_txn: 0,
+            clock_ns: 0,
+            inflight,
+            accepted: 0,
+            rejected: Vec::new(),
+            out_of_order: 0,
+            batches: 0,
+        }
+    }
+
+    /// The target state intake has accepted so far.
+    pub fn subs(&self) -> &[Vec<Expr>] {
+        &self.subs
+    }
+
+    /// Take the target state home (shutdown path).
+    pub fn into_subs(self) -> Vec<Vec<Expr>> {
+        self.subs
+    }
+
+    fn emit(&mut self, closed_ns: u64, out: &Pipe<ChurnBatch>) -> Result<(), IntakeError> {
+        if let Some(w) = self.open.take() {
+            self.batches += 1;
+            self.inflight.add(1);
+            out.send(ChurnBatch {
+                txn: w.txn,
+                subs: self.subs.clone(),
+                requests: w.requests,
+                opened_ns: w.opened_ns,
+                closed_ns,
+            })
+            .map_err(|_| IntakeError::Closed)?;
+        }
+        Ok(())
+    }
+
+    /// Apply one request to the target state, or say why not.
+    fn apply(&mut self, req: &SubRequest) -> Result<(), IntakeError> {
+        let hosts = self.subs.len();
+        if req.host >= hosts {
+            return Err(IntakeError::UnknownHost { request: req.id, host: req.host, hosts });
+        }
+        match &req.op {
+            RequestOp::Subscribe(f) => self.subs[req.host].push(f.clone()),
+            RequestOp::Unsubscribe(f) => match self.subs[req.host].iter().rposition(|x| x == f) {
+                Some(i) => {
+                    self.subs[req.host].remove(i);
+                }
+                None => {
+                    return Err(IntakeError::NoSuchSubscription { request: req.id, host: req.host })
+                }
+            },
+        }
+        Ok(())
+    }
+}
+
+impl Service for IntakeService {
+    type In = SubRequest;
+    type Out = ChurnBatch;
+    type Error = IntakeError;
+
+    fn name(&self) -> &'static str {
+        "camus-intake"
+    }
+
+    fn handle(&mut self, mut req: SubRequest, out: &Pipe<ChurnBatch>) -> Result<(), IntakeError> {
+        if req.arrival_ns < self.clock_ns {
+            self.out_of_order += 1;
+            req.arrival_ns = self.clock_ns;
+        }
+        self.clock_ns = req.arrival_ns;
+
+        // This arrival may fall past the open window's deadline: the
+        // window closed (at the deadline, not at this arrival) before
+        // this request existed.
+        if let Some(w) = &self.open {
+            let deadline = self.policy.deadline_ns(w.opened_ns, w.last_ns);
+            if req.arrival_ns > deadline {
+                self.emit(deadline, out)?;
+            }
+        }
+
+        match self.apply(&req) {
+            Ok(()) => {}
+            Err(e @ (IntakeError::UnknownHost { .. } | IntakeError::NoSuchSubscription { .. })) => {
+                // Soft reject: record and move on, no state change.
+                self.rejected.push(e);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        self.accepted += 1;
+
+        if self.open.is_none() {
+            self.open = Some(OpenWindow {
+                txn: self.next_txn,
+                opened_ns: req.arrival_ns,
+                last_ns: req.arrival_ns,
+                requests: Vec::new(),
+            });
+            self.next_txn += 1;
+        }
+        let w = self.open.as_mut().expect("window just ensured");
+        w.last_ns = req.arrival_ns;
+        w.requests.push(req);
+        if w.requests.len() >= self.policy.max_ops {
+            let closed = w.last_ns;
+            self.emit(closed, out)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, out: &Pipe<ChurnBatch>) -> Result<(), IntakeError> {
+        // Drain closes the window immediately: at its last arrival,
+        // not at a deadline that may never be reached.
+        if let Some(w) = &self.open {
+            let closed = w.last_ns;
+            self.emit(closed, out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{pipe, Ctl};
+    use camus_lang::parser::parse_expr;
+    use camus_telemetry::MetricsRegistry;
+
+    fn f(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    fn svc(policy: BatchPolicy, hosts: usize) -> (IntakeService, Arc<Gauge>) {
+        let g = Arc::new(Gauge::new());
+        (IntakeService::new(policy, vec![Vec::new(); hosts], g.clone()), g)
+    }
+
+    fn req(id: u64, host: usize, op: RequestOp, at: u64) -> SubRequest {
+        SubRequest { id, host, op, arrival_ns: at }
+    }
+
+    fn collect(rx: &crate::core::StageRx<ChurnBatch>) -> Vec<ChurnBatch> {
+        let mut out = Vec::new();
+        while let Some(Ctl::Msg(b)) = rx.try_recv() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn naive_policy_emits_one_batch_per_request() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "t");
+        let (mut s, _) = svc(BatchPolicy::naive(), 4);
+        for (i, t) in [(0u64, 10u64), (1, 11), (2, 500)] {
+            s.handle(req(i, 0, RequestOp::Subscribe(f("price > 1")), t), &tx).unwrap();
+        }
+        let got = collect(&rx);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|b| b.ops() == 1));
+        assert_eq!(got[2].closed_ns, 500);
+        assert_eq!(got[2].subs[0].len(), 3, "snapshot carries cumulative state");
+    }
+
+    #[test]
+    fn adaptive_window_batches_bursts_and_splits_on_gaps() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "t");
+        let policy = BatchPolicy { min_window_ns: 100, max_window_ns: 1_000, max_ops: 64 };
+        let (mut s, _) = svc(policy, 4);
+        // A burst at t=0,50,120 (each within 100 of the last), then a
+        // gap: the next arrival at t=5_000 is past the deadline.
+        for (i, t) in [(0u64, 0u64), (1, 50), (2, 120)] {
+            s.handle(req(i, 1, RequestOp::Subscribe(f("price > 1")), t), &tx).unwrap();
+        }
+        assert!(collect(&rx).is_empty(), "window still open");
+        s.handle(req(3, 1, RequestOp::Subscribe(f("price > 2")), 5_000), &tx).unwrap();
+        let got = collect(&rx);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].ops(), 3);
+        // Closed at the quiet-period deadline, not the late arrival.
+        assert_eq!(got[0].closed_ns, 220);
+        // The late request sits in a fresh window; flush emits it.
+        s.flush(&tx).unwrap();
+        let tail = collect(&rx);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].ops(), 1);
+        assert_eq!(tail[0].closed_ns, 5_000, "drain closes at last arrival");
+    }
+
+    #[test]
+    fn max_window_bounds_a_steady_trickle() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "t");
+        let policy = BatchPolicy { min_window_ns: 100, max_window_ns: 250, max_ops: 64 };
+        let (mut s, _) = svc(policy, 1);
+        // Arrivals every 90 ns keep extending the quiet period, but
+        // the hard deadline at t0+250 still closes the window.
+        for i in 0..6u64 {
+            s.handle(req(i, 0, RequestOp::Subscribe(f("price > 1")), i * 90), &tx).unwrap();
+        }
+        let got = collect(&rx);
+        assert!(!got.is_empty());
+        assert_eq!(got[0].closed_ns, 250, "hard deadline wins");
+        assert_eq!(got[0].ops(), 3, "t=0,90,180 made the window; t=270 did not");
+    }
+
+    #[test]
+    fn rejects_are_soft_and_recorded() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "t");
+        let (mut s, _) = svc(BatchPolicy::naive(), 2);
+        s.handle(req(0, 9, RequestOp::Subscribe(f("price > 1")), 0), &tx).unwrap();
+        s.handle(req(1, 0, RequestOp::Unsubscribe(f("price > 1")), 1), &tx).unwrap();
+        assert!(collect(&rx).is_empty(), "rejected requests emit no batch");
+        assert_eq!(s.rejected.len(), 2);
+        assert!(matches!(s.rejected[0], IntakeError::UnknownHost { host: 9, .. }));
+        assert!(matches!(s.rejected[1], IntakeError::NoSuchSubscription { .. }));
+        assert_eq!(s.accepted, 0);
+    }
+
+    #[test]
+    fn unsubscribe_drops_newest_equal_filter() {
+        let reg = MetricsRegistry::new();
+        let (tx, _rx) = pipe(&reg, "t");
+        let (mut s, _) = svc(BatchPolicy { max_ops: 100, ..BatchPolicy::adaptive() }, 1);
+        s.handle(req(0, 0, RequestOp::Subscribe(f("price > 1")), 0), &tx).unwrap();
+        s.handle(req(1, 0, RequestOp::Subscribe(f("price > 2")), 1), &tx).unwrap();
+        s.handle(req(2, 0, RequestOp::Subscribe(f("price > 1")), 2), &tx).unwrap();
+        s.handle(req(3, 0, RequestOp::Unsubscribe(f("price > 1")), 3), &tx).unwrap();
+        assert_eq!(s.subs()[0], vec![f("price > 1"), f("price > 2")]);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_clamped_monotonic() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "t");
+        let (mut s, _) = svc(BatchPolicy::naive(), 1);
+        s.handle(req(0, 0, RequestOp::Subscribe(f("price > 1")), 100), &tx).unwrap();
+        s.handle(req(1, 0, RequestOp::Subscribe(f("price > 2")), 40), &tx).unwrap();
+        let got = collect(&rx);
+        assert_eq!(s.out_of_order, 1);
+        assert_eq!(got[1].requests[0].arrival_ns, 100, "clamped to the intake clock");
+    }
+}

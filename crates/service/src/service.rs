@@ -1,0 +1,463 @@
+//! The assembled controller service.
+//!
+//! [`CamusService::start`] takes ownership of a deployed network and
+//! wires the three stages — intake/batcher, route+compile, deploy —
+//! into a running pipeline:
+//!
+//! ```text
+//!   subscribe()/unsubscribe()
+//!        │ SubRequest
+//!        ▼
+//!   [intake]  ── ChurnBatch ──▶  [route+compile]  ── Txn ──▶  [deploy]
+//!                                      ▲                         │
+//!                                      └── done_ns feedback ─────┘
+//!                                          (serialized mode only)
+//!        ◀─────────────────────── TxnReport ─────────────────────┘
+//! ```
+//!
+//! In the default overlapped mode the feedback edge is absent:
+//! transaction N+1 compiles while transaction N installs, which is
+//! safe because the PR-1 compile cache affects only cost, never
+//! output, and the deploy stage diffs against the *installed* state.
+//! With [`ServiceConfig::overlap`] off the service degenerates into
+//! the one-op-at-a-time baseline the `service` experiment measures
+//! against.
+//!
+//! Shutdown is a forward wave: a `Stop` marker enters at intake, each
+//! stage flushes (intake closes its open window) and passes the
+//! marker on, and [`CamusService::shutdown`] joins the threads and
+//! collects every stage's accumulated state into a
+//! [`ServiceOutcome`] — the live [`Deployment`] included, so a caller
+//! can keep publishing into the network after the service winds down.
+
+use crate::core::{pipe, spawn, Ctl, Pipe, StageRx};
+use crate::error::ServiceError;
+use crate::intake::{BatchPolicy, IntakeService, RequestId, RequestOp, SubRequest};
+use crate::stages::{AuditProbe, AuditReport, DeployService, RouteCompileService, TxnReport};
+use camus_lang::ast::Expr;
+use camus_net::controller::{Controller, Deployment};
+use camus_net::ControlChannel;
+use camus_telemetry::MetricsRegistry;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How the service batches, overlaps, and audits.
+pub struct ServiceConfig {
+    pub batch: BatchPolicy,
+    /// Compile transaction N+1 while transaction N installs. Off =
+    /// the serialized naive baseline.
+    pub overlap: bool,
+    /// Let the compile stage merge a backlog of closed batches into
+    /// one transaction when it falls behind.
+    pub merge_backlog: bool,
+    /// Probes the deploy stage republishes after every commit for the
+    /// zero-mis-delivery audit (empty = audit off).
+    pub probes: Vec<AuditProbe>,
+    /// Publish-stamp spacing between probes of one audit round.
+    pub probe_gap_ns: u64,
+    /// Share a registry with the host process; `None` makes a fresh
+    /// one (returned in the outcome).
+    pub registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch: BatchPolicy::adaptive(),
+            overlap: true,
+            merge_backlog: true,
+            probes: Vec::new(),
+            probe_gap_ns: 10_000,
+            registry: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The one-op-at-a-time baseline: singleton batches, no overlap,
+    /// no backlog merging.
+    pub fn naive() -> Self {
+        ServiceConfig {
+            batch: BatchPolicy::naive(),
+            overlap: false,
+            merge_backlog: false,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Run totals, gathered from the stages at shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    pub accepted: u64,
+    pub batches: u64,
+    pub merged_batches: u64,
+    pub compiles: u64,
+    pub noops: u64,
+    pub cancelled_ops: u64,
+    pub committed_txns: u64,
+    pub rejected_txns: u64,
+    pub out_of_order: u64,
+    pub audit: AuditReport,
+}
+
+impl ServiceStats {
+    /// Accepted ops per network compile — the coalescing win. The
+    /// naive baseline sits at 1.0 by construction.
+    pub fn coalescing_ratio(&self) -> f64 {
+        self.accepted as f64 / self.compiles.max(1) as f64
+    }
+}
+
+/// Everything the service hands back at shutdown.
+pub struct ServiceOutcome {
+    /// The live deployment, reflecting the last committed transaction.
+    pub deployment: Deployment,
+    /// The target subscription state intake had accepted.
+    pub subs: Vec<Vec<Expr>>,
+    /// Per-transaction reports, in commit order (drained ones
+    /// included).
+    pub reports: Vec<TxnReport>,
+    /// Soft per-request rejects, in arrival order.
+    pub rejected_requests: Vec<crate::error::IntakeError>,
+    /// Fatal stage errors (empty on a clean run).
+    pub errors: Vec<ServiceError>,
+    pub stats: ServiceStats,
+    pub registry: Arc<MetricsRegistry>,
+}
+
+/// A running controller service.
+pub struct CamusService {
+    intake: Pipe<SubRequest>,
+    reports_rx: StageRx<TxnReport>,
+    h_intake: JoinHandle<(IntakeService, Result<(), crate::error::IntakeError>)>,
+    h_compile: JoinHandle<(RouteCompileService, Result<(), ServiceError>)>,
+    h_deploy: JoinHandle<(DeployService, Result<(), crate::error::DeployStageError>)>,
+    next_request: RequestId,
+    reports: Vec<TxnReport>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl CamusService {
+    /// Take a deployed network live. `subs` must be the subscription
+    /// state `deployment` was deployed with — it seeds both intake's
+    /// target state and the compile stage's churn-distance baseline.
+    pub fn start(
+        ctrl: Controller,
+        deployment: Deployment,
+        subs: Vec<Vec<Expr>>,
+        channel: Box<dyn ControlChannel + Send>,
+        cfg: ServiceConfig,
+    ) -> CamusService {
+        let registry = cfg.registry.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let inflight = registry.gauge("service.txn.inflight");
+        let ttt = registry.histogram("service.request.ttt_ns");
+
+        let (intake_tx, intake_rx) = pipe(&registry, "intake");
+        let (batch_tx, batch_rx) = pipe(&registry, "compile");
+        let (txn_tx, txn_rx) = pipe(&registry, "deploy");
+        let (rep_tx, rep_rx) = pipe(&registry, "reports");
+
+        // Serialized mode: the deploy stage reports each install's
+        // completion time back, and the compile stage waits for it.
+        let (feedback_tx, feedback_rx) = if cfg.overlap {
+            (None, None)
+        } else {
+            let (tx, rx) = mpsc::channel();
+            (Some(tx), Some(rx))
+        };
+
+        let topology = deployment.network.topology.clone();
+        let mask = deployment.network.fault_mask().clone();
+        let deployed_compile = deployment.compile.clone();
+
+        let intake_svc = IntakeService::new(cfg.batch, subs.clone(), inflight.clone());
+        let compile_svc = RouteCompileService::new(
+            ctrl.clone(),
+            topology,
+            mask,
+            deployed_compile,
+            subs,
+            feedback_rx,
+            cfg.merge_backlog,
+            inflight.clone(),
+        );
+        let deploy_svc = DeployService::new(
+            ctrl,
+            deployment,
+            channel,
+            feedback_tx,
+            cfg.probes,
+            cfg.probe_gap_ns,
+            ttt,
+            inflight,
+        );
+
+        let h_intake = spawn(intake_svc, intake_rx, batch_tx);
+        let h_compile = spawn(compile_svc, batch_rx, txn_tx);
+        let h_deploy = spawn(deploy_svc, txn_rx, rep_tx);
+
+        CamusService {
+            intake: intake_tx,
+            reports_rx: rep_rx,
+            h_intake,
+            h_compile,
+            h_deploy,
+            next_request: 0,
+            reports: Vec::new(),
+            registry,
+        }
+    }
+
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Submit a request with its modelled arrival time. Send failures
+    /// are deliberately silent here — a dead stage surfaces its error
+    /// at shutdown, which is where the caller can actually act on it.
+    pub fn request(&mut self, host: usize, op: RequestOp, arrival_ns: u64) -> RequestId {
+        let id = self.next_request;
+        self.next_request += 1;
+        let _ = self.intake.send(SubRequest { id, host, op, arrival_ns });
+        id
+    }
+
+    pub fn subscribe(&mut self, host: usize, filter: Expr, arrival_ns: u64) -> RequestId {
+        self.request(host, RequestOp::Subscribe(filter), arrival_ns)
+    }
+
+    pub fn unsubscribe(&mut self, host: usize, filter: Expr, arrival_ns: u64) -> RequestId {
+        self.request(host, RequestOp::Unsubscribe(filter), arrival_ns)
+    }
+
+    /// Flush everything in flight — intake's open window included —
+    /// and wait until it has all landed. Returns the transaction
+    /// reports that landed during the drain.
+    pub fn drain(&mut self) -> &[TxnReport] {
+        let start = self.reports.len();
+        if self.intake.ctl(Ctl::Drain).is_err() {
+            return &self.reports[start..];
+        }
+        while let Some(c) = self.reports_rx.recv() {
+            match c {
+                Ctl::Msg(r) => self.reports.push(r),
+                Ctl::Drain => break,
+                // A stage died mid-drain; its error waits at join.
+                Ctl::Stop => break,
+            }
+        }
+        &self.reports[start..]
+    }
+
+    /// Stop the pipeline: flush, wait for the shutdown wave to cross
+    /// all three stages, join them, and collect the pieces.
+    pub fn shutdown(mut self) -> ServiceOutcome {
+        let _ = self.intake.ctl(Ctl::Stop);
+        while let Some(c) = self.reports_rx.recv() {
+            match c {
+                Ctl::Msg(r) => self.reports.push(r),
+                Ctl::Stop => break,
+                Ctl::Drain => {}
+            }
+        }
+        let (intake, r_intake) = self.h_intake.join().expect("intake stage panicked");
+        let (compile, r_compile) = self.h_compile.join().expect("compile stage panicked");
+        let (deploy, r_deploy) = self.h_deploy.join().expect("deploy stage panicked");
+
+        let mut errors = Vec::new();
+        if let Err(e) = r_intake {
+            errors.push(ServiceError::from(e));
+        }
+        if let Err(e) = r_compile {
+            errors.push(e);
+        }
+        if let Err(e) = r_deploy {
+            errors.push(ServiceError::from(e));
+        }
+
+        let stats = ServiceStats {
+            accepted: intake.accepted,
+            batches: intake.batches,
+            merged_batches: compile.merged_batches,
+            compiles: compile.compiles,
+            noops: compile.noops,
+            cancelled_ops: compile.cancelled_ops,
+            committed_txns: deploy.committed_txns,
+            rejected_txns: deploy.rejected_txns,
+            out_of_order: intake.out_of_order,
+            audit: deploy.audit_totals,
+        };
+
+        let mut intake = intake;
+        let rejected_requests = std::mem::take(&mut intake.rejected);
+        ServiceOutcome {
+            deployment: deploy.deployment,
+            subs: intake.into_subs(),
+            reports: self.reports,
+            rejected_requests,
+            errors,
+            stats,
+            registry: self.registry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_core::statics::compile_static;
+    use camus_dataplane::PacketBuilder;
+    use camus_lang::parser::parse_expr;
+    use camus_lang::spec::itch_spec;
+    use camus_lang::value::Value;
+    use camus_net::PerfectChannel;
+    use camus_routing::algorithm1::{Policy, RoutingConfig};
+    use camus_routing::topology::paper_fat_tree;
+
+    fn controller() -> Controller {
+        let statics = compile_static(&itch_spec()).unwrap();
+        Controller::new(statics, RoutingConfig::new(Policy::TrafficReduction))
+    }
+
+    fn f(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    fn start(cfg: ServiceConfig) -> (CamusService, usize) {
+        let net = paper_fat_tree();
+        let hosts = net.host_count();
+        let subs = vec![Vec::new(); hosts];
+        let ctrl = controller();
+        let d = ctrl.deploy(net, &subs).unwrap();
+        (CamusService::start(ctrl, d, subs, Box::new(PerfectChannel), cfg), hosts)
+    }
+
+    fn probe(price: i64) -> AuditProbe {
+        let spec = itch_spec();
+        let values = vec![
+            ("stock".to_string(), Value::from("GOOGL")),
+            ("price".to_string(), Value::Int(price)),
+        ];
+        let packet = PacketBuilder::new(&spec)
+            .message(vec![("stock", Value::from("GOOGL")), ("price", Value::Int(price))])
+            .build();
+        AuditProbe { publisher: 0, packet, values }
+    }
+
+    #[test]
+    fn live_service_matches_a_fresh_deploy() {
+        let (mut svc, hosts) = start(ServiceConfig::default());
+        svc.subscribe(15, f("stock == GOOGL"), 1_000);
+        svc.subscribe(7, f("price > 50"), 1_200);
+        svc.unsubscribe(7, f("price > 50"), 1_400);
+        svc.subscribe(3, f("price > 10"), 9_000_000);
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.rejected_requests.is_empty());
+        assert_eq!(out.stats.accepted, 4);
+
+        // The live deployment must equal a cold deploy of the same
+        // target state, pipeline for pipeline.
+        let mut expect = vec![Vec::new(); hosts];
+        expect[15].push(f("stock == GOOGL"));
+        expect[3].push(f("price > 10"));
+        assert_eq!(out.subs, expect);
+        let fresh = controller().deploy(paper_fat_tree(), &expect).unwrap();
+        let fp = |c: &camus_routing::compile::NetworkCompile| {
+            c.switches.iter().map(|s| (s.switch, s.fingerprint, s.entries)).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            fp(&out.deployment.compile),
+            fp(&fresh.compile),
+            "live state must converge to the cold-deploy compile"
+        );
+
+        // And deliver: host 15 subscribed to GOOGL.
+        let mut d = out.deployment;
+        let spec = itch_spec();
+        let pkt = PacketBuilder::new(&spec)
+            .message(vec![("stock", Value::from("GOOGL")), ("price", Value::Int(5))])
+            .build();
+        let t = d.network.now_ns() + 1;
+        d.network.publish(0, pkt, t);
+        d.network.run(None);
+        assert!(d.network.deliveries(15).iter().any(|dl| dl.published_ns == t));
+    }
+
+    #[test]
+    fn cancelling_churn_compiles_nothing() {
+        let (mut svc, _) = start(ServiceConfig::default());
+        // Sub + unsub inside one window: net-zero batch.
+        svc.subscribe(4, f("price > 10"), 1_000);
+        svc.unsubscribe(4, f("price > 10"), 1_100);
+        let landed = svc.drain();
+        assert_eq!(landed.len(), 1);
+        assert!(landed[0].noop);
+        assert_eq!(landed[0].cancelled, 2);
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.stats.compiles, 0, "cancelled churn must cost zero compiles");
+        assert_eq!(out.stats.noops, 1);
+        assert_eq!(out.stats.cancelled_ops, 2);
+    }
+
+    #[test]
+    fn audit_rides_every_commit_and_stays_clean() {
+        // merge_backlog off: queued batches must not merge, so each
+        // commit's audit round is individually checkable.
+        let cfg = ServiceConfig {
+            probes: vec![probe(75), probe(5)],
+            merge_backlog: false,
+            ..ServiceConfig::default()
+        };
+        let (mut svc, _) = start(cfg);
+        svc.subscribe(9, f("price > 50"), 1_000);
+        svc.subscribe(2, f("stock == GOOGL"), 5_000_000);
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.stats.committed_txns, 2);
+        let a = out.stats.audit;
+        assert!(a.probes > 0 && a.expected > 0);
+        assert!(a.clean(), "audit must be clean: {a:?}");
+        // price>75 probe matches host 9 both rounds; GOOGL probe
+        // matches 9 (price 75 > 50) and later 2 as well.
+        assert_eq!(a.delivered, a.expected);
+    }
+
+    #[test]
+    fn naive_mode_is_one_transaction_per_op() {
+        let (mut svc, _) = start(ServiceConfig::naive());
+        for i in 0..5u64 {
+            svc.subscribe((i % 3) as usize, f("price > 10"), 1_000 * i);
+        }
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.stats.batches, 5);
+        assert_eq!(out.stats.compiles, 5);
+        assert_eq!(out.stats.merged_batches, 0, "naive mode must not coalesce");
+        assert!((out.stats.coalescing_ratio() - 1.0).abs() < 1e-9);
+        // Installs are serialized: each starts after the previous
+        // one's modelled completion.
+        for w in out.reports.windows(2) {
+            assert!(w[1].install_start_ns >= w[0].deployed_ns);
+        }
+    }
+
+    #[test]
+    fn request_spans_land_in_trace_and_histogram() {
+        let (mut svc, _) = start(ServiceConfig::default());
+        svc.subscribe(1, f("price > 10"), 2_000);
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        let spans = &out.deployment.trace.requests;
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].arrival_ns, 2_000);
+        assert!(spans[0].deployed_ns >= spans[0].compiled_ns);
+        assert!(spans[0].time_to_traffic_ns() > 0);
+        let h = out.registry.histogram("service.request.ttt_ns");
+        assert_eq!(h.count(), 1);
+        assert_eq!(out.registry.gauge("service.txn.inflight").get(), 0);
+    }
+}

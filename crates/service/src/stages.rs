@@ -1,0 +1,593 @@
+//! The route/compile and deploy stages.
+//!
+//! [`RouteCompileService`] turns a closed churn batch into an
+//! installable transaction: Algorithm-1 routing plus an incremental
+//! network compile against the previous compile as a content-addressed
+//! cache. Because the cache affects only *cost*, never the produced
+//! pipelines, it is safe to compile transaction N+1 while transaction
+//! N is still installing (or about to roll back) — the overlap the
+//! service exists for. Its modelled [`Clock`] is the compile
+//! executor's timeline: a batch's compile starts no earlier than its
+//! window closed and no earlier than the previous compile finished,
+//! and advances by the measured route+compile wall time folded into
+//! modelled nanoseconds.
+//!
+//! Coalescing happens here, twice:
+//!
+//! * *cancellation*: a batch whose ops net out (subscribe then
+//!   unsubscribe inside one window, for the whole batch) has churn
+//!   distance zero against the installed state — it costs **zero**
+//!   compiles and installs (a `Noop` transaction flows through for
+//!   accounting);
+//! * *backlog merging* (via [`Service::coalesce`]): when compiles are
+//!   the bottleneck, queued batches merge into one — the snapshot of
+//!   the latest wins, so repeated dirtying of one switch compiles
+//!   once.
+//!
+//! [`DeployService`] owns the live [`Deployment`] and the control
+//! channel. Its clock is the control-plane timeline: an install
+//! starts no earlier than its compile finished and no earlier than
+//! the previous install finished (the channel is serial), and
+//! advances by the transaction ledger's modelled control time. After
+//! every commit it can replay configured audit probes through the
+//! network and checks the PR-2/PR-4 invariant — zero mis-delivery,
+//! zero duplicates, committed ⇒ delivered — while transactions are
+//! still overlapping upstream.
+
+use crate::core::{Pipe, Service};
+use crate::error::{CompileStageError, DeployStageError, RouteError, ServiceError};
+use crate::intake::{ChurnBatch, SubRequest};
+use camus_dataplane::Packet;
+use camus_lang::ast::{Expr, Operand};
+use camus_lang::value::Value;
+use camus_net::controller::{Controller, DeployError, Deployment};
+use camus_net::{Clock, ControlChannel};
+use camus_routing::algorithm1::RoutingResult;
+use camus_routing::compile::NetworkCompile;
+use camus_routing::topology::{FaultMask, HierNet};
+use camus_telemetry::{Gauge, Histogram, RequestSpan};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An installable transaction: the compile stage's output.
+#[derive(Debug)]
+pub struct Txn {
+    pub txn: u64,
+    pub requests: Vec<SubRequest>,
+    /// Ops cancelled out inside the batch (paid zero compile work).
+    pub cancelled: usize,
+    pub opened_ns: u64,
+    pub closed_ns: u64,
+    /// When the compile executor picked the batch up.
+    pub compile_start_ns: u64,
+    /// When routing + compile finished (modelled).
+    pub compiled_ns: u64,
+    /// `None` for a net-zero batch: nothing to install.
+    pub payload: Option<TxnPayload>,
+}
+
+/// The artefacts a non-noop transaction installs.
+#[derive(Debug)]
+pub struct TxnPayload {
+    /// Target state (the audit's ground truth).
+    pub subs: Vec<Vec<Expr>>,
+    pub routing: RoutingResult,
+    pub compile: NetworkCompile,
+    /// Measured routing wall time (for the deploy trace).
+    pub route_ns: u64,
+}
+
+/// The route + compile stage.
+pub struct RouteCompileService {
+    ctrl: Controller,
+    topology: HierNet,
+    mask: FaultMask,
+    /// Content-addressed compile cache: the last compile *produced*
+    /// here (not necessarily installed yet — that is the overlap).
+    prev_compile: NetworkCompile,
+    /// The subscription state behind `prev_compile`; churn distance
+    /// against it detects net-zero batches.
+    prev_subs: Vec<Vec<Expr>>,
+    /// The compile executor's modelled timeline.
+    clock: Clock,
+    /// In serialized (naive-baseline) mode, the deploy stage feeds
+    /// back each transaction's completion time and the next compile
+    /// waits for it; `None` overlaps freely.
+    serialize: Option<Receiver<u64>>,
+    /// Transactions sent downstream but not yet fed back (serialized
+    /// mode bookkeeping).
+    outstanding: usize,
+    /// Whether backlog batches may merge ([`Service::coalesce`]).
+    merge_backlog: bool,
+    inflight: Arc<Gauge>,
+    pub merged_batches: u64,
+    pub compiles: u64,
+    pub noops: u64,
+    pub cancelled_ops: u64,
+}
+
+/// Per-host multiset distance between two subscription states: the
+/// number of single-filter edits separating them. Each accepted op
+/// moves the state by exactly one edit, so
+/// `ops - distance(prev, next)` is the number of ops that cancelled
+/// out inside the batch.
+fn churn_distance(prev: &[Vec<Expr>], next: &[Vec<Expr>]) -> usize {
+    prev.iter()
+        .zip(next)
+        .map(|(a, b)| {
+            let mut counts: HashMap<&Expr, i64> = HashMap::new();
+            for f in a {
+                *counts.entry(f).or_insert(0) += 1;
+            }
+            for f in b {
+                *counts.entry(f).or_insert(0) -= 1;
+            }
+            counts.values().map(|c| c.unsigned_abs() as usize).sum::<usize>()
+        })
+        .sum()
+}
+
+impl RouteCompileService {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ctrl: Controller,
+        topology: HierNet,
+        mask: FaultMask,
+        deployed_compile: NetworkCompile,
+        deployed_subs: Vec<Vec<Expr>>,
+        serialize: Option<Receiver<u64>>,
+        merge_backlog: bool,
+        inflight: Arc<Gauge>,
+    ) -> Self {
+        RouteCompileService {
+            ctrl,
+            topology,
+            mask,
+            prev_compile: deployed_compile,
+            prev_subs: deployed_subs,
+            clock: Clock::new(),
+            serialize,
+            outstanding: 0,
+            merge_backlog,
+            inflight,
+            merged_batches: 0,
+            compiles: 0,
+            noops: 0,
+            cancelled_ops: 0,
+        }
+    }
+}
+
+impl Service for RouteCompileService {
+    type In = ChurnBatch;
+    type Out = Txn;
+    type Error = ServiceError;
+
+    fn name(&self) -> &'static str {
+        "camus-route-compile"
+    }
+
+    fn coalesce(&mut self, pending: &mut ChurnBatch, next: ChurnBatch) -> Result<(), ChurnBatch> {
+        if !self.merge_backlog {
+            return Err(next);
+        }
+        // Snapshots are cumulative: merging = taking the later state
+        // and the union of requests. The merged batch is one
+        // transaction, so one inflight slot is released here.
+        pending.subs = next.subs;
+        pending.requests.extend(next.requests);
+        pending.closed_ns = next.closed_ns;
+        self.merged_batches += 1;
+        self.inflight.add(-1);
+        Ok(())
+    }
+
+    fn handle(&mut self, batch: ChurnBatch, out: &Pipe<Txn>) -> Result<(), ServiceError> {
+        // Naive-baseline serialization: wait until every outstanding
+        // install has landed before compiling the next transaction.
+        if let Some(rx) = &self.serialize {
+            while self.outstanding > 0 {
+                match rx.recv() {
+                    Ok(done_ns) => {
+                        self.clock.advance_to(done_ns);
+                        self.outstanding -= 1;
+                    }
+                    Err(_) => return Err(CompileStageError::Closed.into()),
+                }
+            }
+        }
+        let hosts = self.topology.host_count();
+        if batch.subs.len() != hosts {
+            return Err(
+                RouteError::HostCountMismatch { expected: hosts, got: batch.subs.len() }.into()
+            );
+        }
+
+        let ops = batch.requests.len();
+        let distance = churn_distance(&self.prev_subs, &batch.subs);
+        let cancelled = ops.saturating_sub(distance);
+        self.cancelled_ops += cancelled as u64;
+
+        // The compile executor is serial: a batch starts when its
+        // window has closed *and* the previous compile is done.
+        let compile_start_ns = self.clock.advance_to(batch.closed_ns);
+
+        let txn = if distance == 0 {
+            // Net-zero batch: every op cancelled inside the window.
+            // Zero compiles, zero installs — the whole point.
+            self.noops += 1;
+            Txn {
+                txn: batch.txn,
+                requests: batch.requests,
+                cancelled,
+                opened_ns: batch.opened_ns,
+                closed_ns: batch.closed_ns,
+                compile_start_ns,
+                compiled_ns: compile_start_ns,
+                payload: None,
+            }
+        } else {
+            let wall = Instant::now();
+            let routing = self.ctrl.plan_routing(&self.topology, &batch.subs, &self.mask);
+            let route_ns = wall.elapsed().as_nanos() as u64;
+            let compile = self
+                .ctrl
+                .compile_routing(&routing, Some(&self.prev_compile))
+                .map_err(|e| ServiceError::from(CompileStageError::from(e)))?;
+            // Fold the measured wall time into the modelled timeline.
+            let compiled_ns = self.clock.advance(wall.elapsed().as_nanos() as u64);
+            self.prev_compile = compile.clone();
+            self.prev_subs = batch.subs.clone();
+            self.compiles += 1;
+            Txn {
+                txn: batch.txn,
+                requests: batch.requests,
+                cancelled,
+                opened_ns: batch.opened_ns,
+                closed_ns: batch.closed_ns,
+                compile_start_ns,
+                compiled_ns,
+                payload: Some(TxnPayload { subs: batch.subs, routing, compile, route_ns }),
+            }
+        };
+        self.outstanding += 1;
+        out.send(txn).map_err(|_| ServiceError::from(CompileStageError::Closed))
+    }
+}
+
+/// A configured audit probe: a packet the deploy stage republishes
+/// after every commit, with the attribute values subscriptions are
+/// matched against.
+#[derive(Debug, Clone)]
+pub struct AuditProbe {
+    pub publisher: usize,
+    pub packet: Packet,
+    /// The witness values `Expr::eval_with` sees (must agree with the
+    /// packet's encoded attributes).
+    pub values: Vec<(String, Value)>,
+}
+
+/// Audit counters for one transaction (or totals across a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    pub probes: usize,
+    /// Expected (host, probe) deliveries across probes.
+    pub expected: usize,
+    pub delivered: usize,
+    pub misdelivered: usize,
+    pub duplicated: usize,
+    pub missed: usize,
+}
+
+impl AuditReport {
+    pub fn absorb(&mut self, other: &AuditReport) {
+        self.probes += other.probes;
+        self.expected += other.expected;
+        self.delivered += other.delivered;
+        self.misdelivered += other.misdelivered;
+        self.duplicated += other.duplicated;
+        self.missed += other.missed;
+    }
+
+    pub fn clean(&self) -> bool {
+        self.misdelivered == 0 && self.duplicated == 0 && self.missed == 0
+    }
+}
+
+/// What one transaction did, end to end.
+#[derive(Debug)]
+pub struct TxnReport {
+    pub txn: u64,
+    pub ops: usize,
+    pub cancelled: usize,
+    /// Net-zero batch: no compile, no install.
+    pub noop: bool,
+    /// Whether the install committed (noops count as committed —
+    /// the target state is live).
+    pub committed: bool,
+    /// The rolled-back install's error, when not committed.
+    pub error: Option<DeployError>,
+    pub opened_ns: u64,
+    pub closed_ns: u64,
+    pub compile_start_ns: u64,
+    pub compiled_ns: u64,
+    pub install_start_ns: u64,
+    /// When the transaction's effect was traffic-visible (modelled).
+    pub deployed_ns: u64,
+    pub distinct_compiles: usize,
+    pub reinstalled: usize,
+    /// Intake→deployed span per request in the transaction.
+    pub requests: Vec<RequestSpan>,
+    pub audit: Option<AuditReport>,
+}
+
+/// The deploy stage: owns the live deployment and the channel.
+pub struct DeployService {
+    ctrl: Controller,
+    pub deployment: Deployment,
+    channel: Box<dyn ControlChannel + Send>,
+    /// The control channel's modelled timeline.
+    clock: Clock,
+    /// Serialized-mode feedback to the compile stage.
+    feedback: Option<Sender<u64>>,
+    probes: Vec<AuditProbe>,
+    probe_gap_ns: u64,
+    ttt: Arc<Histogram>,
+    inflight: Arc<Gauge>,
+    pub committed_txns: u64,
+    pub rejected_txns: u64,
+    pub audit_totals: AuditReport,
+}
+
+/// Hosts whose subscriptions match `witness` (excluding the
+/// publisher — the network never loops a message back to its source).
+fn matching_hosts(subs: &[Vec<Expr>], witness: &[(String, Value)], publisher: usize) -> Vec<usize> {
+    let lookup = |op: &Operand| match op {
+        Operand::Field(name) => witness.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone()),
+        Operand::Aggregate { .. } => None,
+    };
+    subs.iter()
+        .enumerate()
+        .filter(|(h, fs)| *h != publisher && fs.iter().any(|f| f.eval_with(lookup)))
+        .map(|(h, _)| h)
+        .collect()
+}
+
+impl DeployService {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ctrl: Controller,
+        deployment: Deployment,
+        channel: Box<dyn ControlChannel + Send>,
+        feedback: Option<Sender<u64>>,
+        probes: Vec<AuditProbe>,
+        probe_gap_ns: u64,
+        ttt: Arc<Histogram>,
+        inflight: Arc<Gauge>,
+    ) -> Self {
+        DeployService {
+            ctrl,
+            deployment,
+            channel,
+            clock: Clock::new(),
+            feedback,
+            probes,
+            probe_gap_ns,
+            ttt,
+            inflight,
+            committed_txns: 0,
+            rejected_txns: 0,
+            audit_totals: AuditReport::default(),
+        }
+    }
+
+    /// Republish every configured probe and check deliveries against
+    /// the target state `subs`: no mis-delivery, no duplicates, every
+    /// expected host reached.
+    fn audit(&mut self, subs: &[Vec<Expr>]) -> AuditReport {
+        let mut rep = AuditReport { probes: self.probes.len(), ..AuditReport::default() };
+        if self.probes.is_empty() {
+            return rep;
+        }
+        let net = &mut self.deployment.network;
+        let hosts = net.topology.host_count();
+        let before: Vec<usize> = (0..hosts).map(|h| net.deliveries(h).len()).collect();
+        // Distinct publish stamps attribute deliveries to probes.
+        let base = net.now_ns() + 1;
+        let times: Vec<u64> =
+            (0..self.probes.len()).map(|i| base + i as u64 * self.probe_gap_ns).collect();
+        for (p, t) in self.probes.iter().zip(&times) {
+            let _ = net.publish(p.publisher, p.packet.clone(), *t);
+        }
+        net.run(None);
+        for (p, t) in self.probes.iter().zip(&times) {
+            let expect = matching_hosts(subs, &p.values, p.publisher);
+            rep.expected += expect.len();
+            for (h, &seen) in before.iter().enumerate() {
+                let n = net.deliveries(h)[seen..].iter().filter(|d| d.published_ns == *t).count();
+                if expect.contains(&h) {
+                    if n == 0 {
+                        rep.missed += 1;
+                    } else {
+                        rep.delivered += 1;
+                        rep.duplicated += n - 1;
+                    }
+                } else {
+                    rep.misdelivered += n;
+                }
+            }
+        }
+        self.audit_totals.absorb(&rep);
+        rep
+    }
+}
+
+impl Service for DeployService {
+    type In = Txn;
+    type Out = TxnReport;
+    type Error = DeployStageError;
+
+    fn name(&self) -> &'static str {
+        "camus-deploy"
+    }
+
+    fn handle(&mut self, txn: Txn, out: &Pipe<TxnReport>) -> Result<(), DeployStageError> {
+        // The control channel is serial: this install starts when its
+        // compile is done and the channel is free.
+        let install_start_ns = self.clock.advance_to(txn.compiled_ns);
+        let mut committed = false;
+        let mut error = None;
+        let mut distinct_compiles = 0;
+        let mut reinstalled = 0;
+        let mut audit = None;
+        let noop = txn.payload.is_none();
+        let deployed_ns = match txn.payload {
+            None => {
+                // Nothing to install: the target state is already
+                // live, so the batch is traffic-visible at once.
+                committed = true;
+                install_start_ns
+            }
+            Some(p) => {
+                match self.ctrl.install(
+                    &mut self.deployment,
+                    p.routing,
+                    p.compile,
+                    p.route_ns,
+                    &mut *self.channel,
+                ) {
+                    Ok(stats) => {
+                        committed = true;
+                        distinct_compiles = stats.distinct_compiles;
+                        reinstalled = stats.reinstalled;
+                        let control_ns = self.deployment.report.total_control_ns();
+                        let done = self.clock.advance(control_ns);
+                        let a = self.audit(&p.subs);
+                        if !a.clean() {
+                            // Invariant broken after a commit: stop
+                            // the world (the report still goes out
+                            // below the error for post-mortems).
+                            let _ = out.send(TxnReport {
+                                txn: txn.txn,
+                                ops: txn.requests.len(),
+                                cancelled: txn.cancelled,
+                                noop,
+                                committed,
+                                error,
+                                opened_ns: txn.opened_ns,
+                                closed_ns: txn.closed_ns,
+                                compile_start_ns: txn.compile_start_ns,
+                                compiled_ns: txn.compiled_ns,
+                                install_start_ns,
+                                deployed_ns: done,
+                                distinct_compiles,
+                                reinstalled,
+                                requests: Vec::new(),
+                                audit: Some(a),
+                            });
+                            return Err(DeployStageError::Audit {
+                                txn: txn.txn,
+                                misdelivered: a.misdelivered,
+                                duplicated: a.duplicated,
+                                missed: a.missed,
+                            });
+                        }
+                        audit = Some(a);
+                        done
+                    }
+                    Err(e) => {
+                        // Rolled back: the channel time was still
+                        // spent. The next committed transaction
+                        // carries the full target state, so nothing
+                        // is lost — record and continue.
+                        let control_ns = match &e {
+                            DeployError::Admission { report, .. }
+                            | DeployError::Channel { report, .. } => report.total_control_ns(),
+                            DeployError::Compile(_) => 0,
+                        };
+                        let done = self.clock.advance(control_ns);
+                        error = Some(e);
+                        done
+                    }
+                }
+            }
+        };
+        if committed {
+            self.committed_txns += 1;
+        } else {
+            self.rejected_txns += 1;
+        }
+
+        let requests: Vec<RequestSpan> = txn
+            .requests
+            .iter()
+            .map(|r| RequestSpan {
+                request: r.id,
+                host: r.host,
+                arrival_ns: r.arrival_ns,
+                batched_ns: txn.closed_ns,
+                compiled_ns: txn.compiled_ns,
+                deployed_ns,
+            })
+            .collect();
+        for s in &requests {
+            self.ttt.record(s.time_to_traffic_ns());
+        }
+        if committed && !noop {
+            // The live trace carries the last transaction's spans.
+            self.deployment.trace.requests = requests.clone();
+        }
+
+        self.inflight.add(-1);
+        if let Some(fb) = &self.feedback {
+            let _ = fb.send(self.clock.now_ns());
+        }
+        out.send(TxnReport {
+            txn: txn.txn,
+            ops: requests.len(),
+            cancelled: txn.cancelled,
+            noop,
+            committed,
+            error,
+            opened_ns: txn.opened_ns,
+            closed_ns: txn.closed_ns,
+            compile_start_ns: txn.compile_start_ns,
+            compiled_ns: txn.compiled_ns,
+            install_start_ns,
+            deployed_ns,
+            distinct_compiles,
+            reinstalled,
+            requests,
+            audit,
+        })
+        .map_err(|_| DeployStageError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::parser::parse_expr;
+
+    fn f(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn churn_distance_counts_multiset_edits() {
+        let a = vec![vec![f("price > 1"), f("price > 1")], vec![f("shares >= 5")]];
+        let same = a.clone();
+        assert_eq!(churn_distance(&a, &same), 0);
+
+        // One copy of a duplicate filter removed, one filter added.
+        let b = vec![vec![f("price > 1")], vec![f("shares >= 5"), f("price < 50")]];
+        assert_eq!(churn_distance(&a, &b), 2);
+
+        // A sub+unsub pair that cancels is distance 0 even though two
+        // ops happened.
+        let c = vec![vec![f("price > 1"), f("price > 1")], vec![f("shares >= 5")]];
+        assert_eq!(churn_distance(&a, &c), 0);
+    }
+}

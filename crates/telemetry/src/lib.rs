@@ -28,4 +28,4 @@ pub use metrics::{
 pub use postcard::{
     Anomaly, Collector, HopRecord, Postcard, PostcardEnd, PostcardGroup, PostcardId, MAX_HOPS,
 };
-pub use trace::{DeployPhase, DeployTrace, PhaseSpan, SwitchSpan};
+pub use trace::{DeployPhase, DeployTrace, PhaseSpan, RequestSpan, SwitchSpan};

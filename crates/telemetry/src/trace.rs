@@ -69,12 +69,44 @@ pub struct SwitchSpan {
     pub rolled_back: bool,
 }
 
+/// The life of one subscription request through the controller
+/// service: accepted into a batch window, compiled, and finally
+/// deployed (traffic-affecting). All stamps are on the service's
+/// modelled clock, so spans are reproducible under a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Service-assigned request id.
+    pub request: u64,
+    /// The subscribing (or unsubscribing) host.
+    pub host: usize,
+    /// When the request entered intake.
+    pub arrival_ns: u64,
+    /// When its batch window closed.
+    pub batched_ns: u64,
+    /// When its transaction's compile finished.
+    pub compiled_ns: u64,
+    /// When its transaction's install committed — the moment the
+    /// request affects traffic.
+    pub deployed_ns: u64,
+}
+
+impl RequestSpan {
+    /// Request → first packet deliverable: the service experiment's
+    /// p99 metric.
+    pub fn time_to_traffic_ns(&self) -> u64 {
+        self.deployed_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
 /// A rendered deploy/repair transaction: phase spans plus the
-/// per-switch ledger.
+/// per-switch ledger, and — when the transaction came through the
+/// controller service — the per-request intake→deployed spans it
+/// carried.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeployTrace {
     pub spans: Vec<PhaseSpan>,
     pub switches: Vec<SwitchSpan>,
+    pub requests: Vec<RequestSpan>,
 }
 
 impl DeployTrace {
@@ -121,7 +153,14 @@ impl DeployTrace {
                 modelled: true,
             },
         ];
-        DeployTrace { spans, switches }
+        DeployTrace { spans, switches, requests: Vec::new() }
+    }
+
+    /// Attach the per-request spans of the service transaction this
+    /// trace belongs to.
+    pub fn with_requests(mut self, requests: Vec<RequestSpan>) -> Self {
+        self.requests = requests;
+        self
     }
 
     pub fn phase_ns(&self, phase: DeployPhase) -> u64 {
@@ -152,6 +191,15 @@ impl DeployTrace {
             self.switches.iter().filter(|s| s.committed).count(),
             self.retried_switches()
         );
+        if !self.requests.is_empty() {
+            let worst = self.requests.iter().map(RequestSpan::time_to_traffic_ns).max().unwrap();
+            let _ = writeln!(
+                out,
+                "-- {} requests, worst time-to-traffic {} ns --",
+                self.requests.len(),
+                worst
+            );
+        }
         out
     }
 }
@@ -193,5 +241,24 @@ mod tests {
         assert!(text.contains("stage"));
         assert!(text.contains("modelled"));
         assert!(text.contains("2 committed"));
+    }
+
+    #[test]
+    fn request_spans_ride_the_trace() {
+        let span = RequestSpan {
+            request: 7,
+            host: 3,
+            arrival_ns: 100,
+            batched_ns: 300,
+            compiled_ns: 900,
+            deployed_ns: 1_500,
+        };
+        assert_eq!(span.time_to_traffic_ns(), 1_400);
+        let t = DeployTrace::build(1, 2, Vec::new()).with_requests(vec![span]);
+        assert_eq!(t.requests.len(), 1);
+        assert!(t.render().contains("worst time-to-traffic 1400 ns"));
+        // A clock-skewed stamp must not panic the metric.
+        let skew = RequestSpan { deployed_ns: 50, ..span };
+        assert_eq!(skew.time_to_traffic_ns(), 0);
     }
 }

@@ -19,7 +19,10 @@
 //!   106 762 edges; AS-733: 6 474 nodes / 13 233 edges).
 //! * [`content`] — Zipf-popular content-request streams for the hICN
 //!   experiment (Fig. 11).
+//! * [`churn`] — seeded Poisson subscribe/unsubscribe streams for the
+//!   long-running controller service experiment.
 
+pub mod churn;
 pub mod content;
 pub mod graphs;
 pub mod int;

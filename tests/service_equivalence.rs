@@ -1,0 +1,300 @@
+//! Property: the batched/coalesced/overlapped controller service is
+//! state-equivalent to applying the same churn one op at a time.
+//!
+//! Random subscribe/unsubscribe streams — including pairs that cancel
+//! inside one batching window, which the service elides without
+//! compiling — are fed to a [`CamusService`] with small adaptive
+//! windows, overlap, and backlog merging all enabled, with audit
+//! probes riding every commit. The final state must be
+//! indistinguishable from (a) the same stream run through the naive
+//! one-op-per-transaction service and (b) a from-scratch deploy of
+//! the final subscription table: same per-switch compile
+//! fingerprints, entry counts, and pipelines, same installed switch
+//! pipelines, and identical deliveries for a fixed publication
+//! scenario.
+
+use camus_core::statics::compile_static;
+use camus_dataplane::PacketBuilder;
+use camus_lang::ast::Expr;
+use camus_lang::parser::parse_expr;
+use camus_lang::spec::itch_spec;
+use camus_lang::value::Value;
+use camus_net::controller::Controller;
+use camus_net::PerfectChannel;
+use camus_routing::algorithm1::{Policy, RoutingConfig};
+use camus_routing::topology::paper_fat_tree;
+use camus_service::{AuditProbe, BatchPolicy, CamusService, RequestOp, ServiceConfig};
+use proptest::prelude::*;
+
+fn filter_pool() -> Vec<Expr> {
+    [
+        "stock == GOOGL",
+        "stock == MSFT",
+        "stock == AAPL",
+        "price > 10",
+        "price > 100",
+        "price < 50",
+        "shares >= 5",
+        "stock == GOOGL and price > 20",
+        "stock == MSFT or price > 500",
+    ]
+    .iter()
+    .map(|s| parse_expr(s).expect("pool filter parses"))
+    .collect()
+}
+
+/// One churn event: which host, which pool filter, subscribe or
+/// unsubscribe, and how long after the previous event it arrives
+/// (gap bucket 0 lands inside the quiet window — that is what makes
+/// sub/unsub pairs cancel before they cost a compile).
+#[derive(Debug, Clone)]
+struct Ev {
+    host: usize,
+    filter: usize,
+    unsub: bool,
+    gap: u8,
+}
+
+fn arb_ev(hosts: usize, pool: usize) -> impl Strategy<Value = Ev> {
+    (0..hosts, 0..pool, any::<bool>(), 0u8..3).prop_map(|(host, filter, unsub, gap)| Ev {
+        host,
+        filter,
+        unsub,
+        gap,
+    })
+}
+
+fn gap_ns(bucket: u8) -> u64 {
+    // Inside the quiet period / past it but within max_window / a gap
+    // that closes the window.
+    match bucket {
+        0 => 10_000,
+        1 => 120_000,
+        _ => 2_000_000,
+    }
+}
+
+fn controller() -> Controller {
+    Controller::new(
+        compile_static(&itch_spec()).unwrap(),
+        RoutingConfig::new(Policy::TrafficReduction),
+    )
+}
+
+/// Audit probes: publications whose correct delivery set the service
+/// re-proves after every commit.
+fn probes() -> Vec<AuditProbe> {
+    let spec = itch_spec();
+    [
+        (0usize, vec![("stock", Value::from("GOOGL")), ("price", Value::Int(30))]),
+        (6, vec![("stock", Value::from("MSFT")), ("price", Value::Int(700))]),
+    ]
+    .into_iter()
+    .map(|(publisher, fields)| {
+        let packet = PacketBuilder::new(&spec).message(fields.clone()).build();
+        let values = fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>();
+        AuditProbe { publisher, packet, values }
+    })
+    .collect()
+}
+
+/// Intake's unsubscribe semantics, replicated for the reference
+/// mirror: drop the newest equal filter, or soft-reject.
+fn mirror_apply(subs: &mut [Vec<Expr>], pool: &[Expr], ev: &Ev) -> bool {
+    if ev.unsub {
+        match subs[ev.host].iter().rposition(|f| f == &pool[ev.filter]) {
+            Some(i) => {
+                subs[ev.host].remove(i);
+                true
+            }
+            None => false,
+        }
+    } else {
+        subs[ev.host].push(pool[ev.filter].clone());
+        true
+    }
+}
+
+fn run_service(
+    cfg: ServiceConfig,
+    initial: &[Vec<Expr>],
+    events: &[(Ev, u64)],
+    pool: &[Expr],
+) -> camus_service::ServiceOutcome {
+    let net = paper_fat_tree();
+    let ctrl = controller();
+    let d = ctrl.deploy(net, initial).expect("initial deploy");
+    let mut svc = CamusService::start(ctrl, d, initial.to_vec(), Box::new(PerfectChannel), cfg);
+    for (ev, at) in events {
+        let op = if ev.unsub {
+            RequestOp::Unsubscribe(pool[ev.filter].clone())
+        } else {
+            RequestOp::Subscribe(pool[ev.filter].clone())
+        };
+        svc.request(ev.host, op, *at);
+    }
+    svc.shutdown()
+}
+
+type Deliveries = Vec<Vec<(u64, Vec<(String, String)>)>>;
+
+/// Publish a fixed scenario and collect per-host delivery deltas
+/// (time, sorted values), starting from each host's current count so
+/// audit-probe deliveries accumulated mid-run do not pollute the
+/// comparison.
+fn publish_and_delta(d: &mut camus_net::controller::Deployment) -> Deliveries {
+    let spec = itch_spec();
+    let hosts = d.network.topology.host_count();
+    let before: Vec<usize> = (0..hosts).map(|h| d.network.deliveries(h).len()).collect();
+    let base = d.network.now_ns() + 1;
+    let pubs = [
+        (0usize, vec![("stock", Value::from("GOOGL")), ("price", Value::Int(30))]),
+        (6, vec![("stock", Value::from("MSFT")), ("price", Value::Int(700))]),
+        (11, vec![("stock", Value::from("FB")), ("price", Value::Int(1))]),
+    ];
+    for (i, (host, fields)) in pubs.into_iter().enumerate() {
+        let pkt = PacketBuilder::new(&spec).message(fields).build();
+        d.network.publish(host, pkt, base + (i as u64) * 10_000);
+    }
+    d.network.run(None);
+    (0..hosts)
+        .map(|h| {
+            d.network.deliveries(h)[before[h]..]
+                .iter()
+                .map(|del| {
+                    let mut vals: Vec<(String, String)> =
+                        del.values.iter().map(|(k, v)| (k.clone(), format!("{v:?}"))).collect();
+                    vals.sort();
+                    // Compare delivery latency, not absolute time: the
+                    // two runs publish from different network clocks.
+                    (del.time_ns - del.published_ns, vals)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn batched_service_equals_one_at_a_time(
+        seed_adds in proptest::collection::vec((0usize..16, 0usize..9), 0..10),
+        churn in proptest::collection::vec(arb_ev(16, 9), 1..16),
+    ) {
+        let pool = filter_pool();
+        let net = paper_fat_tree();
+        let hosts = net.host_count();
+
+        let mut initial: Vec<Vec<Expr>> = vec![Vec::new(); hosts];
+        for (host, f) in &seed_adds {
+            initial[*host].push(pool[*f].clone());
+        }
+
+        // Arrival schedule + reference mirror of intake semantics.
+        let mut at = 0u64;
+        let mut events = Vec::with_capacity(churn.len());
+        let mut expected = initial.clone();
+        let mut soft_rejects = 0u64;
+        for ev in &churn {
+            at += gap_ns(ev.gap);
+            if !mirror_apply(&mut expected, &pool, ev) {
+                soft_rejects += 1;
+            }
+            events.push((ev.clone(), at));
+        }
+
+        // Small windows so several ops share a batch and cancelling
+        // pairs meet inside one.
+        let batched_cfg = ServiceConfig {
+            batch: BatchPolicy { min_window_ns: 50_000, max_window_ns: 500_000, max_ops: 8 },
+            overlap: true,
+            merge_backlog: true,
+            probes: probes(),
+            ..ServiceConfig::default()
+        };
+        let batched = run_service(batched_cfg, &initial, &events, &pool);
+        let naive = run_service(
+            ServiceConfig { probes: probes(), ..ServiceConfig::naive() },
+            &initial,
+            &events,
+            &pool,
+        );
+
+        for out in [&batched, &naive] {
+            prop_assert!(out.errors.is_empty(), "service errors: {:?}", out.errors);
+            prop_assert!(out.stats.audit.clean(), "audit violation: {:?}", out.stats.audit);
+            prop_assert_eq!(out.rejected_requests.len() as u64, soft_rejects);
+            prop_assert_eq!(&out.subs, &expected, "final target state diverges");
+        }
+        // The naive run never coalesces; the batched run never does
+        // *more* transactions than ops.
+        prop_assert_eq!(naive.stats.compiles + naive.stats.noops, naive.stats.batches);
+        prop_assert!(batched.stats.batches <= naive.stats.batches);
+
+        // Both runs and a from-scratch deploy of the final state must
+        // agree, compile artefact for compile artefact, switch for
+        // switch.
+        let mut fresh = controller().deploy(net.clone(), &expected).expect("fresh deploy");
+        let mut batched_d = batched.deployment;
+        let mut naive_d = naive.deployment;
+        for (label, live) in [("batched", &batched_d), ("naive", &naive_d)] {
+            prop_assert_eq!(live.compile.switches.len(), fresh.compile.switches.len());
+            for (a, b) in live.compile.switches.iter().zip(&fresh.compile.switches) {
+                prop_assert_eq!(a.fingerprint, b.fingerprint, "{}: switch {}", label, a.switch);
+                prop_assert_eq!(a.entries, b.entries, "{}: switch {}", label, a.switch);
+                prop_assert_eq!(
+                    &a.compiled.pipeline, &b.compiled.pipeline,
+                    "{}: switch {} pipeline", label, a.switch
+                );
+            }
+            for s in 0..net.switch_count() {
+                prop_assert_eq!(
+                    live.network.switches[s].pipeline(),
+                    fresh.network.switches[s].pipeline(),
+                    "{}: installed pipeline on switch {}", label, s
+                );
+            }
+        }
+
+        // And they deliver identically.
+        let want = publish_and_delta(&mut fresh);
+        let got_b = publish_and_delta(&mut batched_d);
+        let got_n = publish_and_delta(&mut naive_d);
+        for h in 0..hosts {
+            prop_assert_eq!(&got_b[h], &want[h], "batched deliveries diverge at host {}", h);
+            prop_assert_eq!(&got_n[h], &want[h], "naive deliveries diverge at host {}", h);
+        }
+    }
+
+    #[test]
+    fn cancelling_churn_is_invisible(
+        host in 0usize..16,
+        filter in 0usize..9,
+        n_pairs in 1usize..4,
+    ) {
+        // Pure sub/unsub pairs inside one window: the service must
+        // commit nothing but noops and end exactly where it started.
+        let pool = filter_pool();
+        let initial: Vec<Vec<Expr>> = vec![Vec::new(); 16];
+        let mut events = Vec::new();
+        let mut at = 1_000u64;
+        for _ in 0..n_pairs {
+            events.push((Ev { host, filter, unsub: false, gap: 0 }, at));
+            at += 5_000;
+            events.push((Ev { host, filter, unsub: true, gap: 0 }, at));
+            at += 5_000;
+        }
+        let cfg = ServiceConfig {
+            batch: BatchPolicy { min_window_ns: 200_000, max_window_ns: 2_000_000, max_ops: 64 },
+            probes: probes(),
+            ..ServiceConfig::default()
+        };
+        let out = run_service(cfg, &initial, &events, &pool);
+        prop_assert!(out.errors.is_empty(), "{:?}", out.errors);
+        prop_assert_eq!(out.stats.compiles, 0, "cancelled churn must not compile");
+        prop_assert!(out.stats.noops >= 1);
+        prop_assert_eq!(out.stats.cancelled_ops, 2 * n_pairs as u64);
+        prop_assert_eq!(&out.subs, &initial);
+    }
+}
