@@ -11,13 +11,19 @@
 //!   grouped by field so that every root-to-terminal path tests fields
 //!   in the same order — the property Algorithm 2 needs to slice the
 //!   BDD into per-field table components ([`order`]),
-//! * a hash-consed node store with the three reductions of §V-C:
+//! * a hash-consed node store with the three reductions of §V-C —
 //!   (i) isomorphic-subgraph sharing, (ii) same-child elimination, and
 //!   (iii) *domain-specific implication pruning*: a node whose predicate
-//!   is decided by an ancestor on the same field is bypassed
-//!   ([`store`], [`builder`]),
-//! * construction from DNF rule sets by n-way union of per-rule chains
-//!   ([`builder`]),
+//!   is decided by an ancestor on the same field is bypassed — plus a
+//!   fourth, *redundant-test elimination*: a node one of whose branches
+//!   restricts to the other under the tested predicate is replaced by
+//!   that branch, which makes the reduced form independent of the order
+//!   unions are folded in ([`store`], [`builder`]),
+//! * construction from DNF rule sets by n-way union of per-rule chains,
+//!   sharded across threads for large tables ([`builder`]),
+//! * rule-granular incremental maintenance — insert/remove against the
+//!   live store in time proportional to the delta, with capacity-
+//!   triggered mark-and-sweep GC ([`incremental`], [`store`]),
 //! * exact evaluation against a packet, graph statistics, and Graphviz
 //!   export ([`store`], [`dot`]).
 //!
@@ -43,9 +49,11 @@
 
 pub mod builder;
 pub mod dot;
+pub mod incremental;
 pub mod order;
 pub mod store;
 
-pub use builder::BddBuilder;
+pub use builder::{BddBuilder, DEEP_STACK};
+pub use incremental::{rule_digest, IncrementalBdd};
 pub use order::VarOrder;
-pub use store::{Bdd, Node, NodeRef, PredId, RuleId, TermId};
+pub use store::{Bdd, GcStats, Node, NodeRef, PredId, RuleId, TermId};

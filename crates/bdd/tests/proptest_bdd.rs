@@ -3,7 +3,7 @@
 //! must be deterministic, and the reductions must never lose sharing
 //! below the trivial bound.
 
-use camus_bdd::{BddBuilder, VarOrder};
+use camus_bdd::{Bdd, BddBuilder, IncrementalBdd, VarOrder};
 use camus_lang::ast::{Action, Expr, Operand, Predicate, Rel, Rule};
 use camus_lang::value::Value;
 use proptest::prelude::*;
@@ -57,6 +57,48 @@ fn arb_rules() -> impl Strategy<Value = Vec<Rule>> {
 fn arb_packet() -> impl Strategy<Value = (i64, i64, String)> {
     let sym = prop_oneof![Just("A"), Just("AB"), Just("ABC"), Just("Z"), Just("QQ")];
     (-10i64..10, -10i64..10, sym.prop_map(String::from))
+}
+
+/// A churn operation for the incremental-maintenance properties.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rule),
+    /// Remove the rule at this index (mod live length) of the mirror.
+    Remove(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let ins = (arb_filter(), 0u16..4)
+        .prop_map(|(filter, a)| Op::Insert(Rule { filter, action: Action::Forward(vec![a + 1]) }));
+    let rem = (0usize..64).prop_map(Op::Remove);
+    prop::collection::vec(prop_oneof![2 => ins, 1 => rem], 1..24)
+}
+
+/// Identifier-routing churn: `id == K` subscriptions, some with a
+/// `price > t` qualifier, plus occasional pure range rules.
+fn arb_id_ops() -> impl Strategy<Value = Vec<Op>> {
+    let ins = (0i64..512, 0i64..32, 0u16..4, 0u8..10).prop_map(|(k, t, a, shape)| {
+        let id_atom = Expr::Atom(Predicate::field("id", Rel::Eq, k));
+        let price_atom = Expr::Atom(Predicate::field("price", Rel::Gt, t));
+        let filter = match shape {
+            0..=5 => id_atom,
+            6..=8 => id_atom.and(price_atom),
+            _ => price_atom,
+        };
+        Op::Insert(Rule { filter, action: Action::Forward(vec![a + 1]) })
+    });
+    let rem = (0usize..64).prop_map(Op::Remove);
+    prop::collection::vec(prop_oneof![2 => ins, 1 => rem], 1..32)
+}
+
+/// Matched *actions* for a packet: incremental label ids drift from
+/// scratch ids once freed slots are recycled, so equivalence is over
+/// the actions the labels resolve to.
+fn matched_actions<F>(bdd: &Bdd, lookup: F) -> BTreeSet<String>
+where
+    F: Fn(&Operand) -> Option<Value>,
+{
+    bdd.eval(lookup).iter().map(|&l| format!("{:?}", bdd.label(l))).collect()
 }
 
 proptest! {
@@ -119,6 +161,158 @@ proptest! {
                 _ => None,
             };
             prop_assert_eq!(default.eval(lookup), reversed.eval(lookup));
+        }
+    }
+
+    /// Any insert/remove sequence on the incremental store is
+    /// semantically identical to a scratch build of the surviving rule
+    /// set, and its compacted snapshot is no larger.
+    #[test]
+    fn incremental_churn_equals_scratch(
+        base in arb_rules(),
+        ops in arb_ops(),
+        pkts in prop::collection::vec(arb_packet(), 1..8),
+    ) {
+        let order = VarOrder::empty();
+        let mut inc = IncrementalBdd::from_rules(&base, &order);
+        let mut live: Vec<Rule> = base;
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    inc.insert_rule(&r);
+                    live.push(r);
+                }
+                Op::Remove(i) if !live.is_empty() => {
+                    let r = live.swap_remove(i % live.len());
+                    prop_assert!(inc.remove_rule(&r), "live rule must be removable");
+                }
+                Op::Remove(_) => {}
+            }
+        }
+        prop_assert_eq!(inc.rule_count(), live.len());
+        let scratch = BddBuilder::from_rules(&live).build();
+        for (p, q, s) in &pkts {
+            let lookup = |op: &Operand| match op.key().as_str() {
+                "p" => Some(Value::Int(*p)),
+                "q" => Some(Value::Int(*q)),
+                "s" => Some(Value::Str(s.clone())),
+                _ => None,
+            };
+            prop_assert_eq!(
+                matched_actions(inc.bdd(), lookup),
+                matched_actions(&scratch, lookup),
+                "packet p={} q={} s={:?}\nlive: {:#?}",
+                p, q, s, live
+            );
+        }
+        // Leak check: churn must not grow the diagram beyond a small
+        // factor of scratch. (Exact equality is not well-posed here:
+        // operands first seen mid-churn append to the incremental
+        // variable order but sort by appearance in a scratch build,
+        // and BDD size is order-sensitive. The strict bound is
+        // asserted under a pinned order in
+        // `identifier_churn_node_count_bounded`.)
+        inc.force_gc();
+        let snap = inc.snapshot();
+        prop_assert!(
+            snap.node_count() <= 4 * scratch.node_count() + 16,
+            "snapshot {} vs scratch {}",
+            snap.node_count(),
+            scratch.node_count()
+        );
+    }
+
+    /// Under the identifier-routing workload with a pinned field
+    /// order — the regime the million-subscription control plane runs
+    /// in — the churned snapshot is node-count bounded by the scratch
+    /// build.
+    #[test]
+    fn identifier_churn_node_count_bounded(
+        ops in arb_id_ops(),
+        pkts in prop::collection::vec((-2i64..520, -2i64..40), 1..8),
+    ) {
+        let order = VarOrder::from_keys(["id", "price"]);
+        let mut inc = IncrementalBdd::from_rules(&[], &order);
+        let mut live: Vec<Rule> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    inc.insert_rule(&r);
+                    live.push(r);
+                }
+                Op::Remove(i) if !live.is_empty() => {
+                    let r = live.swap_remove(i % live.len());
+                    prop_assert!(inc.remove_rule(&r));
+                }
+                Op::Remove(_) => {}
+            }
+        }
+        let scratch = BddBuilder::from_rules(&live)
+            .with_order(VarOrder::from_keys(["id", "price"]))
+            .build();
+        for (id, price) in &pkts {
+            let lookup = |op: &Operand| match op.key().as_str() {
+                "id" => Some(Value::Int(*id)),
+                "price" => Some(Value::Int(*price)),
+                _ => None,
+            };
+            prop_assert_eq!(
+                matched_actions(inc.bdd(), lookup),
+                matched_actions(&scratch, lookup),
+                "packet id={} price={}",
+                id, price
+            );
+        }
+        // With the field order pinned, the only structural freedom left
+        // is the *member order inside the pure-equality `id` band*
+        // (band-top insertion vs the scratch build's canonical sort),
+        // and member permutation preserves node count: a chain is a
+        // chain, and redundant-test elimination (store reduction iv)
+        // elides a member whose residual is subsumed by the band exit
+        // no matter where in the band it sits. Without that reduction
+        // this bound is unattainable — whether a same-action-subsumed
+        // rule leaves a vacuous test chain behind would depend on the
+        // order unions were folded in, and the incremental refresh
+        // (re-merging against the full misc conjunct) folds in a
+        // different order than a scratch build.
+        inc.force_gc();
+        let snap = inc.snapshot();
+        prop_assert!(
+            snap.node_count() <= scratch.node_count(),
+            "snapshot {} vs scratch {}",
+            snap.node_count(),
+            scratch.node_count()
+        );
+    }
+
+    /// The Bdd-level primitives: unioning rules into a live diagram
+    /// matches a scratch build of the concatenated list.
+    #[test]
+    fn bdd_insert_rule_matches_scratch(
+        base in arb_rules(),
+        extra in arb_rules(),
+        pkts in prop::collection::vec(arb_packet(), 1..6),
+    ) {
+        let mut bdd = BddBuilder::from_rules(&base).build();
+        for r in &extra {
+            bdd.insert_rule(r);
+        }
+        let mut all = base;
+        all.extend(extra);
+        let scratch = BddBuilder::from_rules(&all).build();
+        for (p, q, s) in &pkts {
+            let lookup = |op: &Operand| match op.key().as_str() {
+                "p" => Some(Value::Int(*p)),
+                "q" => Some(Value::Int(*q)),
+                "s" => Some(Value::Str(s.clone())),
+                _ => None,
+            };
+            prop_assert_eq!(
+                matched_actions(&bdd, lookup),
+                matched_actions(&scratch, lookup),
+                "packet p={} q={} s={:?}",
+                p, q, s
+            );
         }
     }
 

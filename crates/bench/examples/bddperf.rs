@@ -1,5 +1,6 @@
-//! Quick scaling probe for BDD construction (not a Criterion bench).
-use camus_bdd::BddBuilder;
+//! Quick scaling probe for BDD construction and incremental
+//! maintenance (not a Criterion bench).
+use camus_bdd::{rule_digest, BddBuilder, IncrementalBdd, VarOrder};
 use camus_lang::parser::parse_rule;
 
 fn main() {
@@ -42,5 +43,34 @@ fn main() {
             .collect();
         let bdd = BddBuilder::from_rules(&rules).build();
         println!("int n=100000: {:?}, nodes={}", t0.elapsed(), bdd.node_count());
+    }
+    // Incremental maintenance: per-op insert+remove against a live
+    // store vs rebuilding it from scratch.
+    for n in [10_000usize, 100_000] {
+        let rules: Vec<_> = (0..n)
+            .map(|i| parse_rule(&format!("id == {i}: fwd({})", (i % 32) + 1)).unwrap())
+            .collect();
+        let order = VarOrder::from_keys(["id", "price"]);
+        let t0 = std::time::Instant::now();
+        let mut inc = IncrementalBdd::from_rules(&rules, &order);
+        let seed = t0.elapsed();
+        let ops = 256usize;
+        let t0 = std::time::Instant::now();
+        for k in 0..ops {
+            let fresh =
+                parse_rule(&format!("id == {} and price > {}: fwd(1)", n + k, k % 997)).unwrap();
+            let digest = inc.insert_rule(&fresh);
+            assert!(inc.remove_by_digest(digest));
+        }
+        let per_op = t0.elapsed() / ops as u32;
+        let victim = &rules[n / 2];
+        assert!(inc.remove_by_digest(rule_digest(victim)));
+        inc.insert_rule(victim);
+        inc.force_gc();
+        println!(
+            "incremental n={n}: seed {seed:?}, per-op {per_op:?}, live={} allocated={}",
+            inc.live_nodes(),
+            inc.bdd().allocated_nodes()
+        );
     }
 }

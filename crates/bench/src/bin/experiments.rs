@@ -12,6 +12,12 @@
 
 use camus_bench::experiments::{self, Scale};
 
+/// Heap accounting for the `scale` experiment's memory columns: the
+/// runner pays the (tiny) atomic-counter overhead so every experiment
+/// can report allocation high-water marks.
+#[global_allocator]
+static ALLOC: camus_bench::mem::CountingAlloc = camus_bench::mem::CountingAlloc;
+
 const IDS: &[&str] = &[
     "fig8",
     "fig9",
@@ -22,6 +28,7 @@ const IDS: &[&str] = &[
     "fig14",
     "fig15",
     "churn",
+    "scale",
     "service",
     "faults",
     "chaos",
@@ -41,6 +48,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "fig14" => !experiments::fig14::run(scale).is_empty(),
         "fig15" => !experiments::fig15::run(scale).is_empty(),
         "churn" => !experiments::churn::run(scale).is_empty(),
+        "scale" => !experiments::scale::run(scale).is_empty(),
         "service" => !experiments::service::run(scale).is_empty(),
         "faults" => !experiments::faults::run(scale).is_empty(),
         "chaos" => !experiments::chaos::run(scale).is_empty(),

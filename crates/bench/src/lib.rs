@@ -18,7 +18,9 @@
 //! | [`experiments::fig14`] | Fig. 14 — network recompile times |
 //! | [`experiments::fig15`] | Fig. 15 — MST vs MST++ FIB entries |
 //! | [`experiments::churn`] | Subscription churn — incremental recompile |
+//! | [`experiments::scale`] | 10k→1M subscription compiler-scaling ladder |
 //! | [`experiments::faults`] | Fault injection — repair latency & blackout |
 
 pub mod experiments;
+pub mod mem;
 pub mod output;

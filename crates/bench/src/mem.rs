@@ -1,0 +1,121 @@
+//! Heap accounting for the scale experiments.
+//!
+//! [`CountingAlloc`] wraps the system allocator and keeps a global
+//! current/high-water byte count. Binaries that want the numbers (the
+//! `experiments` runner) install it as their `#[global_allocator]`;
+//! code that merely *reads* the counters works either way — without
+//! the hook the counters simply stay at zero, so reports degrade to
+//! "not measured" instead of breaking.
+//!
+//! Resident peak comes from the kernel (`VmHWM` in
+//! `/proc/self/status`) and needs no hook at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A system-allocator wrapper that tracks live and high-water bytes.
+pub struct CountingAlloc;
+
+fn on_alloc(size: usize) {
+    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now (zero when no hook is installed).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restart the high-water mark from the current live count, so a
+/// per-experiment peak is not polluted by earlier allocations.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or zero
+/// when `/proc` is unavailable. Monotone over the process lifetime —
+/// unlike the heap counters it cannot be reset per experiment.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_proc_when_present() {
+        // On Linux this is the live process's high-water mark; on other
+        // platforms the reader degrades to zero rather than erroring.
+        let rss = peak_rss_bytes();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0, "a running process has nonzero VmHWM");
+        }
+    }
+
+    #[test]
+    fn counters_monotone_and_resettable() {
+        // The test binary does not install the hook, so the counters
+        // are driven by hand here.
+        reset_peak();
+        let before = peak_bytes();
+        on_alloc(1 << 20);
+        assert!(peak_bytes() >= before + (1 << 20));
+        on_dealloc(1 << 20);
+        reset_peak();
+        assert_eq!(peak_bytes(), current_bytes());
+    }
+}

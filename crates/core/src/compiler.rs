@@ -11,7 +11,7 @@ use crate::pipeline::Pipeline;
 use crate::resources::{report, ResourceReport};
 use crate::statics::StaticPipeline;
 use crate::tables::{bdd_to_pipeline, TableError};
-use camus_bdd::{Bdd, BddBuilder, VarOrder};
+use camus_bdd::{rule_digest, Bdd, BddBuilder, IncrementalBdd, VarOrder, DEEP_STACK};
 use camus_lang::ast::Rule;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -88,6 +88,37 @@ pub struct Compiled {
     pub elapsed: Duration,
 }
 
+/// Persistent state for incremental recompilation of one unit (one
+/// switch FIB): the live maintained diagram plus the digest multiset of
+/// the rules it currently holds. Feed [`Compiler::compile_incremental`]
+/// each epoch's *full* rule list; the compiler diffs the list against
+/// the multiset and applies only the delta to the diagram, so a
+/// reconfigure that touches `k` of `n` rules costs `O(k)` maintenance
+/// work instead of an `O(n)` rebuild.
+#[derive(Debug)]
+pub struct CompileState {
+    inc: IncrementalBdd,
+    /// Rule-digest multiset of the live set (digest → occurrences).
+    counts: HashMap<u64, usize>,
+}
+
+impl CompileState {
+    /// Rules currently held in the live diagram.
+    pub fn rule_count(&self) -> usize {
+        self.inc.rule_count()
+    }
+
+    /// Reachable node count of the live diagram.
+    pub fn live_nodes(&mut self) -> usize {
+        self.inc.live_nodes()
+    }
+
+    /// The maintained diagram (for inspection and statistics).
+    pub fn incremental(&self) -> &IncrementalBdd {
+        &self.inc
+    }
+}
+
 /// The dynamic compiler.
 #[derive(Debug, Clone, Default)]
 pub struct Compiler {
@@ -120,9 +151,7 @@ impl Compiler {
         self
     }
 
-    /// Compile a rule set into a pipeline.
-    pub fn compile(&self, rules: &[Rule]) -> Result<Compiled, CompileError> {
-        let start = Instant::now();
+    fn validate(&self, rules: &[Rule]) -> Result<(), CompileError> {
         if let (Some(statics), true) = (&self.statics, self.config.validate_fields) {
             for (i, rule) in rules.iter().enumerate() {
                 for op in rule.filter.operands() {
@@ -136,6 +165,13 @@ impl Compiler {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Compile a rule set into a pipeline.
+    pub fn compile(&self, rules: &[Rule]) -> Result<Compiled, CompileError> {
+        let start = Instant::now();
+        self.validate(rules)?;
         // BDD union/prune recursion depth is bounded by the longest
         // variable chain — 10⁵+ for large exact-match alphabets — so
         // the heavy lifting runs on a dedicated thread with a deep
@@ -145,7 +181,7 @@ impl Compiler {
         let (bdd, pipeline, multicast) = std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("camus-compile".into())
-                .stack_size(256 << 20)
+                .stack_size(DEEP_STACK)
                 .spawn_scoped(scope, move || {
                     let mut builder = BddBuilder::from_rules(rules);
                     if let Some(order) = order {
@@ -164,6 +200,119 @@ impl Compiler {
             self.statics.as_ref().map(|s| s.widths()).unwrap_or_default();
         let report = report(&pipeline, multicast.group_count(), &widths);
         Ok(Compiled { bdd, pipeline, multicast, report, elapsed: start.elapsed() })
+    }
+
+    /// Run `f` on a dedicated thread with a [`DEEP_STACK`]-sized stack
+    /// (BDD recursion depth is bounded by the longest variable band,
+    /// which can reach the rule count).
+    fn on_deep_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("camus-compile".into())
+                .stack_size(DEEP_STACK)
+                .spawn_scoped(scope, f)
+                .expect("spawn compile thread")
+                .join()
+                .expect("compile thread panicked")
+        })
+    }
+
+    /// Snapshot the maintained diagram and slice it into a pipeline.
+    fn finish(&self, state: &CompileState, start: Instant) -> Result<Compiled, CompileError> {
+        let limit = self.config.multicast_limit;
+        let (bdd, pipeline, multicast) = Self::on_deep_stack(|| {
+            let bdd = state.inc.snapshot();
+            let mut multicast = MulticastAllocator::new(limit);
+            let pipeline = bdd_to_pipeline(&bdd, &mut multicast)?;
+            Ok::<_, TableError>((bdd, pipeline, multicast))
+        })?;
+        let widths: HashMap<String, u32> =
+            self.statics.as_ref().map(|s| s.widths()).unwrap_or_default();
+        let report = report(&pipeline, multicast.group_count(), &widths);
+        Ok(Compiled { bdd, pipeline, multicast, report, elapsed: start.elapsed() })
+    }
+
+    /// Seed persistent incremental-compile state from a full rule set.
+    ///
+    /// The cold build goes through [`IncrementalBdd::from_rules`]
+    /// (bulk eq-band construction); subsequent epochs go through
+    /// [`Compiler::compile_incremental`], which applies only the digest
+    /// delta to the live diagram.
+    pub fn compile_incremental_seed(
+        &self,
+        rules: &[Rule],
+    ) -> Result<(Compiled, CompileState), CompileError> {
+        let start = Instant::now();
+        self.validate(rules)?;
+        let order = self.order.clone().unwrap_or_else(VarOrder::empty);
+        let inc = Self::on_deep_stack(|| IncrementalBdd::from_rules(rules, &order));
+        let mut counts = HashMap::new();
+        for r in rules {
+            *counts.entry(rule_digest(r)).or_insert(0usize) += 1;
+        }
+        let state = CompileState { inc, counts };
+        let compiled = self.finish(&state, start)?;
+        Ok((compiled, state))
+    }
+
+    /// Recompile against persistent state: diff the new rule list's
+    /// digest multiset against the live one and replay only the delta
+    /// (removals first, then inserts) on the maintained diagram. Falls
+    /// back to a scratch rebuild when the delta exceeds half the rule
+    /// set — past that point the (sharded) bulk builder wins over
+    /// replaying ops one by one.
+    pub fn compile_incremental(
+        &self,
+        state: &mut CompileState,
+        rules: &[Rule],
+    ) -> Result<Compiled, CompileError> {
+        let start = Instant::now();
+        self.validate(rules)?;
+        let mut new_counts: HashMap<u64, usize> = HashMap::new();
+        let mut rep: HashMap<u64, &Rule> = HashMap::new();
+        for r in rules {
+            let d = rule_digest(r);
+            *new_counts.entry(d).or_insert(0) += 1;
+            rep.entry(d).or_insert(r);
+        }
+        let mut removals: Vec<(u64, usize)> = Vec::new();
+        let mut inserts: Vec<(&Rule, usize)> = Vec::new();
+        for (&d, &n) in &new_counts {
+            let old = state.counts.get(&d).copied().unwrap_or(0);
+            if n > old {
+                inserts.push((rep[&d], n - old));
+            } else if old > n {
+                removals.push((d, old - n));
+            }
+        }
+        for (&d, &n) in &state.counts {
+            if !new_counts.contains_key(&d) {
+                removals.push((d, n));
+            }
+        }
+        let delta: usize = removals.iter().map(|&(_, n)| n).sum::<usize>()
+            + inserts.iter().map(|&(_, n)| n).sum::<usize>();
+        if 2 * delta > rules.len().max(state.inc.rule_count()) {
+            let order = self.order.clone().unwrap_or_else(VarOrder::empty);
+            state.inc = Self::on_deep_stack(|| IncrementalBdd::from_rules(rules, &order));
+        } else if delta > 0 {
+            let inc = &mut state.inc;
+            Self::on_deep_stack(move || {
+                for (d, n) in removals {
+                    for _ in 0..n {
+                        let removed = inc.remove_by_digest(d);
+                        debug_assert!(removed, "digest accounted in counts must be live");
+                    }
+                }
+                for (r, n) in inserts {
+                    for _ in 0..n {
+                        inc.insert_rule(r);
+                    }
+                }
+            });
+        }
+        state.counts = new_counts;
+        self.finish(state, start)
     }
 }
 
@@ -233,6 +382,63 @@ mod tests {
         let rules = parse_rules("a == 1: fwd(1)\n").unwrap();
         let c = Compiler::new().compile(&rules).unwrap();
         assert!(c.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn incremental_compile_tracks_full_compile_through_churn() {
+        use camus_lang::parser::parse_rule;
+        let compiler = Compiler::new().with_order(VarOrder::from_keys(["id", "price"]));
+        let mut rules: Vec<_> = (0..24)
+            .map(|i| parse_rule(&format!("id == {i}: fwd({})", i % 4 + 1)).unwrap())
+            .collect();
+        let (_, mut state) = compiler.compile_incremental_seed(&rules).unwrap();
+
+        let check = |compiled: &Compiled, rules: &[camus_lang::ast::Rule]| {
+            let full = compiler.compile(rules).unwrap();
+            for id in -1..30i64 {
+                for price in [0i64, 10, 100] {
+                    let lookup = |op: &camus_lang::ast::Operand| match op.field_name() {
+                        "id" => Some(Value::Int(id)),
+                        "price" => Some(Value::Int(price)),
+                        _ => None,
+                    };
+                    assert_eq!(
+                        compiled.pipeline.evaluate(lookup),
+                        full.pipeline.evaluate(lookup),
+                        "id={id} price={price}"
+                    );
+                }
+            }
+        };
+
+        // Small delta: the replay path.
+        rules.drain(0..3);
+        rules.push(parse_rule("id == 100 and price > 7: fwd(3)").unwrap());
+        rules.push(parse_rule("price > 50: fwd(2)").unwrap());
+        let c = compiler.compile_incremental(&mut state, &rules).unwrap();
+        check(&c, &rules);
+        assert_eq!(state.rule_count(), rules.len());
+
+        // Duplicate rules: multiset accounting, not set accounting.
+        rules.push(parse_rule("price > 50: fwd(2)").unwrap());
+        let c = compiler.compile_incremental(&mut state, &rules).unwrap();
+        check(&c, &rules);
+        assert_eq!(state.rule_count(), rules.len());
+        rules.pop();
+        let c = compiler.compile_incremental(&mut state, &rules).unwrap();
+        check(&c, &rules);
+
+        // Large delta: the scratch-rebuild fallback.
+        rules = (50..80)
+            .map(|i| parse_rule(&format!("id == {i}: fwd({})", i % 3 + 1)).unwrap())
+            .collect();
+        let c = compiler.compile_incremental(&mut state, &rules).unwrap();
+        check(&c, &rules);
+        assert_eq!(state.rule_count(), rules.len());
+
+        // No-op epoch: zero delta still yields a valid pipeline.
+        let c = compiler.compile_incremental(&mut state, &rules).unwrap();
+        check(&c, &rules);
     }
 
     #[test]

@@ -29,13 +29,13 @@ use crate::multicast::MulticastAllocator;
 use crate::pipeline::{
     LeafTable, MatchKind, MatchSpec, Pipeline, StageTable, StateId, TableEntry, STATE_INIT,
 };
-use camus_bdd::{Bdd, NodeRef, PredId};
+use camus_bdd::{Bdd, NodeRef};
 #[cfg(test)]
 use camus_lang::ast::Rule;
 use camus_lang::ast::{Action, Rel};
 use camus_lang::sets::{IntSet, StrSet};
 use camus_lang::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Errors from table generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,10 +126,14 @@ pub fn bdd_to_pipeline(bdd: &Bdd, mcast: &mut MulticastAllocator) -> Result<Pipe
     let group = |id: u32| bdd.group_of(bdd.node(id).var);
 
     // In nodes per component: the root (if internal) plus targets of
-    // cross-component edges. Terminals always get states.
+    // cross-component edges. Terminals always get states. A membership
+    // set sidesteps the quadratic `Vec::contains` scan on components
+    // with many In nodes (wide exact-match bands).
     let mut in_nodes: HashMap<u32, Vec<u32>> = HashMap::new(); // group -> node ids
+    let mut in_seen: HashSet<u32> = HashSet::new();
     if let NodeRef::Node(rid) = root {
         in_nodes.entry(group(rid)).or_default().push(rid);
+        in_seen.insert(rid);
     }
     for &nid in &reachable {
         let n = bdd.node(nid);
@@ -137,9 +141,8 @@ pub fn bdd_to_pipeline(bdd: &Bdd, mcast: &mut MulticastAllocator) -> Result<Pipe
             match child {
                 NodeRef::Node(c) if group(c) != group(nid) => {
                     assign(child, &mut states, &mut next_state);
-                    let v = in_nodes.entry(group(c)).or_default();
-                    if !v.contains(&c) {
-                        v.push(c);
+                    if in_seen.insert(c) {
+                        in_nodes.entry(group(c)).or_default().push(c);
                     }
                 }
                 NodeRef::Term(_) => {
@@ -151,8 +154,16 @@ pub fn bdd_to_pipeline(bdd: &Bdd, mcast: &mut MulticastAllocator) -> Result<Pipe
     }
 
     // ---- per-component tables ---------------------------------------------
+    // Stages must execute in *band level* order (a state transition can
+    // only jump forward in the pipeline). Group ids are append-only and
+    // not necessarily level-ordered once incremental maintenance has
+    // spliced a new field group into the variable order, so sort by the
+    // groups' level ranges.
+    let mut group_order: Vec<usize> = (0..bdd.field_groups().len()).collect();
+    group_order.sort_unstable_by_key(|&g| bdd.field_groups()[g].1.start);
     let mut stages = Vec::new();
-    for (gid, (operand, pred_range)) in bdd.field_groups().iter().enumerate() {
+    for gid in group_order {
+        let (operand, pred_range) = &bdd.field_groups()[gid];
         let Some(ins) = in_nodes.get(&(gid as u32)) else {
             continue; // no reachable node tests this field
         };
@@ -249,11 +260,12 @@ pub fn bdd_to_pipeline(bdd: &Bdd, mcast: &mut MulticastAllocator) -> Result<Pipe
 }
 
 /// Decide the match kind of a stage from its predicate population
-/// (§V-E: exact matches go to SRAM whenever possible).
-fn stage_kind(bdd: &Bdd, preds: std::ops::Range<u32>) -> MatchKind {
+/// (§V-E: exact matches go to SRAM whenever possible). The range is a
+/// *level* range — predicate ids are resolved through the level table.
+fn stage_kind(bdd: &Bdd, levels: std::ops::Range<u32>) -> MatchKind {
     let mut kind = MatchKind::Exact;
-    for pid in preds {
-        let p = bdd.pred(PredId(pid));
+    for level in levels {
+        let p = bdd.pred(bdd.pred_at_level(level));
         match (&p.constant, p.rel) {
             (Value::Int(_), Rel::Eq | Rel::Ne) => {}
             (Value::Int(_), _) => return MatchKind::Range,

@@ -18,7 +18,10 @@ use camus_core::statics::StaticPipeline;
 use camus_dataplane::{InstallError, Switch, SwitchConfig};
 use camus_lang::ast::{Action, Expr, Port};
 use camus_routing::algorithm1::{route_hierarchical_degraded, RoutingConfig, RoutingResult};
-use camus_routing::compile::{compile_network, compile_network_incremental, NetworkCompile};
+use camus_routing::compile::{
+    compile_network, compile_network_incremental, compile_network_incremental_delta, DeltaCache,
+    NetworkCompile,
+};
 use camus_routing::topology::{FaultMask, HierNet};
 use camus_telemetry::{DeployTrace, SwitchSpan};
 use std::collections::{BTreeSet, HashMap};
@@ -622,6 +625,57 @@ impl Controller {
         compile_network_incremental(routing, &self.compiler(), previous)
     }
 
+    /// [`compile_routing`](Self::compile_routing) with *delta
+    /// maintenance*: switches that miss the fingerprint cache are not
+    /// recompiled from scratch but have their per-switch BDD updated
+    /// in place through `cache`, in time proportional to the rule-list
+    /// delta. The cache only affects cost, never the produced
+    /// pipelines (the controller's compiler pins the spec's variable
+    /// order, so delta-maintained and scratch-built diagrams reduce to
+    /// the same tables). Callers own the cache and carry it across
+    /// reconfigurations; a fresh cache degenerates to seeding every
+    /// representative.
+    pub fn compile_routing_delta(
+        &self,
+        routing: &RoutingResult,
+        previous: Option<&NetworkCompile>,
+        cache: &mut DeltaCache,
+    ) -> Result<NetworkCompile, CompileError> {
+        compile_network_incremental_delta(routing, &self.compiler(), previous, cache)
+    }
+
+    /// [`repair`](Self::repair) with delta-maintained per-switch BDDs:
+    /// route, delta-compile through `cache`, install. Error semantics
+    /// match [`repair_with`](Self::repair_with); on error the cache may
+    /// have advanced (it is a pure cost cache, so that is harmless).
+    pub fn repair_delta_with(
+        &self,
+        deployment: &mut Deployment,
+        subs: &[Vec<Expr>],
+        cache: &mut DeltaCache,
+        channel: &mut dyn ControlChannel,
+    ) -> Result<RepairStats, DeployError> {
+        let start = Instant::now();
+        let mask = deployment.network.fault_mask().clone();
+        let routing = self.plan_routing(&deployment.network.topology, subs, &mask);
+        let route_ns = start.elapsed().as_nanos() as u64;
+        let compile = self.compile_routing_delta(&routing, Some(&deployment.compile), cache)?;
+        self.install(deployment, routing, compile, route_ns, channel)
+    }
+
+    /// [`reconfigure`](Self::reconfigure) with delta-maintained
+    /// per-switch BDDs. At large subscription counts this is the fast
+    /// path: a small churn touches each dirty switch's diagram in time
+    /// proportional to the delta instead of rebuilding it.
+    pub fn reconfigure_delta(
+        &self,
+        deployment: &mut Deployment,
+        subs: &[Vec<Expr>],
+        cache: &mut DeltaCache,
+    ) -> Result<Duration, DeployError> {
+        Ok(self.repair_delta_with(deployment, subs, cache, &mut PerfectChannel)?.compile_elapsed)
+    }
+
     /// Stage three: install a precomputed `(routing, compile)` pair
     /// into a live deployment over `channel`, reinstalling exactly the
     /// switches whose pipeline differs from what is *actually
@@ -883,6 +937,58 @@ mod tests {
         d.network.publish(0, msft, 0);
         d.network.run(None);
         assert_eq!(d.network.deliveries(host).len(), 1);
+    }
+
+    #[test]
+    fn reconfigure_delta_matches_fresh_deploy_through_churn() {
+        // Drive a deployment through a sequence of subscription changes
+        // with the delta-maintained compile path and check after every
+        // round that the installed pipelines are exactly what a fresh
+        // deploy of the same subscriptions installs — same fingerprints
+        // and same table sizes (the controller pins the spec's variable
+        // order, so delta-maintained diagrams reduce identically).
+        let net = paper_fat_tree();
+        let ctrl = controller(Policy::MemoryReduction);
+        let rounds: Vec<Vec<Vec<Expr>>> = vec![
+            subs(&net, |h| if h % 2 == 0 { vec!["price > 10"] } else { vec![] }),
+            subs(&net, |h| match h {
+                5 => vec!["stock == MSFT", "price > 10"],
+                h if h % 2 == 0 => vec!["price > 10"],
+                _ => vec![],
+            }),
+            subs(&net, |h| match h {
+                5 => vec!["stock == MSFT"],
+                15 => vec!["stock == GOOGL"],
+                h if h % 2 == 0 => vec!["price > 10"],
+                _ => vec![],
+            }),
+            subs(&net, |h| if h == 15 { vec!["stock == GOOGL"] } else { vec![] }),
+        ];
+
+        let mut cache = DeltaCache::new();
+        let mut d = ctrl.deploy(net.clone(), &rounds[0]).unwrap();
+        let mut delta_hits = 0;
+        for round in &rounds[1..] {
+            ctrl.reconfigure_delta(&mut d, round, &mut cache).unwrap();
+            delta_hits += d.compile.reused;
+            let oracle = ctrl.deploy(net.clone(), round).unwrap();
+            for (got, want) in d.compile.switches.iter().zip(oracle.compile.switches.iter()) {
+                assert_eq!(got.fingerprint, want.fingerprint, "switch {}", got.switch);
+                assert_eq!(
+                    got.compiled.report.total_entries, want.compiled.report.total_entries,
+                    "switch {}: delta-maintained tables must match scratch",
+                    got.switch
+                );
+            }
+        }
+        assert!(delta_hits > 0, "churn this local must reuse off-path switches");
+        assert!(!cache.is_empty(), "live fingerprints stay cached across rounds");
+
+        // The delta-reconfigured network forwards like a fresh deploy.
+        d.network.publish(0, googl_packet(10), 0);
+        d.network.run(None);
+        assert_eq!(d.network.deliveries(15).len(), 1);
+        assert_eq!(d.network.all_deliveries().count(), 1);
     }
 
     #[test]

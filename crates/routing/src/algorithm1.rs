@@ -60,17 +60,42 @@ impl RoutingConfig {
 }
 
 /// An ordered, deduplicated filter set (one `F_p^s`).
+///
+/// Each member's stable structural hash is computed **once**, on
+/// insertion, and folded into a commutative per-set accumulator — so a
+/// whole set fingerprints in `O(1)` and a switch in `O(ports)`
+/// ([`RoutingResult::switch_fingerprint`]) instead of re-hashing every
+/// filter of every switch on every reconfiguration.
 #[derive(Debug, Clone, Default)]
 pub struct FilterSet {
     filters: Vec<Expr>,
-    seen: HashSet<Expr>,
+    /// Member → memoised stable hash (also the dedup index).
+    seen: HashMap<Expr, u64>,
+    /// Wrapping sum of `mix64(hash)` over the members.
+    acc: u64,
 }
 
 impl FilterSet {
     pub fn insert(&mut self, f: Expr) {
-        if self.seen.insert(f.clone()) {
-            self.filters.push(f);
+        if !self.seen.contains_key(&f) {
+            let h = crate::compile::stable_expr_hash(&f);
+            self.insert_new(f, h);
         }
+    }
+
+    /// Insert a filter whose stable hash the caller already knows
+    /// (aggregation re-inserts the same `Expr` at every tree level;
+    /// carrying the hash up avoids re-walking the expression).
+    fn insert_hashed(&mut self, f: &Expr, h: u64) {
+        if !self.seen.contains_key(f) {
+            self.insert_new(f.clone(), h);
+        }
+    }
+
+    fn insert_new(&mut self, f: Expr, h: u64) {
+        self.seen.insert(f.clone(), h);
+        self.acc = self.acc.wrapping_add(crate::compile::mix64(h));
+        self.filters.push(f);
     }
 
     pub fn extend<'a, I: IntoIterator<Item = &'a Expr>>(&mut self, it: I) {
@@ -81,6 +106,16 @@ impl FilterSet {
 
     pub fn filters(&self) -> &[Expr] {
         &self.filters
+    }
+
+    /// Members with their memoised stable hashes.
+    fn hashed_filters(&self) -> impl Iterator<Item = (&Expr, u64)> {
+        self.filters.iter().map(|f| (f, self.seen[f]))
+    }
+
+    /// The commutative fingerprint accumulator over the members.
+    pub(crate) fn fingerprint_acc(&self) -> u64 {
+        self.acc
     }
 
     pub fn len(&self) -> usize {
@@ -116,18 +151,38 @@ impl RoutingResult {
         ports.sort_unstable();
         let mut out = Vec::new();
         for &port in ports {
-            let mut filters: Vec<&Expr> = self.filters[s][&port].filters().iter().collect();
-            filters.sort_by_cached_key(|f| {
-                use std::hash::{Hash, Hasher};
-                let mut h = crate::compile::Fnv1a(crate::compile::Fnv1a::OFFSET);
-                f.hash(&mut h);
-                h.finish()
-            });
-            for f in filters {
+            let mut filters: Vec<(&Expr, u64)> = self.filters[s][&port].hashed_filters().collect();
+            filters.sort_unstable_by_key(|&(_, h)| h);
+            for (f, _) in filters {
                 out.push(Rule { filter: f.clone(), action: Action::Forward(vec![port]) });
             }
         }
         out
+    }
+
+    /// Stable fingerprint of the switch's canonical rule list, computed
+    /// from the per-port accumulators in `O(ports)` — identical to
+    /// [`crate::compile::fingerprint_rules`] over
+    /// [`RoutingResult::switch_rules`] without materialising (or
+    /// re-hashing) the list.
+    pub fn switch_fingerprint(&self, s: SwitchId) -> u64 {
+        use crate::compile::Fnv1a;
+        use std::hash::{Hash, Hasher};
+        let mut ports: Vec<&Port> = self.filters[s].keys().collect();
+        ports.sort_unstable();
+        let mut h = Fnv1a(Fnv1a::OFFSET);
+        let total: usize = ports.iter().map(|p| self.filters[s][p].len()).sum();
+        total.hash(&mut h);
+        for &port in ports {
+            let set = &self.filters[s][&port];
+            if set.is_empty() {
+                continue; // emits no rules, so no run either
+            }
+            Action::Forward(vec![port]).hash(&mut h);
+            set.len().hash(&mut h);
+            h.write(&set.fingerprint_acc().to_le_bytes());
+        }
+        h.finish()
     }
 
     /// Number of filters stored by switch `s` (all ports).
@@ -195,13 +250,13 @@ pub fn route_hierarchical_degraded(
         if !mask.switch_alive(src) {
             continue;
         }
-        let mut union: Vec<Expr> = Vec::new();
+        let mut union: Vec<(Expr, u64)> = Vec::new();
         let mut seen = HashSet::new();
         for port in 0..net.switches[src].down.len() {
             if let Some(set) = filters[src].get(&(port as Port)) {
-                for f in set.filters() {
+                for (f, h) in set.hashed_filters() {
                     if seen.insert(f.clone()) {
-                        union.push(f.clone());
+                        union.push((f.clone(), h));
                     }
                 }
             }
@@ -226,8 +281,14 @@ pub fn route_hierarchical_degraded(
         };
         for (dst, q) in parents {
             let entry = filters[dst].entry(q).or_default();
-            for f in &union {
-                entry.insert(widen(f));
+            for (f, h) in &union {
+                // Widening rewrites the expression (new hash); the
+                // exact path re-inserts the same `Expr`, so its
+                // memoised hash rides along.
+                match &approx {
+                    Some(_) => entry.insert(widen(f)),
+                    None => entry.insert_hashed(f, *h),
+                }
             }
         }
     }

@@ -24,7 +24,7 @@
 use crate::algorithm1::RoutingResult;
 use crate::par::UnitPanic;
 use crate::topology::HierNet;
-use camus_core::compiler::{CompileError, Compiled, Compiler};
+use camus_core::compiler::{CompileError, CompileState, Compiled, Compiler};
 use camus_lang::ast::Rule;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -144,15 +144,55 @@ impl Hasher for Fnv1a {
     }
 }
 
+/// splitmix64 finaliser: decorrelates the per-filter FNV hashes before
+/// they enter a commutative (wrapping-sum) combination, so sets whose
+/// raw hashes are related (e.g. filters differing in one trailing byte)
+/// still produce well-separated fingerprints.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Stable structural hash of one filter expression (FNV-1a — identical
+/// across runs and processes, unlike `DefaultHasher`).
+pub(crate) fn stable_expr_hash(f: &camus_lang::ast::Expr) -> u64 {
+    let mut h = Fnv1a(Fnv1a::OFFSET);
+    f.hash(&mut h);
+    h.finish()
+}
+
 /// Stable fingerprint of a switch's canonical rule list (the order
-/// [`RoutingResult::switch_rules`] emits: port-sorted, insertion-ordered
+/// [`RoutingResult::switch_rules`] emits: port-sorted, hash-ordered
 /// within a port). Equal fingerprints ⇒ the compiler would produce an
 /// identical pipeline, so the previous artefact can be reused.
+///
+/// The fingerprint is *run-based*: the list is split into runs of equal
+/// action (= one port of one filter set), each run contributing its
+/// action, its length, and a commutative combination of its filters'
+/// memoisable hashes. Within-run order therefore does not matter —
+/// deliberately, so [`RoutingResult::switch_fingerprint`] can fold
+/// per-port accumulators maintained at filter-insertion time and skip
+/// materialising (and re-hashing) the rule list entirely: `O(ports)`
+/// per switch instead of `O(rules)`, which is what keeps the
+/// fingerprint stage affordable at 10⁶ subscriptions. Run order still
+/// matters, so permuting ports changes the fingerprint.
 pub fn fingerprint_rules(rules: &[Rule]) -> u64 {
     let mut h = Fnv1a(Fnv1a::OFFSET);
     rules.len().hash(&mut h);
-    for rule in rules {
-        rule.hash(&mut h);
+    let mut i = 0;
+    while i < rules.len() {
+        let start = i;
+        let action = &rules[start].action;
+        let mut acc = 0u64;
+        while i < rules.len() && rules[i].action == *action {
+            acc = acc.wrapping_add(mix64(stable_expr_hash(&rules[i].filter)));
+            i += 1;
+        }
+        action.hash(&mut h);
+        (i - start).hash(&mut h);
+        h.write(&acc.to_le_bytes());
     }
     h.finish()
 }
@@ -226,15 +266,12 @@ pub fn compile_network_incremental(
     let n = result.filters.len();
     let previous = previous.filter(|p| p.switches.len() == n);
 
-    // Stage 1 (parallel): canonical rules + fingerprint per switch.
-    let mut fingerprinted = Vec::with_capacity(n);
-    for outcome in run_parallel(n, |s| {
-        let rules = result.switch_rules(s);
-        let fingerprint = fingerprint_rules(&rules);
-        Ok((rules, fingerprint))
-    }) {
-        fingerprinted.push(outcome?);
-    }
+    // Stage 1: fingerprint every switch from the per-port accumulators
+    // maintained by Algorithm 1 — `O(ports)` per switch, no rule list
+    // is materialised or re-hashed. At 10⁶ subscriptions this stage
+    // used to dominate a no-op reconfiguration; now only switches that
+    // actually recompile pay to build their rule lists (stage 3).
+    let fingerprints: Vec<u64> = (0..n).map(|s| result.switch_fingerprint(s)).collect();
 
     // Stage 2: resolve each switch against the previous run's cache,
     // and elect one representative per distinct uncached fingerprint.
@@ -243,7 +280,7 @@ pub fn compile_network_incremental(
         .unwrap_or_default();
     let mut rep_for_fp: HashMap<u64, usize> = HashMap::new();
     let mut representatives: Vec<usize> = Vec::new();
-    for (s, (_, fp)) in fingerprinted.iter().enumerate() {
+    for (s, fp) in fingerprints.iter().enumerate() {
         if !prev_by_fp.contains_key(fp) && !rep_for_fp.contains_key(fp) {
             rep_for_fp.insert(*fp, s);
             representatives.push(s);
@@ -256,7 +293,7 @@ pub fn compile_network_incremental(
     for (i, outcome) in run_parallel(representatives.len(), |i| {
         let s = representatives[i];
         let t0 = Instant::now();
-        let compiled = compiler.compile(&fingerprinted[s].0)?;
+        let compiled = compiler.compile(&result.switch_rules(s))?;
         Ok((Arc::new(compiled), t0.elapsed()))
     })
     .into_iter()
@@ -270,12 +307,12 @@ pub fn compile_network_incremental(
             }
             Err(e) => return Err(e),
         };
-        fresh.insert(fingerprinted[representatives[i]].1, (compiled, took));
+        fresh.insert(fingerprints[representatives[i]], (compiled, took));
     }
 
     // Stage 4: assemble per-switch outcomes.
     let mut switches = Vec::with_capacity(n);
-    for (s, (_, fp)) in fingerprinted.iter().enumerate() {
+    for (s, fp) in fingerprints.iter().enumerate() {
         let sc = if let Some(prev) = prev_by_fp.get(fp) {
             SwitchCompile {
                 switch: s,
@@ -300,6 +337,132 @@ pub fn compile_network_incremental(
         };
         switches.push(sc);
     }
+    let reused = switches.iter().filter(|s| s.reused).count();
+    Ok(NetworkCompile {
+        recompiled: n - reused,
+        reused,
+        distinct_compiles: representatives.len(),
+        switches,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Live incremental-compile states, content-addressed by rule-list
+/// fingerprint. A state is **moved** from its old fingerprint to its
+/// new one as a switch's rule list transitions, so one maintained
+/// diagram follows each distinct rule list through churn and the cache
+/// never holds more states than there are distinct lists in the
+/// current epoch (stale fingerprints are pruned after every run).
+#[derive(Debug, Default)]
+pub struct DeltaCache {
+    states: HashMap<u64, CompileState>,
+}
+
+impl DeltaCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live maintained diagrams.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// [`compile_network_incremental`], with **delta recompilation** for
+/// the switches that do change: instead of rebuilding a changed
+/// switch's BDD from scratch, the maintained diagram that compiled its
+/// *previous* rule list is taken from `cache` (keyed by the slot's old
+/// fingerprint) and only the rule delta is replayed on it
+/// ([`Compiler::compile_incremental`]). Fingerprint hits still reuse
+/// the previous artefact outright; only cache misses with no previous
+/// state pay a cold build.
+///
+/// Representatives compile sequentially — the delta path is
+/// maintenance-bound (`O(delta)` per switch), not build-bound, so the
+/// parallel fan-out of the scratch path buys nothing here.
+///
+/// Pin a variable order on `compiler` (e.g. via a static spec) for
+/// deterministic table sizes: with an unpinned order a maintained
+/// diagram keeps the field order of its construction history, so its
+/// pipelines — while always semantically equivalent — can differ
+/// structurally from what a scratch compile of the same rules picks.
+pub fn compile_network_incremental_delta(
+    result: &RoutingResult,
+    compiler: &Compiler,
+    previous: Option<&NetworkCompile>,
+    cache: &mut DeltaCache,
+) -> Result<NetworkCompile, CompileError> {
+    let start = Instant::now();
+    let n = result.filters.len();
+    let previous = previous.filter(|p| p.switches.len() == n);
+
+    let fingerprints: Vec<u64> = (0..n).map(|s| result.switch_fingerprint(s)).collect();
+
+    let prev_by_fp: HashMap<u64, &SwitchCompile> = previous
+        .map(|p| p.switches.iter().map(|sc| (sc.fingerprint, sc)).collect())
+        .unwrap_or_default();
+    let mut rep_for_fp: HashMap<u64, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    for (s, fp) in fingerprints.iter().enumerate() {
+        if !prev_by_fp.contains_key(fp) && !rep_for_fp.contains_key(fp) {
+            rep_for_fp.insert(*fp, s);
+            representatives.push(s);
+        }
+    }
+
+    let mut fresh: HashMap<u64, (Arc<Compiled>, Duration)> =
+        HashMap::with_capacity(representatives.len());
+    for &s in &representatives {
+        let t0 = Instant::now();
+        let rules = result.switch_rules(s);
+        let new_fp = fingerprints[s];
+        // The state that compiled this slot's previous rule list is the
+        // best delta base; it moves to the new fingerprint.
+        let old_fp = previous.and_then(|p| p.switches.get(s)).map(|sc| sc.fingerprint);
+        let taken = old_fp.and_then(|fp| cache.states.remove(&fp));
+        let (compiled, state) = match taken {
+            Some(mut state) => (compiler.compile_incremental(&mut state, &rules)?, state),
+            None => compiler.compile_incremental_seed(&rules)?,
+        };
+        cache.states.entry(new_fp).or_insert(state);
+        fresh.insert(new_fp, (Arc::new(compiled), t0.elapsed()));
+    }
+
+    let mut switches = Vec::with_capacity(n);
+    for (s, fp) in fingerprints.iter().enumerate() {
+        let sc = if let Some(prev) = prev_by_fp.get(fp) {
+            SwitchCompile {
+                switch: s,
+                entries: prev.entries,
+                elapsed: Duration::ZERO,
+                fingerprint: *fp,
+                reused: true,
+                compiled: Arc::clone(&prev.compiled),
+            }
+        } else {
+            let (compiled, took) = &fresh[fp];
+            SwitchCompile {
+                switch: s,
+                entries: compiled.pipeline.total_entries(),
+                elapsed: if rep_for_fp[fp] == s { *took } else { Duration::ZERO },
+                fingerprint: *fp,
+                reused: false,
+                compiled: Arc::clone(compiled),
+            }
+        };
+        switches.push(sc);
+    }
+
+    // Keep only states whose fingerprint is live in this epoch: churn
+    // must not accumulate diagrams for rule lists no one holds anymore.
+    let live: std::collections::HashSet<u64> = fingerprints.iter().copied().collect();
+    cache.states.retain(|fp, _| live.contains(fp));
+
     let reused = switches.iter().filter(|s| s.reused).count();
     Ok(NetworkCompile {
         recompiled: n - reused,
@@ -400,13 +563,118 @@ mod tests {
         let a = vec![parse_rule_list("price > 5", 1), parse_rule_list("id == 2", 2)];
         let b = vec![parse_rule_list("price > 5", 1), parse_rule_list("id == 2", 2)];
         assert_eq!(fingerprint_rules(&a), fingerprint_rules(&b));
+        // Swapping across runs (different actions) changes the run
+        // order and therefore the fingerprint.
         let swapped = vec![b[1].clone(), b[0].clone()];
         assert_ne!(fingerprint_rules(&a), fingerprint_rules(&swapped));
         assert_ne!(fingerprint_rules(&a), fingerprint_rules(&a[..1]));
     }
 
+    #[test]
+    fn fingerprint_is_run_based() {
+        // Within one action run the combination is commutative: the
+        // canonical list is hash-sorted within a port anyway, so
+        // within-run order carries no information — which is what lets
+        // `switch_fingerprint` fold per-port accumulators in O(ports).
+        let a = vec![parse_rule_list("price > 5", 1), parse_rule_list("id == 2", 1)];
+        let b = vec![parse_rule_list("id == 2", 1), parse_rule_list("price > 5", 1)];
+        assert_eq!(fingerprint_rules(&a), fingerprint_rules(&b));
+        // Splitting the run with another action is a different list.
+        let split = vec![
+            parse_rule_list("price > 5", 1),
+            parse_rule_list("volume > 0", 2),
+            parse_rule_list("id == 2", 1),
+        ];
+        let joined = vec![
+            parse_rule_list("price > 5", 1),
+            parse_rule_list("id == 2", 1),
+            parse_rule_list("volume > 0", 2),
+        ];
+        assert_ne!(fingerprint_rules(&split), fingerprint_rules(&joined));
+        // Multiplicity matters within a run.
+        let doubled = vec![a[0].clone(), a[0].clone()];
+        assert_ne!(fingerprint_rules(&a), fingerprint_rules(&doubled));
+    }
+
+    #[test]
+    fn switch_fingerprint_matches_materialised_rule_list() {
+        // The O(ports) accumulator fold must equal a recomputation over
+        // the materialised canonical rule list — for both policies,
+        // with and without α-widening, and under faults.
+        let net = paper_fat_tree();
+        let hosts = subs(net.host_count());
+        for policy in [Policy::MemoryReduction, Policy::TrafficReduction] {
+            for alpha in [1, 100] {
+                let cfg = RoutingConfig::new(policy).with_alpha(alpha);
+                let r = route_hierarchical(&net, &hosts, cfg);
+                for s in 0..net.switch_count() {
+                    assert_eq!(
+                        r.switch_fingerprint(s),
+                        fingerprint_rules(&r.switch_rules(s)),
+                        "{policy:?} alpha={alpha} switch {s}"
+                    );
+                }
+            }
+        }
+        let mut mask = crate::topology::FaultMask::new();
+        mask.fail_switch(8);
+        let r = crate::algorithm1::route_hierarchical_degraded(
+            &net,
+            &hosts,
+            RoutingConfig::new(Policy::TrafficReduction),
+            &mask,
+        );
+        for s in 0..net.switch_count() {
+            assert_eq!(
+                r.switch_fingerprint(s),
+                fingerprint_rules(&r.switch_rules(s)),
+                "degraded switch {s}"
+            );
+        }
+    }
+
     fn parse_rule_list(filter: &str, port: u16) -> Rule {
         Rule::fwd(parse_expr(filter).unwrap(), port)
+    }
+
+    #[test]
+    fn delta_compile_matches_scratch_through_churn() {
+        let net = paper_fat_tree();
+        // MR keeps up sets constant (`true`), so single-host churn only
+        // dirties the distribution path — the regime where delta
+        // recompilation and fingerprint reuse both matter. The variable
+        // order is pinned (as a production controller's static spec
+        // does): under a pinned order a delta-maintained diagram is
+        // structurally identical to a scratch build, so entry counts
+        // must agree exactly.
+        let cfg = RoutingConfig::new(Policy::MemoryReduction);
+        let compiler = Compiler::new().with_order(camus_core::VarOrder::from_keys(["id", "price"]));
+        let mut cache = DeltaCache::new();
+        let mut hosts = subs(net.host_count());
+
+        let r0 = route_hierarchical(&net, &hosts, cfg);
+        let mut prev = compile_network_incremental_delta(&r0, &compiler, None, &mut cache).unwrap();
+        assert!(!cache.is_empty());
+
+        for round in 0..4 {
+            // Churn one host per round.
+            let h = (round * 5) % hosts.len();
+            hosts[h] = vec![parse_expr(&format!("price > {}", 1000 + round)).unwrap()];
+            let r = route_hierarchical(&net, &hosts, cfg);
+            let delta =
+                compile_network_incremental_delta(&r, &compiler, Some(&prev), &mut cache).unwrap();
+            let scratch = compile_network(&r, &compiler).unwrap();
+            assert!(delta.reused > 0, "round {round}: unchanged switches must be reused");
+            for (a, b) in delta.switches.iter().zip(&scratch.switches) {
+                assert_eq!(a.fingerprint, b.fingerprint, "round {round} switch {}", a.switch);
+                assert_eq!(a.entries, b.entries, "round {round} switch {}", a.switch);
+            }
+            // The cache tracks live rule lists only.
+            let distinct: std::collections::HashSet<u64> =
+                delta.switches.iter().map(|sc| sc.fingerprint).collect();
+            assert!(cache.len() <= distinct.len(), "cache leaks stale states");
+            prev = delta;
+        }
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub struct ServiceStats {
     pub compiles: u64,
     pub noops: u64,
     pub cancelled_ops: u64,
+    /// Live delta-maintained per-switch BDD states at shutdown (one
+    /// per distinct rule-list fingerprint in the last compile).
+    pub delta_states: usize,
     pub committed_txns: u64,
     pub rejected_txns: u64,
     pub out_of_order: u64,
@@ -284,6 +287,7 @@ impl CamusService {
             compiles: compile.compiles,
             noops: compile.noops,
             cancelled_ops: compile.cancelled_ops,
+            delta_states: compile.delta_states(),
             committed_txns: deploy.committed_txns,
             rejected_txns: deploy.rejected_txns,
             out_of_order: intake.out_of_order,
@@ -384,6 +388,67 @@ mod tests {
         d.network.publish(0, pkt, t);
         d.network.run(None);
         assert!(d.network.deliveries(15).iter().any(|dl| dl.published_ns == t));
+    }
+
+    #[test]
+    fn delta_compiled_service_matches_fresh_deploy_under_random_churn() {
+        // Drive the live service through several windows of random
+        // subscribe/unsubscribe churn. The compile stage maintains
+        // per-switch BDDs incrementally through its delta cache; the
+        // final deployment must still be pipeline-identical (same
+        // fingerprints, same table sizes) to a cold deploy of the
+        // target state — the delta path may only change cost.
+        let (mut svc, hosts) = start(ServiceConfig::default());
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let filters =
+            ["price > 10", "price > 50", "stock == GOOGL", "stock == MSFT", "shares >= 5"];
+        let mut target: Vec<Vec<Expr>> = vec![Vec::new(); hosts];
+        let mut t = 1_000u64;
+        for _ in 0..4 {
+            for _ in 0..12 {
+                let h = (rng() % hosts as u64) as usize;
+                let filt = f(filters[(rng() % filters.len() as u64) as usize]);
+                let held = target[h].iter().position(|e| *e == filt);
+                match held {
+                    Some(pos) if rng() % 2 == 0 => {
+                        target[h].remove(pos);
+                        svc.unsubscribe(h, filt, t);
+                    }
+                    _ => {
+                        target[h].push(filt.clone());
+                        svc.subscribe(h, filt, t);
+                    }
+                }
+                t += 500;
+            }
+            // Close the window so each round is its own transaction
+            // (or several) and the delta cache is exercised per round.
+            svc.drain();
+            t += 10_000_000;
+        }
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.rejected_requests.is_empty(), "{:?}", out.rejected_requests);
+        assert_eq!(out.subs, target);
+        assert!(out.stats.compiles > 1, "churn this size must compile repeatedly");
+        assert!(out.stats.delta_states > 0, "live BDD states must survive shutdown");
+
+        let fresh = controller().deploy(paper_fat_tree(), &target).unwrap();
+        for (got, want) in out.deployment.compile.switches.iter().zip(fresh.compile.switches.iter())
+        {
+            assert_eq!(got.fingerprint, want.fingerprint, "switch {}", got.switch);
+            assert_eq!(
+                got.compiled.report.total_entries, want.compiled.report.total_entries,
+                "switch {}: delta-maintained tables must match a cold deploy",
+                got.switch
+            );
+        }
     }
 
     #[test]

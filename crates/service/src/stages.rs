@@ -43,7 +43,7 @@ use camus_lang::value::Value;
 use camus_net::controller::{Controller, DeployError, Deployment};
 use camus_net::{Clock, ControlChannel};
 use camus_routing::algorithm1::RoutingResult;
-use camus_routing::compile::NetworkCompile;
+use camus_routing::compile::{DeltaCache, NetworkCompile};
 use camus_routing::topology::{FaultMask, HierNet};
 use camus_telemetry::{Gauge, Histogram, RequestSpan};
 use std::collections::HashMap;
@@ -90,6 +90,11 @@ pub struct RouteCompileService {
     /// The subscription state behind `prev_compile`; churn distance
     /// against it detects net-zero batches.
     prev_subs: Vec<Vec<Expr>>,
+    /// Live per-switch BDD states keyed by rule-list fingerprint:
+    /// switches that miss the fingerprint cache are delta-maintained
+    /// from their previous diagram instead of recompiled from scratch.
+    /// Pure cost cache — produced pipelines are identical either way.
+    delta: DeltaCache,
     /// The compile executor's modelled timeline.
     clock: Clock,
     /// In serialized (naive-baseline) mode, the deploy stage feeds
@@ -147,6 +152,7 @@ impl RouteCompileService {
             mask,
             prev_compile: deployed_compile,
             prev_subs: deployed_subs,
+            delta: DeltaCache::new(),
             clock: Clock::new(),
             serialize,
             outstanding: 0,
@@ -157,6 +163,12 @@ impl RouteCompileService {
             noops: 0,
             cancelled_ops: 0,
         }
+    }
+
+    /// Live delta-maintained BDD states, one per distinct rule-list
+    /// fingerprint in the last produced compile.
+    pub fn delta_states(&self) -> usize {
+        self.delta.len()
     }
 }
 
@@ -234,7 +246,7 @@ impl Service for RouteCompileService {
             let route_ns = wall.elapsed().as_nanos() as u64;
             let compile = self
                 .ctrl
-                .compile_routing(&routing, Some(&self.prev_compile))
+                .compile_routing_delta(&routing, Some(&self.prev_compile), &mut self.delta)
                 .map_err(|e| ServiceError::from(CompileStageError::from(e)))?;
             // Fold the measured wall time into the modelled timeline.
             let compiled_ns = self.clock.advance(wall.elapsed().as_nanos() as u64);
