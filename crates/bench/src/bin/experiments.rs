@@ -34,6 +34,7 @@ const IDS: &[&str] = &[
     "chaos",
     "throughput",
     "telemetry",
+    "recovery",
 ];
 
 fn run_one(id: &str, scale: Scale) -> bool {
@@ -54,6 +55,7 @@ fn run_one(id: &str, scale: Scale) -> bool {
         "chaos" => !experiments::chaos::run(scale).is_empty(),
         "throughput" => !experiments::throughput::run(scale).is_empty(),
         "telemetry" => !experiments::telemetry::run(scale).is_empty(),
+        "recovery" => !experiments::recovery::run(scale).is_empty(),
         _ => return false,
     };
     eprintln!("[{id}] done in {:.1?}\n", t0.elapsed());

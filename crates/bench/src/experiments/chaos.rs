@@ -4,8 +4,11 @@
 //! Runs [`camus_faults::run_chaos`] on the 72-switch churn fat tree
 //! carrying N Siena subscriptions: every step draws one chaos operation
 //! (subscription churn, link cut/splice, switch crash/restore, channel
-//! loss re-dial, control partition), attempts a two-phase repair over
-//! the lossy channel, then audits a witness-probe burst. The harness
+//! loss re-dial, control partition, controller crash/restart), attempts
+//! a two-phase repair over the lossy channel — or, with the controller
+//! dead, rides out the outage until the schedule restarts it and
+//! WAL-ledger reconciliation recovers — then audits a witness-probe
+//! burst. The harness
 //! itself panics on any invariant violation (mis-delivery, duplicate,
 //! missed delivery after a committed repair, unbounded blackout,
 //! failure to converge once healed), so a row in the CSV *is* a
@@ -109,7 +112,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         // the experiment self-checking even if the harness relaxes.
         assert_eq!(s.misdelivered, 0, "step {}: mis-delivery", s.step);
         assert_eq!(s.duplicated, 0, "step {}: duplicate", s.step);
-        if s.outcome != "rolled-back" {
+        if s.outcome != "rolled-back" && s.outcome != "controller-down" {
             assert_eq!(s.missed, 0, "step {}: committed repair must deliver", s.step);
         }
         // Telemetry detection: every missed delivery surfaces as a
@@ -146,7 +149,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "steps",
             "committed",
             "rolled_back",
+            "crashes",
+            "recoveries",
+            "down_steps",
             "max_rollback_streak",
+            "max_outage_streak",
             "max_dark_streak",
             "final_delivered",
             "converged",
@@ -158,7 +165,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         cfg.steps.to_string(),
         r.committed_steps.to_string(),
         r.rolled_back_steps.to_string(),
+        r.crashes.to_string(),
+        r.recoveries.to_string(),
+        r.down_steps.to_string(),
         r.max_rollback_streak.to_string(),
+        r.max_outage_streak.to_string(),
         r.max_dark_streak.to_string(),
         r.final_delivered.to_string(),
         r.converged.to_string(),
@@ -177,9 +188,11 @@ mod tests {
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 10);
         let outcomes: Vec<&str> = tables[0].rows.iter().map(|r| r[2].as_str()).collect();
-        assert!(outcomes.iter().all(|o| ["committed", "rolled-back", "noop"].contains(o)));
+        assert!(outcomes.iter().all(|o| {
+            ["committed", "rolled-back", "noop", "controller-down", "recovered"].contains(o)
+        }));
         // Summary row says the soak converged.
-        assert_eq!(tables[1].rows[0][7], "true");
+        assert_eq!(tables[1].rows[0][11], "true");
     }
 
     #[test]

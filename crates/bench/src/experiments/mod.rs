@@ -12,6 +12,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig8;
 pub mod fig9;
+pub mod recovery;
 pub mod scale;
 pub mod service;
 pub mod tab1;

@@ -39,7 +39,7 @@ use camus_workloads::siena::{SienaConfig, SienaGenerator};
 
 /// Same workload shape as the `churn` experiment (Zipf-skewed anchor
 /// universe), so the two tentpoles measure the same churn.
-fn generator(seed: u64) -> SienaGenerator {
+pub(super) fn generator(seed: u64) -> SienaGenerator {
     SienaGenerator::new(SienaConfig {
         predicates_per_filter: 2,
         n_attributes: 3,

@@ -213,8 +213,13 @@ pub struct Switch {
     /// The live forwarding program.
     program: Program,
     /// Shadow-side program staged by [`stage`](Self::stage), awaiting
-    /// commit. Never touches the data path.
-    staged: Option<Program>,
+    /// commit, tagged with the install transaction's epoch so a
+    /// recovering controller can tell *which* transaction left it
+    /// behind. Never touches the data path.
+    staged: Option<(u64, Program)>,
+    /// Epoch of the last commit that has not been finalised or
+    /// reverted — the other half of the reconciliation handshake.
+    committed_epoch: Option<u64>,
     /// The program displaced by the last commit, retained until
     /// [`finalize_install`](Self::finalize_install) so a network-wide
     /// transaction can still revert this switch.
@@ -270,6 +275,7 @@ impl Switch {
             parser,
             program,
             staged: None,
+            committed_epoch: None,
             retired: None,
             widths,
             scratch: EvalScratch::default(),
@@ -293,12 +299,24 @@ impl Switch {
     }
 
     /// Phase one of an install: validate `pipeline` against the
-    /// resource budget and build it shadow-side. Forwarding is
+    /// resource budget and build it shadow-side under transaction
+    /// epoch 0 (library callers that never recover). Forwarding is
     /// untouched; on rejection nothing is staged and the previous
     /// staged program (if any) is kept.
     pub fn stage(&mut self, pipeline: Pipeline) -> Result<ResourceReport, InstallError> {
+        self.stage_epoch(pipeline, 0)
+    }
+
+    /// Phase one with an explicit transaction epoch. The epoch rides
+    /// with the shadow program so [`staged_epoch`](Self::staged_epoch)
+    /// can answer a recovering controller's "what did I leave here?".
+    pub fn stage_epoch(
+        &mut self,
+        pipeline: Pipeline,
+        epoch: u64,
+    ) -> Result<ResourceReport, InstallError> {
         let report = self.admit(&pipeline)?;
-        self.staged = Some(Program::build(self.parser.spec(), pipeline));
+        self.staged = Some((epoch, Program::build(self.parser.spec(), pipeline)));
         Ok(report)
     }
 
@@ -308,9 +326,10 @@ impl Switch {
     /// Returns `false` (a no-op) when nothing is staged.
     pub fn commit_staged(&mut self) -> bool {
         match self.staged.take() {
-            Some(p) => {
+            Some((epoch, p)) => {
                 self.scratch.reset(p.compiled.slots().len());
                 self.retired = Some(std::mem::replace(&mut self.program, p));
+                self.committed_epoch = Some(epoch);
                 true
             }
             None => false,
@@ -324,6 +343,7 @@ impl Switch {
             Some(p) => {
                 self.scratch.reset(p.compiled.slots().len());
                 self.program = p;
+                self.committed_epoch = None;
                 true
             }
             None => false,
@@ -339,11 +359,25 @@ impl Switch {
     /// Make the last commit permanent by dropping the retired program.
     pub fn finalize_install(&mut self) {
         self.retired = None;
+        self.committed_epoch = None;
     }
 
     /// Whether a shadow program is currently staged.
     pub fn has_staged(&self) -> bool {
         self.staged.is_some()
+    }
+
+    /// Epoch of the staged-but-uncommitted program, if any — what a
+    /// recovering controller interrogates to decide commit vs. abort.
+    pub fn staged_epoch(&self) -> Option<u64> {
+        self.staged.as_ref().map(|(e, _)| *e)
+    }
+
+    /// Epoch of a committed-but-unfinalised install, if any. A
+    /// recovering controller finalises these when the commit decision
+    /// was logged, and reverts them otherwise.
+    pub fn unfinalized_epoch(&self) -> Option<u64> {
+        self.committed_epoch
     }
 
     /// Admission-checked atomic install (dynamic reconfiguration,

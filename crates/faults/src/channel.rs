@@ -31,10 +31,17 @@ pub struct LossyChannel {
     pub fail_pct: u8,
     /// Switches currently unreachable (ordered for determinism).
     pub partitioned: BTreeSet<SwitchId>,
+    /// Armed controller crash: the process dies after this many more
+    /// ops leave it (`Some(0)` = dead now). While dead, every attempt
+    /// answers [`ChannelOutcome::ControllerCrashed`] until
+    /// [`revive`](Self::revive).
+    pub crash_after: Option<u64>,
     /// Ops attempted / dropped / nacked, for reporting.
     pub ops: u64,
     pub dropped: u64,
     pub nacked: u64,
+    /// Attempts refused because the controller was dead.
+    pub crashed_ops: u64,
 }
 
 impl LossyChannel {
@@ -44,9 +51,11 @@ impl LossyChannel {
             drop_pct: 0,
             fail_pct: 0,
             partitioned: BTreeSet::new(),
+            crash_after: None,
             ops: 0,
             dropped: 0,
             nacked: 0,
+            crashed_ops: 0,
         }
     }
 
@@ -68,8 +77,22 @@ impl LossyChannel {
             FaultKind::ControlPartition { switch, healed: true } => {
                 self.partitioned.remove(&switch)
             }
+            FaultKind::ControllerCrash { after_ops } => {
+                self.crash_after = Some(after_ops);
+                true
+            }
             _ => false,
         }
+    }
+
+    /// A fresh controller process took over: attempts flow again.
+    pub fn revive(&mut self) {
+        self.crash_after = None;
+    }
+
+    /// Whether the controller process is currently dead.
+    pub fn is_crashed(&self) -> bool {
+        self.crash_after == Some(0)
     }
 
     /// Restore a perfect channel: no loss, no partitions.
@@ -87,6 +110,16 @@ impl LossyChannel {
 
 impl ControlChannel for LossyChannel {
     fn attempt(&mut self, switch: usize, _op: ControlOp, _attempt: u32) -> ChannelOutcome {
+        // The armed crash counts down in ops actually sent; once it
+        // hits zero the "process" is dead and nothing further leaves
+        // it (no RNG draw — a dead process consumes no entropy).
+        if let Some(n) = &mut self.crash_after {
+            if *n == 0 {
+                self.crashed_ops += 1;
+                return ChannelOutcome::ControllerCrashed;
+            }
+            *n -= 1;
+        }
         self.ops += 1;
         if self.partitioned.contains(&switch) {
             self.dropped += 1;
@@ -153,6 +186,23 @@ mod tests {
         let mut ch = LossyChannel::new(3);
         assert!(!ch.apply(FaultKind::LinkDown { switch: 0, port: 0 }));
         assert!(!ch.is_lossy());
+    }
+
+    #[test]
+    fn armed_crash_counts_down_then_kills_everything() {
+        let mut ch = LossyChannel::new(9);
+        assert!(ch.apply(FaultKind::ControllerCrash { after_ops: 2 }));
+        assert!(!ch.is_crashed());
+        assert_eq!(ch.attempt(0, ControlOp::Stage, 1), ChannelOutcome::Delivered);
+        assert_eq!(ch.attempt(1, ControlOp::Stage, 1), ChannelOutcome::Delivered);
+        // Third op: the process is dead, and stays dead.
+        assert_eq!(ch.attempt(2, ControlOp::Commit, 1), ChannelOutcome::ControllerCrashed);
+        assert!(ch.is_crashed());
+        assert_eq!(ch.attempt(3, ControlOp::Commit, 2), ChannelOutcome::ControllerCrashed);
+        assert_eq!(ch.crashed_ops, 2);
+        assert_eq!(ch.ops, 2, "dead ops never leave the process");
+        ch.revive();
+        assert_eq!(ch.attempt(3, ControlOp::Commit, 1), ChannelOutcome::Delivered);
     }
 
     #[test]

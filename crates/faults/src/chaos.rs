@@ -13,12 +13,25 @@
 //! * **committed ⇒ delivered** — after a successful (committed) repair
 //!   every attached matching host receives every probe;
 //! * **bounded blackout** — a host can only stay dark while repairs
-//!   are rolling back, so the longest dark streak is bounded by the
-//!   longest rollback streak;
+//!   are rolling back *or the controller is down*, so the longest dark
+//!   streak is bounded by the longest such outage streak;
 //! * **eventual convergence** — once faults are restored and the
 //!   channel heals, one repair converges the network to exactly what a
 //!   fresh deploy would install (per-switch fingerprints and installed
 //!   pipelines).
+//!
+//! The schedule can also **kill the controller** mid-transaction
+//! ([`FaultKind::ControllerCrash`] arms the channel to die after N
+//! more ops — mid-compile, mid-stage, or mid-commit depending on N).
+//! A crashed transaction is abandoned with *no rollback*: staged
+//! shadow programs stay on the switches, and a crash after the commit
+//! point leaves the fleet half-old half-new. While the controller is
+//! down the audit checks deliveries against the *union* of the old
+//! deployed state and the in-doubt transaction's target (either is
+//! legitimate; anything else is a leak). [`FaultKind::ControllerRestart`]
+//! brings a fresh controller up over the recorded commit decisions:
+//! staged epochs are reconciled presumed-abort, divergent switches are
+//! reinstalled, and the recovered step must deliver in full.
 //!
 //! The harness asserts the invariants inline (a violation is a test
 //! failure, not a data point) and returns a per-step report whose
@@ -32,7 +45,8 @@ use camus_dataplane::Packet;
 use camus_lang::ast::Port;
 use camus_lang::ast::{Expr, Operand};
 use camus_lang::value::Value;
-use camus_net::controller::Controller;
+use camus_net::controller::{Controller, Deployment};
+use camus_net::{ChannelOutcome, ControlChannel, ControlOp, ReconcileStats};
 use camus_routing::topology::{HierNet, HostId, SwitchId};
 use camus_telemetry::{PostcardId, SampleRate};
 use rand::rngs::StdRng;
@@ -52,6 +66,11 @@ pub struct ChaosConfig {
     /// per-step dark/blackhole audit is sourced from the telemetry
     /// collector and cross-checked against the delivery logs.
     pub sample: SampleRate,
+    /// Controller outage bound: after this many consecutive
+    /// controller-down steps the next step restarts it (the operator's
+    /// pager), whatever the schedule would otherwise draw. The RNG's
+    /// restart arm can still fire earlier.
+    pub restart_within: usize,
 }
 
 impl Default for ChaosConfig {
@@ -62,6 +81,7 @@ impl Default for ChaosConfig {
             probes_per_step: 3,
             probe_interval_ns: 20_000,
             sample: SampleRate::DISABLED,
+            restart_within: 4,
         }
     }
 }
@@ -73,7 +93,9 @@ pub struct ChaosStep {
     pub step: usize,
     /// What the step did (fault label, `churn`, `drop-pct=30`, ...).
     pub label: String,
-    /// `committed`, `rolled-back`, or `noop` (nothing to reinstall).
+    /// `committed`, `rolled-back`, `noop` (nothing to reinstall),
+    /// `controller-down` (process dead, no repair ran or it died
+    /// mid-flight), or `recovered` (restart + reconcile + reinstall).
     pub outcome: &'static str,
     /// Control-channel attempts / retries of the repair transaction.
     pub attempts: u32,
@@ -107,14 +129,78 @@ pub struct ChaosReport {
     pub steps: Vec<ChaosStep>,
     pub committed_steps: usize,
     pub rolled_back_steps: usize,
+    /// Steps spent with the controller process dead.
+    pub down_steps: usize,
+    /// Controller crashes injected / recoveries performed.
+    pub crashes: usize,
+    pub recoveries: usize,
     /// Longest run of consecutive rolled-back repairs.
     pub max_rollback_streak: usize,
+    /// Longest run of consecutive steps with no committed repair
+    /// (rolled back or controller down) — the blackout bound.
+    pub max_outage_streak: usize,
     /// Longest run of consecutive steps any single host stayed dark.
     pub max_dark_streak: usize,
     /// Deliveries of the post-heal final probe burst.
     pub final_delivered: usize,
     /// The healed network matched a fresh deploy switch-for-switch.
     pub converged: bool,
+}
+
+/// Channel wrapper that records every commit decision at the commit
+/// point — the soak's stand-in for the service's durable WAL (same
+/// hook, same presumed-abort contract).
+struct DecisionLog<'a> {
+    inner: &'a mut LossyChannel,
+    decisions: &'a mut BTreeSet<u64>,
+}
+
+impl ControlChannel for DecisionLog<'_> {
+    fn attempt(&mut self, switch: usize, op: ControlOp, attempt: u32) -> ChannelOutcome {
+        self.inner.attempt(switch, op, attempt)
+    }
+
+    fn commit_point(&mut self, epoch: u64) {
+        self.decisions.insert(epoch);
+        self.inner.commit_point(epoch);
+    }
+}
+
+/// Bring a dead (or about-to-die) controller back: revive the
+/// channel, reconcile every switch's staged epoch against the logged
+/// commit decisions (presumed abort), and reinstall whatever diverges
+/// from a fresh compile of the target state. Recovery runs over the
+/// management path — the chaos dials are lifted for its transaction
+/// and restored afterwards — so it always commits, the way an
+/// operator-driven restart does.
+fn recover_controller(
+    ctrl: &Controller,
+    d: Deployment,
+    subs: &[Vec<Expr>],
+    channel: &mut LossyChannel,
+    decisions: &mut BTreeSet<u64>,
+) -> (Deployment, ReconcileStats) {
+    let dials = (channel.drop_pct, channel.fail_pct, std::mem::take(&mut channel.partitioned));
+    channel.revive();
+    channel.heal_all();
+    // The dead controller's memory is gone: the next epoch comes from
+    // the durable decision log alone.
+    let next_epoch = decisions.iter().max().map_or(1, |m| m + 1);
+    let committed = decisions.clone();
+    let (nd, stats) = ctrl
+        .recover_deployment(
+            d.network,
+            subs,
+            &committed,
+            next_epoch,
+            None,
+            &mut DecisionLog { inner: channel, decisions },
+        )
+        .expect("recovery over the management channel must commit");
+    channel.drop_pct = dials.0;
+    channel.fail_pct = dials.1;
+    channel.partitioned = dials.2;
+    (nd, stats)
 }
 
 /// The scripted inputs of a run (the randomness lives in the config
@@ -176,13 +262,38 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
     let mut steps = Vec::new();
     let mut rollback_streak = 0usize;
     let mut max_rollback_streak = 0usize;
+    let mut outage_streak = 0usize;
+    let mut max_outage_streak = 0usize;
     let mut dark_streak: BTreeMap<HostId, usize> = BTreeMap::new();
     let mut max_dark_streak = 0usize;
     let (mut committed_steps, mut rolled_back_steps) = (0usize, 0usize);
+    let (mut down_steps, mut crashes, mut recoveries) = (0usize, 0usize, 0usize);
+    // Consecutive controller-down steps; bounded by the restart pager.
+    let mut down_streak = 0usize;
+    // The durable commit ledger: epoch 1 is the initial deploy. A
+    // recovering controller knows *only* what is in here.
+    let mut decisions: BTreeSet<u64> = BTreeSet::new();
+    decisions.insert(1);
+    // Target of a transaction the controller died inside of after its
+    // commit point: deliveries may reflect it, the old state, or any
+    // per-switch mix until recovery reconciles.
+    let mut in_doubt: Option<Vec<Vec<Expr>>> = None;
 
     for step in 0..cfg.steps {
         // --- 1. one chaos operation ---
-        let label: String = match rng.gen_range(0..100u32) {
+        // A restart step repairs inside the op itself; it sets this to
+        // skip the normal lossy-channel repair below.
+        let mut step_override: Option<(&'static str, usize)> = None;
+        // The RNG always advances (keeps the schedule seed-stable);
+        // past the outage bound the draw is overridden into the
+        // restart arm.
+        let roll = rng.gen_range(0..100u32);
+        let roll = if channel.crash_after.is_some() && down_streak >= cfg.restart_within {
+            99
+        } else {
+            roll
+        };
+        let label: String = match roll {
             0..40 => {
                 let host = {
                     let mut h = rng.gen_range(0..net.host_count());
@@ -200,7 +311,7 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
                     format!("churn-sub h{host}")
                 }
             }
-            40..55 => {
+            40..54 => {
                 if !broken_links.is_empty() && (broken_links.len() >= 2 || rng.gen_bool(0.5)) {
                     let (s, p) = broken_links.swap_remove(rng.gen_range(0..broken_links.len()));
                     apply_fault(&mut d.network, FaultKind::LinkUp { switch: s, port: p });
@@ -216,7 +327,7 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
                     }
                 }
             }
-            55..65 => match dead_switch.take() {
+            54..63 => match dead_switch.take() {
                 Some(s) => {
                     apply_fault(&mut d.network, FaultKind::SwitchRestore { switch: s });
                     format!("switch-restore {s}")
@@ -228,17 +339,17 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
                     format!("switch-crash {s}")
                 }
             },
-            65..80 => {
+            63..74 => {
                 let pct = [0u8, 10, 30, 60][rng.gen_range(0..4usize)];
                 channel.apply(FaultKind::InstallDrop { pct });
                 format!("drop-pct={pct}")
             }
-            80..90 => {
+            74..83 => {
                 let pct = [0u8, 10, 30, 60][rng.gen_range(0..4usize)];
                 channel.apply(FaultKind::InstallFail { pct });
                 format!("fail-pct={pct}")
             }
-            _ => {
+            83..91 => {
                 if channel.partitioned.is_empty() {
                     let s = rng.gen_range(0..net.switch_count());
                     channel.apply(FaultKind::ControlPartition { switch: s, healed: false });
@@ -249,33 +360,98 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
                     format!("control-heal {s}")
                 }
             }
+            _ => {
+                if channel.crash_after.is_some() {
+                    // Restart: a fresh controller replays the decision
+                    // ledger and reconciles the fleet.
+                    let (nd, rstats) =
+                        recover_controller(ctrl, d, &subs, &mut channel, &mut decisions);
+                    d = nd;
+                    deployed_subs = subs.clone();
+                    in_doubt = None;
+                    recoveries += 1;
+                    step_override = Some(("recovered", rstats.reinstalled));
+                    format!(
+                        "controller-restart rf={} ab={} fin={} rev={}",
+                        rstats.rolled_forward, rstats.aborted, rstats.finalized, rstats.reverted
+                    )
+                } else {
+                    // Arm the crash N ops out so it lands mid-stage or
+                    // mid-commit of whichever repair runs next.
+                    let after_ops = [0u64, 1, 2, 3, 5, 8, 13, 21][rng.gen_range(0..8usize)];
+                    channel.apply(FaultKind::ControllerCrash { after_ops });
+                    crashes += 1;
+                    format!("controller-crash after={after_ops}")
+                }
+            }
         };
 
         // --- 2. repair over the lossy channel ---
-        let repaired = ctrl.repair_with(&mut d, &subs, &mut channel);
-        let (outcome, attempts, retries, reinstalled) = match &repaired {
-            Ok(stats) => {
-                deployed_subs = subs.clone();
-                let r = &d.report;
-                let oc = if stats.reinstalled == 0 { "noop" } else { "committed" };
-                (oc, r.total_attempts(), r.total_retries(), stats.reinstalled)
-            }
-            Err(e) => {
-                let r = match e {
-                    camus_net::DeployError::Admission { report, .. }
-                    | camus_net::DeployError::Channel { report, .. } => report.clone(),
-                    camus_net::DeployError::Compile(c) => panic!("chaos compile failed: {c}"),
-                };
-                ("rolled-back", r.total_attempts(), r.total_retries(), 0)
+        let (outcome, attempts, retries, reinstalled) = if let Some((oc, ri)) = step_override {
+            (oc, 0, 0, ri)
+        } else if channel.is_crashed() {
+            // No controller process: nothing even attempts a repair.
+            // Forwarding keeps running on whatever is installed.
+            ("controller-down", 0, 0, 0)
+        } else {
+            let mut logged = DecisionLog { inner: &mut channel, decisions: &mut decisions };
+            match ctrl.repair_with(&mut d, &subs, &mut logged) {
+                Ok(stats) => {
+                    deployed_subs = subs.clone();
+                    in_doubt = None;
+                    let r = &d.report;
+                    let oc = if stats.reinstalled == 0 { "noop" } else { "committed" };
+                    (oc, r.total_attempts(), r.total_retries(), stats.reinstalled)
+                }
+                Err(camus_net::DeployError::Crashed { report, .. }) => {
+                    // The armed crash fired mid-transaction. Past the
+                    // commit point some switches already run the new
+                    // program, so the target joins the audit's legit
+                    // set; before it, staged shadows never forward.
+                    if report.committed() > 0 {
+                        in_doubt = Some(subs.clone());
+                    }
+                    ("controller-down", report.total_attempts(), report.total_retries(), 0)
+                }
+                Err(e) => {
+                    let r = match &e {
+                        camus_net::DeployError::Admission { report, .. }
+                        | camus_net::DeployError::Channel { report, .. } => report.clone(),
+                        camus_net::DeployError::Compile(c) => panic!("chaos compile failed: {c}"),
+                        camus_net::DeployError::Crashed { .. } => unreachable!("matched above"),
+                    };
+                    ("rolled-back", r.total_attempts(), r.total_retries(), 0)
+                }
             }
         };
-        if outcome == "rolled-back" {
-            rolled_back_steps += 1;
-            rollback_streak += 1;
-            max_rollback_streak = max_rollback_streak.max(rollback_streak);
+        match outcome {
+            "rolled-back" => {
+                rolled_back_steps += 1;
+                rollback_streak += 1;
+                max_rollback_streak = max_rollback_streak.max(rollback_streak);
+            }
+            "controller-down" => {
+                down_steps += 1;
+                down_streak += 1;
+                rollback_streak = 0;
+            }
+            _ => {
+                committed_steps += 1;
+                rollback_streak = 0;
+            }
+        }
+        if outcome != "controller-down" {
+            down_streak = 0;
+        }
+        assert!(
+            down_streak <= cfg.restart_within + 1,
+            "controller outage ({down_streak} steps) exceeds the restart bound"
+        );
+        if outcome == "rolled-back" || outcome == "controller-down" {
+            outage_streak += 1;
+            max_outage_streak = max_outage_streak.max(outage_streak);
         } else {
-            committed_steps += 1;
-            rollback_streak = 0;
+            outage_streak = 0;
         }
 
         // --- 3. probe burst + audit ---
@@ -293,8 +469,19 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
         d.network.run(None);
 
         let mask = d.network.fault_mask().clone();
-        let matching = matching_hosts(&deployed_subs, &witness_values, publisher);
-        let expected_hosts: BTreeSet<HostId> = matching
+        let matching_deployed = matching_hosts(&deployed_subs, &witness_values, publisher);
+        // While a crashed transaction is in doubt, a host matching
+        // either the old deployed state or the half-committed target
+        // may legitimately hear the witness; anything outside the
+        // union is still a leak.
+        let matching: BTreeSet<HostId> = match &in_doubt {
+            Some(target) => matching_deployed
+                .union(&matching_hosts(target, &witness_values, publisher))
+                .copied()
+                .collect(),
+            None => matching_deployed.clone(),
+        };
+        let expected_hosts: BTreeSet<HostId> = matching_deployed
             .iter()
             .copied()
             .filter(|&h| d.network.topology.host_attached(h, &mask))
@@ -319,7 +506,7 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
         // delivers in full.
         assert_eq!(misdelivered, 0, "step {step} ({label}): witness leaked");
         assert_eq!(duplicated, 0, "step {step} ({label}): duplicate delivery");
-        if outcome != "rolled-back" {
+        if outcome != "rolled-back" && outcome != "controller-down" {
             assert_eq!(missed, 0, "step {step} ({label}): committed repair must deliver");
         }
 
@@ -414,13 +601,20 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
         });
     }
     // Blackout is bounded: a host only stays dark while repairs are
-    // rolling back.
+    // rolling back or the controller is down.
     assert!(
-        max_dark_streak <= max_rollback_streak.max(1),
-        "dark streak {max_dark_streak} exceeds rollback streak {max_rollback_streak}"
+        max_dark_streak <= max_outage_streak.max(1),
+        "dark streak {max_dark_streak} exceeds outage streak {max_outage_streak}"
     );
 
     // --- finale: heal everything, converge, audit equivalence ---
+    if channel.crash_after.is_some() {
+        // A crash still armed (or in force) at the end of the soak:
+        // recover before the convergence audit, like an operator would.
+        let (nd, _) = recover_controller(ctrl, d, &subs, &mut channel, &mut decisions);
+        d = nd;
+        recoveries += 1;
+    }
     for (s, p) in broken_links.drain(..) {
         apply_fault(&mut d.network, FaultKind::LinkUp { switch: s, port: p });
     }
@@ -428,7 +622,8 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
         apply_fault(&mut d.network, FaultKind::SwitchRestore { switch: s });
     }
     channel.heal_all();
-    ctrl.repair_with(&mut d, &subs, &mut channel).expect("healed repair must commit");
+    let mut logged = DecisionLog { inner: &mut channel, decisions: &mut decisions };
+    ctrl.repair_with(&mut d, &subs, &mut logged).expect("healed repair must commit");
     assert!(d.network.fault_mask().is_healthy());
 
     let fresh = ctrl.deploy(net.clone(), &subs).expect("fresh oracle deploy");
@@ -464,7 +659,11 @@ pub fn run_chaos(input: ChaosInput<'_>, cfg: &ChaosConfig) -> ChaosReport {
         steps,
         committed_steps,
         rolled_back_steps,
+        down_steps,
+        crashes,
+        recoveries,
         max_rollback_streak,
+        max_outage_streak,
         max_dark_streak,
         final_delivered,
         converged,
@@ -534,12 +733,36 @@ mod tests {
         assert_eq!(r.steps.len(), 16);
         assert!(r.converged);
         assert!(r.final_delivered > 0);
-        assert_eq!(r.committed_steps + r.rolled_back_steps, 16);
+        assert_eq!(r.committed_steps + r.rolled_back_steps + r.down_steps, 16);
         for s in &r.steps {
             assert_eq!(s.misdelivered, 0);
             assert_eq!(s.duplicated, 0);
             assert!(s.attempts >= s.retries);
         }
+    }
+
+    #[test]
+    fn crash_soaks_kill_recover_and_still_converge() {
+        // Longer soaks across seeds must actually exercise the
+        // controller-crash arm end to end: crashes fire, restarts
+        // reconcile, and every run still converges with a clean audit
+        // (the inline asserts in run_chaos are the real teeth here).
+        let (mut total_crashes, mut total_recoveries, mut total_down) = (0usize, 0usize, 0usize);
+        for seed in [0xC4A5u64, 0xD1E, 0xFEED] {
+            let (_, _, input) = setup();
+            let cfg = ChaosConfig { seed, steps: 40, probes_per_step: 2, ..Default::default() };
+            let r = run_chaos(input, &cfg);
+            assert!(r.converged);
+            assert!(r.final_delivered > 0);
+            assert_eq!(r.committed_steps + r.rolled_back_steps + r.down_steps, 40);
+            assert!(r.max_dark_streak <= r.max_outage_streak.max(1));
+            total_crashes += r.crashes;
+            total_recoveries += r.recoveries;
+            total_down += r.down_steps;
+        }
+        assert!(total_crashes > 0, "no controller crashes in 120 chaos steps");
+        assert!(total_recoveries > 0, "crashes never recovered");
+        assert!(total_down > 0, "controller never observed down");
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub enum FaultKind {
     /// or restored (`healed: true`). Data-plane forwarding is
     /// unaffected; the switch just can't be reprogrammed.
     ControlPartition { switch: SwitchId, healed: bool },
+    /// The *controller process* dies after `after_ops` further control
+    /// operations leave it (0 = before the next one). In-flight
+    /// transactions are abandoned without rollback — staged shadow
+    /// programs stay on the switches. Forwarding continues on whatever
+    /// is committed; only the control plane goes dark.
+    ControllerCrash { after_ops: u64 },
+    /// A fresh controller process starts: replay the WAL, reconcile
+    /// staged epochs, reinstall divergent switches.
+    ControllerRestart,
 }
 
 impl FaultKind {
@@ -49,6 +58,8 @@ impl FaultKind {
             FaultKind::InstallFail { .. } => "install-fail",
             FaultKind::ControlPartition { healed: false, .. } => "control-partition",
             FaultKind::ControlPartition { healed: true, .. } => "control-heal",
+            FaultKind::ControllerCrash { .. } => "controller-crash",
+            FaultKind::ControllerRestart => "controller-restart",
         }
     }
 
@@ -67,6 +78,7 @@ impl FaultKind {
             FaultKind::InstallDrop { .. }
                 | FaultKind::InstallFail { .. }
                 | FaultKind::ControlPartition { .. }
+                | FaultKind::ControllerCrash { .. }
         )
     }
 
@@ -101,6 +113,7 @@ impl FaultKind {
                 }
                 Ok(())
             }
+            FaultKind::ControllerCrash { .. } | FaultKind::ControllerRestart => Ok(()),
         }
     }
 }

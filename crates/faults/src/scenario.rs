@@ -83,7 +83,9 @@ pub fn apply_fault(network: &mut Network, kind: FaultKind) -> bool {
         FaultKind::ControlDelay { .. }
         | FaultKind::InstallDrop { .. }
         | FaultKind::InstallFail { .. }
-        | FaultKind::ControlPartition { .. } => false,
+        | FaultKind::ControlPartition { .. }
+        | FaultKind::ControllerCrash { .. }
+        | FaultKind::ControllerRestart => false,
     }
 }
 

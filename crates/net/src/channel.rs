@@ -39,6 +39,11 @@ pub enum ChannelOutcome {
     Dropped,
     /// The switch agent answered with a transient failure.
     Nacked,
+    /// The *controller* died before the operation left the process.
+    /// Nothing reached the switch, no retry is possible — the caller
+    /// must unwind as a dead coordinator (no rollback, no cleanup).
+    /// Only fault-injection channels ever return this.
+    ControllerCrashed,
 }
 
 /// The transport the deployment transaction sends every per-switch
@@ -46,6 +51,17 @@ pub enum ChannelOutcome {
 /// model first-try-only loss or flaky-until-retried behaviour.
 pub trait ControlChannel {
     fn attempt(&mut self, switch: usize, op: ControlOp, attempt: u32) -> ChannelOutcome;
+
+    /// Commit-point hook: called by the deployment transaction after
+    /// every switch admitted its staged program and *before* the first
+    /// commit op is sent. Durable channels append the commit decision
+    /// for `epoch` to a write-ahead log here, turning recovery into
+    /// presumed-abort two-phase commit: a staged epoch with a logged
+    /// decision rolls forward, one without rolls back. The default is
+    /// a no-op (volatile controllers log nothing).
+    fn commit_point(&mut self, epoch: u64) {
+        let _ = epoch;
+    }
 }
 
 /// The lossless default: every operation is delivered first try.
@@ -112,6 +128,10 @@ pub struct OpOutcome {
     pub landed: bool,
     pub attempts: u32,
     pub retries: u32,
+    /// The controller died mid-operation: the op never landed and no
+    /// further modelled time was charged (a dead process burns no
+    /// timeouts). Callers must abandon the transaction in place.
+    pub crashed: bool,
 }
 
 /// Drive one per-switch control operation through `channel` with the
@@ -128,7 +148,7 @@ pub fn timed_op(
     switch: usize,
     op: ControlOp,
 ) -> OpOutcome {
-    let mut out = OpOutcome { landed: false, attempts: 0, retries: 0 };
+    let mut out = OpOutcome { landed: false, attempts: 0, retries: 0, crashed: false };
     for attempt in 1..=retry.max_attempts {
         out.attempts += 1;
         if attempt > 1 {
@@ -146,6 +166,10 @@ pub fn timed_op(
             }
             ChannelOutcome::Nacked => {
                 clock.advance(retry.op_ns);
+            }
+            ChannelOutcome::ControllerCrashed => {
+                out.crashed = true;
+                break;
             }
         }
     }

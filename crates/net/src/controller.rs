@@ -61,6 +61,11 @@ pub struct Deployment {
     /// Per-phase span trace of the last successful deploy/repair
     /// transaction (route/compile wall-clock, stage/commit modelled).
     pub trace: DeployTrace,
+    /// Epoch the *next* install transaction will stage under. Epochs
+    /// tag shadow programs on switches (see [`Switch::stage_epoch`])
+    /// so a recovering controller can tell which transaction left
+    /// staged state behind and look its commit decision up in the log.
+    pub next_epoch: u64,
 }
 
 /// Why a deployment transaction failed. Any error leaves the previous
@@ -77,6 +82,12 @@ pub enum DeployError {
     /// A control-channel operation to the named switches exhausted its
     /// retries.
     Channel { failed: Vec<usize>, report: DeployReport },
+    /// The controller process died mid-transaction. Unlike every other
+    /// arm, **nothing was rolled back**: a dead coordinator cannot
+    /// clean up, so staged and committed-but-unfinalised programs are
+    /// left on the switches for recovery to reconcile (the ledger
+    /// records how far the transaction got).
+    Crashed { epoch: u64, report: DeployReport },
 }
 
 impl From<CompileError> for DeployError {
@@ -98,6 +109,9 @@ impl fmt::Display for DeployError {
             }
             DeployError::Channel { failed, .. } => {
                 write!(f, "control channel exhausted retries to switches {failed:?}")
+            }
+            DeployError::Crashed { epoch, .. } => {
+                write!(f, "controller crashed mid-transaction (epoch {epoch}); switches hold unreconciled state")
             }
         }
     }
@@ -145,13 +159,33 @@ impl fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
-/// Why a two-phase install transaction rolled back. The per-phase
-/// taxonomy the service's deploy stage consumes; callers of the batch
-/// API keep seeing it as [`DeployError`] through `From`.
+/// The controller died mid-transaction (fault injection). Nothing was
+/// rolled back; the ledger records exactly how far the two phases got
+/// so tests and the recovery arm can reason about the wreckage.
+#[derive(Debug)]
+pub struct CrashedError {
+    /// The epoch the transaction staged under.
+    pub epoch: u64,
+    pub report: DeployReport,
+}
+
+impl fmt::Display for CrashedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "controller crashed mid-transaction (epoch {})", self.epoch)
+    }
+}
+
+impl std::error::Error for CrashedError {}
+
+/// Why a two-phase install transaction rolled back (or, for
+/// [`Crashed`](Self::Crashed), could not). The per-phase taxonomy the
+/// service's deploy stage consumes; callers of the batch API keep
+/// seeing it as [`DeployError`] through `From`.
 #[derive(Debug)]
 pub enum TransactionError {
     Admission(AdmissionError),
     Channel(ChannelError),
+    Crashed(CrashedError),
 }
 
 impl TransactionError {
@@ -160,6 +194,7 @@ impl TransactionError {
         match self {
             TransactionError::Admission(e) => &e.report,
             TransactionError::Channel(e) => &e.report,
+            TransactionError::Crashed(e) => &e.report,
         }
     }
 }
@@ -169,6 +204,7 @@ impl fmt::Display for TransactionError {
         match self {
             TransactionError::Admission(e) => write!(f, "install transaction {e}"),
             TransactionError::Channel(e) => write!(f, "install transaction failed: {e}"),
+            TransactionError::Crashed(e) => write!(f, "install transaction abandoned: {e}"),
         }
     }
 }
@@ -178,7 +214,14 @@ impl std::error::Error for TransactionError {
         match self {
             TransactionError::Admission(e) => Some(e),
             TransactionError::Channel(e) => Some(e),
+            TransactionError::Crashed(e) => Some(e),
         }
+    }
+}
+
+impl From<CrashedError> for TransactionError {
+    fn from(e: CrashedError) -> Self {
+        TransactionError::Crashed(e)
     }
 }
 
@@ -202,6 +245,9 @@ impl From<TransactionError> for DeployError {
             }
             TransactionError::Channel(ChannelError { failed, report }) => {
                 DeployError::Channel { failed, report }
+            }
+            TransactionError::Crashed(CrashedError { epoch, report }) => {
+                DeployError::Crashed { epoch, report }
             }
         }
     }
@@ -362,13 +408,14 @@ impl Controller {
 
     /// Drive one per-switch control operation through the channel with
     /// retry + capped exponential backoff, accounting attempts and
-    /// modelled time into `entry`. Returns whether the op ever landed.
+    /// modelled time into `entry`. Returns the full outcome so callers
+    /// can distinguish an exhausted channel from a crashed controller.
     fn channel_op(
         &self,
         channel: &mut dyn ControlChannel,
         entry: &mut SwitchDeploy,
         op: ControlOp,
-    ) -> bool {
+    ) -> crate::channel::OpOutcome {
         // Each op runs on a fresh clock slice; the ledger accumulates.
         let mut clock = Clock::new();
         let out = timed_op(channel, &self.retry, &mut clock, entry.switch, op);
@@ -382,21 +429,26 @@ impl Controller {
             ControlOp::Stage => entry.stage_ns += spent,
             ControlOp::Commit => entry.commit_ns += spent,
         }
-        out.landed
+        out
     }
 
     /// The two-phase deployment transaction over `targets` (slot ids):
-    /// stage everything (admission happens at the switch), then commit
-    /// only if every stage landed and was admitted; any failure rolls
-    /// every touched switch back so forwarding is byte-identical to
-    /// before the call. Returns the ledger and the switches that fell
-    /// back to the coarse degraded pipeline.
+    /// stage everything under `epoch` (admission happens at the
+    /// switch), announce the commit decision through
+    /// [`ControlChannel::commit_point`], then commit only if every
+    /// stage landed and was admitted; any failure rolls every touched
+    /// switch back so forwarding is byte-identical to before the call —
+    /// except a controller crash ([`TransactionError::Crashed`]), which
+    /// leaves the wreckage in place for recovery to reconcile. Returns
+    /// the ledger and the switches that fell back to the coarse
+    /// degraded pipeline.
     fn apply_transaction(
         &self,
         network: &mut Network,
         compile: &NetworkCompile,
         routing: &RoutingResult,
         targets: &[usize],
+        epoch: u64,
         channel: &mut dyn ControlChannel,
     ) -> Result<(DeployReport, BTreeSet<usize>), TransactionError> {
         // The ledger is ordered by switch index regardless of how the
@@ -412,7 +464,18 @@ impl Controller {
         // Phase one: stage every target shadow-side.
         for (ti, &s) in targets.iter().enumerate() {
             let mut entry = SwitchDeploy::new(s);
-            if !self.channel_op(channel, &mut entry, ControlOp::Stage) {
+            let out = self.channel_op(channel, &mut entry, ControlOp::Stage);
+            if out.crashed {
+                // Dead coordinator: leave everything staged so far in
+                // place (recovery's presumed-abort rule cleans it up)
+                // and record the untouched tail for a complete ledger.
+                report.switches.push(entry);
+                for &rest in &targets[ti + 1..] {
+                    report.switches.push(SwitchDeploy::new(rest));
+                }
+                return Err(CrashedError { epoch, report }.into());
+            }
+            if !out.landed {
                 // Channel exhausted: abort the scan, roll back
                 // everything staged so far.
                 report.switches.push(entry);
@@ -430,7 +493,7 @@ impl Controller {
                 return Err(ChannelError { failed: vec![s], report }.into());
             }
             let pipeline = compile.switches[s].compiled.pipeline.clone();
-            match network.switches[s].stage(pipeline) {
+            match network.switches[s].stage_epoch(pipeline, epoch) {
                 Ok(_) => {
                     entry.verdict = AdmissionVerdict::Admitted;
                     entry.staged = true;
@@ -438,7 +501,9 @@ impl Controller {
                 Err(err) if self.degrade_over_budget => {
                     // Fall back to the coarse pipeline; admission of
                     // the fallback is still the switch's call.
-                    match network.switches[s].stage(coarse_pipeline(&routing.switch_rules(s))) {
+                    match network.switches[s]
+                        .stage_epoch(coarse_pipeline(&routing.switch_rules(s)), epoch)
+                    {
                         Ok(_) => {
                             entry.verdict = AdmissionVerdict::Degraded;
                             entry.staged = true;
@@ -471,11 +536,25 @@ impl Controller {
             return Err(AdmissionError { rejected, report }.into());
         }
 
+        // Commit point: every switch admitted its staged program, so
+        // the transaction *will* commit. A durable channel logs the
+        // decision for `epoch` here — before the first commit op — so
+        // recovery can roll a half-committed transaction forward
+        // (presumed abort: no logged decision ⇒ abort the epoch).
+        channel.commit_point(epoch);
+
         // Phase two: commit. A commit keeps the displaced program
         // retired until finalisation, so a late channel failure can
         // still revert the already-committed prefix.
         for i in 0..report.switches.len() {
-            if !self.channel_op(channel, &mut report.switches[i], ControlOp::Commit) {
+            let out = self.channel_op(channel, &mut report.switches[i], ControlOp::Commit);
+            if out.crashed {
+                // Dead coordinator past the commit point: the committed
+                // prefix and staged tail stay exactly as they are;
+                // recovery rolls the whole epoch forward.
+                return Err(CrashedError { epoch, report }.into());
+            }
+            if !out.landed {
                 let failed = report.switches[i].switch;
                 for e in &mut report.switches {
                     if e.committed {
@@ -546,9 +625,9 @@ impl Controller {
         network.apply_mask(mask);
         let targets: Vec<usize> = (0..compile.switches.len()).collect();
         let (report, degraded) =
-            self.apply_transaction(&mut network, &compile, &routing, &targets, channel)?;
+            self.apply_transaction(&mut network, &compile, &routing, &targets, 1, channel)?;
         let trace = build_trace(route_ns, &compile, &report);
-        Ok(Deployment { network, routing, compile, report, degraded, trace })
+        Ok(Deployment { network, routing, compile, report, degraded, trace, next_epoch: 2 })
     }
 
     /// Recompute and reinstall pipelines after a subscription change,
@@ -698,8 +777,19 @@ impl Controller {
         // switch's previous pipeline while its own installed one is
         // stale.
         let changed = compile.changed_since(&deployment.compile);
-        let (report, degraded) =
-            self.apply_transaction(&mut deployment.network, &compile, &routing, &changed, channel)?;
+        // Consume the epoch up front: even a crashed transaction used
+        // it (switches may hold state tagged with it), so the next
+        // attempt must stage under a fresh one.
+        let epoch = deployment.next_epoch;
+        deployment.next_epoch += 1;
+        let (report, degraded) = self.apply_transaction(
+            &mut deployment.network,
+            &compile,
+            &routing,
+            &changed,
+            epoch,
+            channel,
+        )?;
         let stats = RepairStats {
             elapsed: Duration::from_nanos(route_ns) + compile.elapsed + start.elapsed(),
             compile_elapsed: compile.elapsed,
@@ -720,6 +810,136 @@ impl Controller {
         deployment.report = report;
         Ok(stats)
     }
+
+    /// Reconcile every switch's staged / committed-but-unfinalised
+    /// state after a controller crash — the recovery arm of the
+    /// two-phase install. `committed_epochs` is the set of epochs whose
+    /// commit decision made it to the durable log; the rule is
+    /// presumed abort:
+    ///
+    /// * staged under a *logged* epoch → commit + finalise (the
+    ///   coordinator had decided to commit; finish its job),
+    /// * staged under an unlogged epoch → abort (the decision was
+    ///   never made, so the transaction never happened),
+    /// * committed-but-unfinalised under a logged epoch → finalise,
+    /// * committed-but-unfinalised under an unlogged epoch → revert
+    ///   (defensive: the protocol logs the decision before the first
+    ///   commit op, so this arm only fires on a corrupted log).
+    pub fn reconcile_staged(
+        &self,
+        network: &mut Network,
+        committed_epochs: &BTreeSet<u64>,
+    ) -> ReconcileStats {
+        let mut stats = ReconcileStats::default();
+        for sw in &mut network.switches {
+            if let Some(e) = sw.unfinalized_epoch() {
+                if committed_epochs.contains(&e) {
+                    sw.finalize_install();
+                    stats.finalized += 1;
+                } else {
+                    sw.revert_committed();
+                    stats.reverted += 1;
+                }
+            }
+            if let Some(e) = sw.staged_epoch() {
+                if committed_epochs.contains(&e) {
+                    sw.commit_staged();
+                    sw.finalize_install();
+                    stats.rolled_forward += 1;
+                } else {
+                    sw.abort_staged();
+                    stats.aborted += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Rebuild a [`Deployment`] around a surviving network after a
+    /// controller crash. The controller-side artefacts (routing,
+    /// compile state, ledger) died with the old process, so recovery
+    /// interrogates the switches instead:
+    ///
+    /// 1. [`reconcile_staged`](Self::reconcile_staged) settles every
+    ///    in-doubt install against the logged commit decisions,
+    /// 2. routing is re-planned from the durable subscription set and
+    ///    the network's *current* fault mask, and every pipeline is
+    ///    recompiled (through `cache` when the service carried one),
+    /// 3. exactly the switches whose installed pipeline differs from
+    ///    the recompiled intent are reinstalled through a normal
+    ///    two-phase transaction under `next_epoch`.
+    ///
+    /// The result is byte-identical to a fresh
+    /// [`deploy_degraded`](Self::deploy_degraded) of the same
+    /// subscriptions onto the same mask, but without disturbing
+    /// switches that already forward correctly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_deployment(
+        &self,
+        mut network: Network,
+        subs: &[Vec<Expr>],
+        committed_epochs: &BTreeSet<u64>,
+        next_epoch: u64,
+        cache: Option<&mut DeltaCache>,
+        channel: &mut dyn ControlChannel,
+    ) -> Result<(Deployment, ReconcileStats), DeployError> {
+        let mut stats = self.reconcile_staged(&mut network, committed_epochs);
+        let route_start = Instant::now();
+        let mask = network.fault_mask().clone();
+        let routing = self.plan_routing(&network.topology, subs, &mask);
+        let route_ns = route_start.elapsed().as_nanos() as u64;
+        let compile = match cache {
+            Some(c) => self.compile_routing_delta(&routing, None, c)?,
+            None => self.compile_routing(&routing, None)?,
+        };
+        // Interrogation-based diff: the old compile baseline is gone,
+        // so compare compiled intent against what each switch actually
+        // runs. Degraded switches always differ from their precise
+        // pipeline and re-degrade deterministically, so they converge
+        // too.
+        let targets: Vec<usize> = (0..compile.switches.len())
+            .filter(|&s| compile.switches[s].compiled.pipeline != *network.switches[s].pipeline())
+            .collect();
+        let (report, degraded) = self.apply_transaction(
+            &mut network,
+            &compile,
+            &routing,
+            &targets,
+            next_epoch,
+            channel,
+        )?;
+        stats.reinstalled = report.committed();
+        let trace = build_trace(route_ns, &compile, &report);
+        let deployment = Deployment {
+            network,
+            routing,
+            compile,
+            report,
+            degraded,
+            trace,
+            next_epoch: next_epoch + 1,
+        };
+        Ok((deployment, stats))
+    }
+}
+
+/// What [`Controller::reconcile_staged`] (and the surrounding
+/// [`Controller::recover_deployment`]) did to settle a crash's
+/// in-doubt state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileStats {
+    /// Staged programs committed because their epoch's decision was
+    /// logged.
+    pub rolled_forward: usize,
+    /// Staged programs aborted (no logged decision — presumed abort).
+    pub aborted: usize,
+    /// Committed-but-unfinalised installs finalised.
+    pub finalized: usize,
+    /// Committed-but-unfinalised installs reverted (unlogged epoch).
+    pub reverted: usize,
+    /// Switches reinstalled by the recovery transaction because their
+    /// running pipeline differed from the recompiled intent.
+    pub reinstalled: usize,
 }
 
 /// Render a transaction ledger as a per-phase span trace.
@@ -1407,6 +1627,7 @@ mod tests {
                 &d.compile,
                 &d.routing,
                 &shuffled,
+                2,
                 &mut PerfectChannel,
             )
             .unwrap();

@@ -24,7 +24,7 @@
 //!   how the compile stage merges a backlog of churn batches into one
 //!   transaction when it falls behind.
 
-use camus_telemetry::{Gauge, Histogram, MetricsRegistry};
+use camus_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
@@ -38,6 +38,11 @@ pub enum Ctl<T> {
     Drain,
     /// Flush, forward the marker, and terminate the stage.
     Stop,
+    /// Fault injection: the controller process "dies" — the stage
+    /// forwards the marker and terminates *without flushing*, so
+    /// buffered work (open batch windows, queued transactions) is lost
+    /// exactly the way a real crash loses it.
+    Crash,
 }
 
 /// The downstream stage hung up: its thread exited (fatal error) and
@@ -149,15 +154,77 @@ pub trait Service: Send {
     }
 }
 
+/// How a supervised stage ultimately failed: its own fatal error, or
+/// repeated panics that exhausted the restart budget.
+#[derive(Debug)]
+pub enum StageFailure<E> {
+    Service(E),
+    /// `handle` panicked `panics` times in a row; the supervisor gave
+    /// up restarting the stage loop.
+    Panicked {
+        panics: u32,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for StageFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageFailure::Service(e) => write!(f, "{e}"),
+            StageFailure::Panicked { panics } => {
+                write!(f, "stage panicked {panics} consecutive times; supervisor gave up")
+            }
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for StageFailure<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageFailure::Service(e) => Some(e),
+            StageFailure::Panicked { .. } => None,
+        }
+    }
+}
+
+/// Restart policy for a supervised stage.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervision {
+    /// Consecutive `handle` panics tolerated before the stage is
+    /// declared dead (the message that triggered each panic is lost —
+    /// poison — and counted in the restarts counter).
+    pub max_restarts: u32,
+    /// Base backoff slept (wall-clock) before re-entering the loop
+    /// after a panic; doubles per consecutive panic, capped at 64×.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision { max_restarts: 3, backoff: std::time::Duration::from_micros(200) }
+    }
+}
+
 /// Run `svc` on its own thread until `Stop` (or sender hang-up).
 /// Returns the service back (with its accumulated state) plus how it
 /// ended, so the caller can collect stats — and, for the deploy
 /// stage, take the [`Deployment`](camus_net::Deployment) home.
+///
+/// The harness is a supervisor: a panic inside [`Service::handle`] is
+/// caught, counted into `restarts` (the `service.stage.restarts`
+/// counter), and the loop re-enters after a doubling backoff — the
+/// poison message is dropped, downstream keeps its pipe. Only
+/// `sup.max_restarts` *consecutive* panics kill the stage (with a
+/// [`StageFailure::Panicked`]), so one bad message cannot hang the
+/// pipeline and a deterministically-crashing one cannot spin it
+/// forever.
+#[allow(clippy::type_complexity)]
 pub fn spawn<S>(
     mut svc: S,
     rx: StageRx<S::In>,
     out: Pipe<S::Out>,
-) -> JoinHandle<(S, Result<(), S::Error>)>
+    sup: Supervision,
+    restarts: Arc<Counter>,
+) -> JoinHandle<(S, Result<(), StageFailure<S::Error>>)>
 where
     S: Service + 'static,
 {
@@ -167,13 +234,14 @@ where
             // An envelope pulled off the queue during a coalescing
             // scan that the service refused to merge.
             let mut stash: Option<Ctl<S::In>> = None;
+            let mut consecutive_panics: u32 = 0;
             loop {
                 let ctl = match stash.take().or_else(|| rx.recv()) {
                     Some(c) => c,
                     // Upstream died without a Stop marker: treat it as
                     // one so the shutdown wave keeps moving.
                     None => {
-                        let r = svc.flush(&out);
+                        let r = svc.flush(&out).map_err(StageFailure::Service);
                         let _ = out.ctl(Ctl::Stop);
                         return (svc, r);
                     }
@@ -194,22 +262,53 @@ where
                                 None => break,
                             }
                         }
-                        if let Err(e) = svc.handle(m, &out) {
-                            let _ = out.ctl(Ctl::Stop);
-                            return (svc, Err(e));
+                        let handled =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                svc.handle(m, &out)
+                            }));
+                        match handled {
+                            Ok(Ok(())) => consecutive_panics = 0,
+                            Ok(Err(e)) => {
+                                let _ = out.ctl(Ctl::Stop);
+                                return (svc, Err(StageFailure::Service(e)));
+                            }
+                            Err(_panic) => {
+                                consecutive_panics += 1;
+                                restarts.inc();
+                                if consecutive_panics >= sup.max_restarts {
+                                    let _ = out.ctl(Ctl::Stop);
+                                    return (
+                                        svc,
+                                        Err(StageFailure::Panicked { panics: consecutive_panics }),
+                                    );
+                                }
+                                // Supervised restart: back off, then
+                                // re-enter the loop with the same
+                                // service state (the poison message is
+                                // gone; everything else survives).
+                                let exp = (consecutive_panics - 1).min(6);
+                                thread::sleep(sup.backoff * (1u32 << exp));
+                            }
                         }
                     }
                     Ctl::Drain => {
                         if let Err(e) = svc.flush(&out) {
                             let _ = out.ctl(Ctl::Stop);
-                            return (svc, Err(e));
+                            return (svc, Err(StageFailure::Service(e)));
                         }
                         let _ = out.ctl(Ctl::Drain);
                     }
                     Ctl::Stop => {
-                        let r = svc.flush(&out);
+                        let r = svc.flush(&out).map_err(StageFailure::Service);
                         let _ = out.ctl(Ctl::Stop);
                         return (svc, r);
+                    }
+                    Ctl::Crash => {
+                        // Abrupt death: no flush, forward the marker so
+                        // the whole pipeline dies, hand the wreckage
+                        // back to whoever joins us.
+                        let _ = out.ctl(Ctl::Crash);
+                        return (svc, Ok(()));
                     }
                 }
             }
@@ -220,6 +319,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sup() -> (Supervision, Arc<Counter>) {
+        (Supervision::default(), Arc::new(Counter::new()))
+    }
 
     /// Doubles numbers; merges queued inputs by addition when asked.
     struct Doubler {
@@ -262,7 +365,8 @@ mod tests {
         let reg = MetricsRegistry::new();
         let (tx, rx) = pipe(&reg, "a");
         let (out_tx, out_rx) = pipe::<u64>(&reg, "b");
-        let h = spawn(Doubler { merge: false, merged: 0, flushed: false }, rx, out_tx);
+        let (s, c) = sup();
+        let h = spawn(Doubler { merge: false, merged: 0, flushed: false }, rx, out_tx, s, c);
         tx.send(3).unwrap();
         tx.send(4).unwrap();
         tx.ctl(Ctl::Drain).unwrap();
@@ -273,7 +377,7 @@ mod tests {
             match out_rx.recv().expect("stage forwards markers") {
                 Ctl::Msg(v) => got.push(v),
                 Ctl::Drain => drained = true,
-                Ctl::Stop => break,
+                Ctl::Stop | Ctl::Crash => break,
             }
         }
         assert_eq!(got, vec![6, 8]);
@@ -295,12 +399,13 @@ mod tests {
             tx.send(v).unwrap();
         }
         tx.ctl(Ctl::Stop).unwrap();
-        let h = spawn(Doubler { merge: true, merged: 0, flushed: false }, rx, out_tx);
+        let (s, c) = sup();
+        let h = spawn(Doubler { merge: true, merged: 0, flushed: false }, rx, out_tx, s, c);
         let mut got = Vec::new();
         while let Some(c) = out_rx.recv() {
             match c {
                 Ctl::Msg(v) => got.push(v),
-                Ctl::Stop => break,
+                Ctl::Stop | Ctl::Crash => break,
                 Ctl::Drain => {}
             }
         }
@@ -315,14 +420,15 @@ mod tests {
         let reg = MetricsRegistry::new();
         let (tx, rx) = pipe::<u64>(&reg, "x");
         let (out_tx, out_rx) = pipe::<u64>(&reg, "y");
-        let h = spawn(Doubler { merge: false, merged: 0, flushed: false }, rx, out_tx);
+        let (s, c) = sup();
+        let h = spawn(Doubler { merge: false, merged: 0, flushed: false }, rx, out_tx, s, c);
         tx.send(5).unwrap();
         drop(tx);
         let mut got = Vec::new();
         while let Some(c) = out_rx.recv() {
             match c {
                 Ctl::Msg(v) => got.push(v),
-                Ctl::Stop => break,
+                Ctl::Stop | Ctl::Crash => break,
                 Ctl::Drain => {}
             }
         }
@@ -330,5 +436,115 @@ mod tests {
         let (svc, res) = h.join().unwrap();
         assert!(res.is_ok());
         assert!(svc.flushed);
+    }
+
+    /// Panics on any input equal to `poison`; forwards the rest.
+    struct Fussy {
+        poison: u64,
+        handled: u64,
+    }
+
+    impl Service for Fussy {
+        type In = u64;
+        type Out = u64;
+        type Error = PipeClosed;
+
+        fn name(&self) -> &'static str {
+            "fussy"
+        }
+
+        fn handle(&mut self, msg: u64, out: &Pipe<u64>) -> Result<(), PipeClosed> {
+            if msg == self.poison {
+                panic!("injected stage panic");
+            }
+            self.handled += 1;
+            out.send(msg)
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_a_panicked_stage_and_counts_it() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "p");
+        let (out_tx, out_rx) = pipe::<u64>(&reg, "q");
+        let restarts = reg.counter("service.stage.restarts");
+        let h = spawn(
+            Fussy { poison: 13, handled: 0 },
+            rx,
+            out_tx,
+            Supervision::default(),
+            restarts.clone(),
+        );
+        tx.send(1).unwrap();
+        tx.send(13).unwrap(); // poison: dropped, stage restarts
+        tx.send(2).unwrap();
+        tx.ctl(Ctl::Stop).unwrap();
+        let mut got = Vec::new();
+        while let Some(c) = out_rx.recv() {
+            match c {
+                Ctl::Msg(v) => got.push(v),
+                Ctl::Stop | Ctl::Crash => break,
+                Ctl::Drain => {}
+            }
+        }
+        assert_eq!(got, vec![1, 2], "poison message dropped, pipe survives");
+        let (svc, res) = h.join().unwrap();
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(svc.handled, 2);
+        assert_eq!(restarts.get(), 1);
+        assert_eq!(reg.gauge("service.queue.p").get(), 0, "queue fully drained despite the panic");
+    }
+
+    #[test]
+    fn repeated_panics_exhaust_the_restart_budget() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe(&reg, "p2");
+        let (out_tx, out_rx) = pipe::<u64>(&reg, "q2");
+        let restarts = reg.counter("service.stage.restarts");
+        let sup = Supervision { max_restarts: 3, ..Supervision::default() };
+        let h = spawn(Fussy { poison: 13, handled: 0 }, rx, out_tx, sup, restarts.clone());
+        for _ in 0..5 {
+            tx.send(13).unwrap();
+        }
+        // The dead stage forwards Stop so downstream never hangs.
+        let mut saw_stop = false;
+        while let Some(c) = out_rx.recv() {
+            if matches!(c, Ctl::Stop | Ctl::Crash) {
+                saw_stop = true;
+                break;
+            }
+        }
+        assert!(saw_stop, "a dead stage must still propagate shutdown");
+        let (_, res) = h.join().unwrap();
+        assert!(matches!(res, Err(StageFailure::Panicked { panics: 3 })), "{res:?}");
+        assert_eq!(restarts.get(), 3, "each panic counted before giving up");
+    }
+
+    #[test]
+    fn crash_marker_skips_flush_and_propagates() {
+        let reg = MetricsRegistry::new();
+        let (tx, rx) = pipe::<u64>(&reg, "c1");
+        let (out_tx, out_rx) = pipe::<u64>(&reg, "c2");
+        let (s, c) = sup();
+        let h = spawn(Doubler { merge: false, merged: 0, flushed: false }, rx, out_tx, s, c);
+        tx.send(21).unwrap();
+        tx.ctl(Ctl::Crash).unwrap();
+        let mut got = Vec::new();
+        let mut crashed = false;
+        while let Some(c) = out_rx.recv() {
+            match c {
+                Ctl::Msg(v) => got.push(v),
+                Ctl::Crash => {
+                    crashed = true;
+                    break;
+                }
+                Ctl::Stop | Ctl::Drain => break,
+            }
+        }
+        assert!(crashed, "crash marker must propagate downstream");
+        assert_eq!(got, vec![42], "work before the crash still flowed");
+        let (svc, res) = h.join().unwrap();
+        assert!(res.is_ok());
+        assert!(!svc.flushed, "a crash must not flush buffered work");
     }
 }

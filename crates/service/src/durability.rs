@@ -1,0 +1,529 @@
+//! Controller durability: the write-ahead log and snapshots.
+//!
+//! Everything the controller cannot recompute after a crash is written
+//! here *before* it is acted on:
+//!
+//! * every accepted intake operation ([`SubRequest`]) is appended
+//!   before it mutates the target subscription state, so a crashed
+//!   controller can rebuild intake by replay;
+//! * every install transaction's **commit decision** is appended at
+//!   the two-phase commit point (see
+//!   [`ControlChannel::commit_point`](camus_net::ControlChannel::commit_point)),
+//!   before the first commit op goes on the wire — the presumed-abort
+//!   rule: a staged epoch with a logged decision rolls forward, one
+//!   without rolls back;
+//! * periodic **snapshots** of the committed subscription set,
+//!   per-switch pipeline fingerprints and the epoch watermark bound
+//!   replay to the tail since the last snapshot.
+//!
+//! The encoding is line-based text. Filters serialise through
+//! [`Expr`]'s `Display` (the fully parenthesised form that is
+//! guaranteed to reparse), so a log survives process boundaries
+//! without any binary framing. Both backends are deliberately
+//! fsync-free and deterministic: the in-memory one keeps tests
+//! hermetic, the file one demonstrates the format is genuinely
+//! durable on disk. Appends of one record are atomic under the WAL's
+//! lock; a crash between the records of a snapshot leaves a
+//! *incomplete* snapshot, which replay detects and ignores (the
+//! previous snapshot plus a longer tail still reconstructs the same
+//! state).
+
+use crate::intake::{RequestId, RequestOp, SubRequest};
+use camus_lang::ast::Expr;
+use camus_lang::parser::parse_expr;
+use std::collections::BTreeSet;
+use std::io::{BufRead, Write as _};
+use std::sync::{Arc, Mutex};
+
+/// Storage behind a [`Wal`]: an append-only sequence of text lines.
+pub trait WalBackend: Send {
+    /// Append one record (no trailing newline). Must be visible to
+    /// [`read_all`](Self::read_all) immediately — there is no sync
+    /// barrier in the model.
+    fn append(&mut self, line: &str);
+    /// Every record, in append order.
+    fn read_all(&self) -> Vec<String>;
+}
+
+/// The hermetic in-memory backend tests and experiments use.
+#[derive(Debug, Default)]
+pub struct MemoryWal {
+    lines: Vec<String>,
+}
+
+impl MemoryWal {
+    pub fn new() -> Self {
+        MemoryWal::default()
+    }
+}
+
+impl WalBackend for MemoryWal {
+    fn append(&mut self, line: &str) {
+        self.lines.push(line.to_string());
+    }
+
+    fn read_all(&self) -> Vec<String> {
+        self.lines.clone()
+    }
+}
+
+/// The on-disk backend: one record per line, appended without fsync
+/// (durability here means "survives a process restart", which is what
+/// the recovery model needs; battery-backed write caches are somebody
+/// else's paper).
+#[derive(Debug)]
+pub struct FileWal {
+    path: std::path::PathBuf,
+    file: std::fs::File,
+}
+
+impl FileWal {
+    /// Open (or create) the log at `path`, appending to any existing
+    /// records — reopening after a crash *is* the recovery story.
+    pub fn open(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(FileWal { path, file })
+    }
+}
+
+impl WalBackend for FileWal {
+    fn append(&mut self, line: &str) {
+        // Infallible by contract: the modelled control plane has no
+        // I/O error arm, and a full disk should stop the world anyway.
+        writeln!(self.file, "{line}").expect("WAL append");
+    }
+
+    fn read_all(&self) -> Vec<String> {
+        match std::fs::File::open(&self.path) {
+            Ok(f) => std::io::BufReader::new(f).lines().map_while(Result::ok).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// The shared write-ahead log handle. Clones share one backend; every
+/// record append is atomic under the internal lock, so the intake
+/// thread (request records), the deploy thread (snapshots) and the
+/// channel wrapper (commit decisions) can interleave safely.
+#[derive(Clone)]
+pub struct Wal {
+    inner: Arc<Mutex<Box<dyn WalBackend>>>,
+}
+
+impl Wal {
+    pub fn new(backend: Box<dyn WalBackend>) -> Self {
+        Wal { inner: Arc::new(Mutex::new(backend)) }
+    }
+
+    /// The hermetic default.
+    pub fn in_memory() -> Self {
+        Wal::new(Box::new(MemoryWal::new()))
+    }
+
+    /// File-backed log at `path`.
+    pub fn file(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        Ok(Wal::new(Box::new(FileWal::open(path)?)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Box<dyn WalBackend>> {
+        self.inner.lock().expect("WAL lock poisoned")
+    }
+
+    /// Log one accepted intake operation. Called *before* the request
+    /// mutates the target state.
+    pub fn append_request(&self, req: &SubRequest) {
+        let (kind, filter) = match &req.op {
+            RequestOp::Subscribe(f) => ("sub", f),
+            RequestOp::Unsubscribe(f) => ("unsub", f),
+        };
+        self.lock()
+            .append(&format!("req {} {} {} {kind} {filter}", req.id, req.host, req.arrival_ns));
+    }
+
+    /// Log an install transaction's commit decision (the two-phase
+    /// commit point).
+    pub fn append_commit(&self, epoch: u64) {
+        self.lock().append(&format!("commit {epoch}"));
+    }
+
+    /// Log a snapshot: the full committed subscription state,
+    /// per-switch pipeline fingerprints, the epoch watermark, and the
+    /// highest request id the state reflects. All records go out under
+    /// one lock acquisition.
+    pub fn append_snapshot(
+        &self,
+        subs: &[Vec<Expr>],
+        fingerprints: &[(usize, u64)],
+        next_epoch: u64,
+        last_request: Option<RequestId>,
+    ) {
+        let mut w = self.lock();
+        let watermark = match last_request {
+            Some(id) => id.to_string(),
+            None => "-".to_string(),
+        };
+        w.append(&format!("snap begin {next_epoch} {watermark} {}", subs.len()));
+        for (s, fp) in fingerprints {
+            w.append(&format!("snap fp {s} {fp}"));
+        }
+        for (h, fs) in subs.iter().enumerate() {
+            for f in fs {
+                w.append(&format!("snap sub {h} {f}"));
+            }
+        }
+        w.append("snap end");
+    }
+
+    /// Total records in the log (experiments report recovery time
+    /// against this).
+    pub fn len(&self) -> usize {
+        self.lock().read_all().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rebuild controller state from the log: the last *complete*
+    /// snapshot, plus every request record above its watermark —
+    /// regardless of file position, because the intake thread may
+    /// append newer requests before the deploy thread's (older)
+    /// snapshot reaches the log. Replay is a pure function of the
+    /// log's content — replaying the same log any number of times
+    /// yields the same state.
+    pub fn replay(&self) -> WalState {
+        replay_lines(&self.lock().read_all())
+    }
+}
+
+/// Everything recovery reconstructs from the log.
+#[derive(Debug, Clone, Default)]
+pub struct WalState {
+    /// The rebuilt target subscription state (snapshot + tail).
+    pub subs: Vec<Vec<Expr>>,
+    /// Every epoch whose commit decision was logged.
+    pub committed_epochs: BTreeSet<u64>,
+    /// The epoch the next (recovery) transaction must stage under:
+    /// strictly above everything the log has seen.
+    pub next_epoch: u64,
+    /// Per-switch pipeline fingerprints from the last snapshot (what
+    /// the pre-crash controller believed was installed).
+    pub fingerprints: Vec<(usize, u64)>,
+    /// Highest request id the rebuilt state reflects.
+    pub last_request: Option<RequestId>,
+    /// Request records replayed from the tail (after the snapshot).
+    pub replayed_requests: u64,
+    /// Total records scanned.
+    pub lines: usize,
+    /// Records after the last complete snapshot (the replay tail the
+    /// `recovery` experiment plots recovery time against).
+    pub tail_len: usize,
+}
+
+/// A snapshot being accumulated during the replay scan.
+struct PendingSnap {
+    next_epoch: u64,
+    watermark: Option<RequestId>,
+    subs: Vec<Vec<Expr>>,
+    fingerprints: Vec<(usize, u64)>,
+}
+
+fn replay_lines(lines: &[String]) -> WalState {
+    let mut st = WalState { next_epoch: 1, ..WalState::default() };
+    st.lines = lines.len();
+    let mut pending: Option<PendingSnap> = None;
+    let mut since_snapshot = 0usize;
+
+    // Pass 1: find the last complete snapshot and collect every
+    // request record in append order. Requests cannot be applied
+    // inline, because the deploy thread's snapshot (watermark `w`)
+    // may be *appended after* intake has already logged requests with
+    // ids above `w` — file order and state order genuinely differ
+    // across the two writers. Ids are monotonic, so the watermark
+    // alone decides what the snapshot already reflects.
+    let mut last_snap: Option<PendingSnap> = None;
+    let mut reqs: Vec<(RequestId, usize, bool, Expr)> = Vec::new();
+
+    for line in lines {
+        let mut parts = line.splitn(2, ' ');
+        let tag = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("");
+        match tag {
+            "snap" => {
+                let mut p = rest.splitn(2, ' ');
+                let sub = p.next().unwrap_or("");
+                let body = p.next().unwrap_or("");
+                match sub {
+                    "begin" => {
+                        let mut f = body.split(' ');
+                        let next_epoch = f.next().and_then(|x| x.parse().ok()).unwrap_or(1);
+                        let watermark = f.next().and_then(|x| x.parse().ok());
+                        let hosts: usize = f.next().and_then(|x| x.parse().ok()).unwrap_or(0);
+                        pending = Some(PendingSnap {
+                            next_epoch,
+                            watermark,
+                            subs: vec![Vec::new(); hosts],
+                            fingerprints: Vec::new(),
+                        });
+                    }
+                    "fp" => {
+                        if let Some(p) = &mut pending {
+                            let mut f = body.split(' ');
+                            if let (Some(s), Some(fp)) = (
+                                f.next().and_then(|x| x.parse().ok()),
+                                f.next().and_then(|x| x.parse().ok()),
+                            ) {
+                                p.fingerprints.push((s, fp));
+                            }
+                        }
+                    }
+                    "sub" => {
+                        if let Some(p) = &mut pending {
+                            let mut f = body.splitn(2, ' ');
+                            let host: Option<usize> = f.next().and_then(|x| x.parse().ok());
+                            let filter = f.next().and_then(|x| parse_expr(x).ok());
+                            if let (Some(h), Some(e)) = (host, filter) {
+                                if h < p.subs.len() {
+                                    p.subs[h].push(e);
+                                }
+                            }
+                        }
+                    }
+                    "end" => {
+                        if let Some(p) = pending.take() {
+                            // A complete snapshot: remember it (only
+                            // the last one wins) and apply its epoch
+                            // hint — that part is position-independent.
+                            st.next_epoch = st.next_epoch.max(p.next_epoch);
+                            last_snap = Some(p);
+                            since_snapshot = 0;
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+                // snap records do not count toward the tail unless the
+                // snapshot never completes — handled by `continue`
+                // above only for `end`; an eventually-abandoned
+                // snapshot's records are dead weight counted below.
+                since_snapshot += 1;
+            }
+            "commit" => {
+                // A record other than `snap *` aborts any snapshot in
+                // progress (the writer died mid-snapshot).
+                pending = None;
+                if let Ok(e) = rest.parse::<u64>() {
+                    st.committed_epochs.insert(e);
+                    st.next_epoch = st.next_epoch.max(e + 1);
+                }
+                since_snapshot += 1;
+            }
+            "req" => {
+                pending = None;
+                since_snapshot += 1;
+                // req <id> <host> <arrival_ns> <sub|unsub> <filter>
+                let mut f = rest.splitn(4, ' ');
+                let id: Option<RequestId> = f.next().and_then(|x| x.parse().ok());
+                let host: Option<usize> = f.next().and_then(|x| x.parse().ok());
+                let _arrival: Option<u64> = f.next().and_then(|x| x.parse().ok());
+                let tail = f.next().unwrap_or("");
+                let (kind, filter_text) = match tail.split_once(' ') {
+                    Some((k, t)) => (k, t),
+                    None => continue,
+                };
+                let (Some(id), Some(host), Ok(filter)) = (id, host, parse_expr(filter_text)) else {
+                    continue;
+                };
+                reqs.push((id, host, kind == "sub", filter));
+            }
+            _ => {
+                pending = None;
+                since_snapshot += 1;
+            }
+        }
+    }
+    st.tail_len = since_snapshot;
+
+    // Pass 2: start from the winning snapshot and apply every request
+    // above its watermark, in id order (intake is a single writer, so
+    // file order among `req` records *is* id order). The watermark
+    // skip is also what makes double replay idempotent.
+    if let Some(p) = last_snap {
+        st.subs = p.subs;
+        st.fingerprints = p.fingerprints;
+        st.last_request = p.watermark;
+    }
+    for (id, host, is_sub, filter) in reqs {
+        if Some(id) <= st.last_request {
+            // Already reflected in the snapshot (or a duplicate).
+            continue;
+        }
+        st.last_request = Some(id);
+        st.replayed_requests += 1;
+        if host >= st.subs.len() {
+            continue; // soft reject, same as intake
+        }
+        if is_sub {
+            st.subs[host].push(filter);
+        } else if let Some(i) = st.subs[host].iter().rposition(|x| *x == filter) {
+            st.subs[host].remove(i);
+        }
+    }
+    st
+}
+
+/// A [`ControlChannel`](camus_net::ControlChannel) wrapper that makes
+/// the two-phase install durable: the commit decision for each epoch
+/// is appended to the WAL at the commit point, *before* the first
+/// commit op reaches any switch.
+pub struct WalChannel {
+    inner: Box<dyn camus_net::ControlChannel + Send>,
+    wal: Wal,
+}
+
+impl WalChannel {
+    pub fn new(inner: Box<dyn camus_net::ControlChannel + Send>, wal: Wal) -> Self {
+        WalChannel { inner, wal }
+    }
+}
+
+impl camus_net::ControlChannel for WalChannel {
+    fn attempt(
+        &mut self,
+        switch: usize,
+        op: camus_net::ControlOp,
+        attempt: u32,
+    ) -> camus_net::ChannelOutcome {
+        self.inner.attempt(switch, op, attempt)
+    }
+
+    fn commit_point(&mut self, epoch: u64) {
+        self.wal.append_commit(epoch);
+        self.inner.commit_point(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    fn req(id: u64, host: usize, op: RequestOp, at: u64) -> SubRequest {
+        SubRequest { id, host, op, arrival_ns: at }
+    }
+
+    #[test]
+    fn requests_replay_into_the_subscription_state() {
+        let wal = Wal::in_memory();
+        wal.append_snapshot(&vec![Vec::new(); 3], &[], 1, None);
+        wal.append_request(&req(0, 0, RequestOp::Subscribe(f("price > 10")), 5));
+        wal.append_request(&req(1, 2, RequestOp::Subscribe(f("stock == GOOGL")), 9));
+        wal.append_request(&req(2, 0, RequestOp::Unsubscribe(f("price > 10")), 12));
+        let st = wal.replay();
+        assert_eq!(st.subs.len(), 3);
+        assert!(st.subs[0].is_empty(), "sub+unsub cancel");
+        assert_eq!(st.subs[2], vec![f("stock == GOOGL")]);
+        assert_eq!(st.replayed_requests, 3);
+        assert_eq!(st.last_request, Some(2));
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_double_replay_is_idempotent() {
+        let wal = Wal::in_memory();
+        wal.append_snapshot(&vec![Vec::new(); 2], &[], 1, None);
+        wal.append_request(&req(0, 0, RequestOp::Subscribe(f("price > 10")), 1));
+        wal.append_commit(7);
+        let snap_subs = vec![vec![f("price > 10")], Vec::new()];
+        wal.append_snapshot(&snap_subs, &[(0, 0xAB), (1, 0xCD)], 8, Some(0));
+        wal.append_request(&req(1, 1, RequestOp::Subscribe(f("price > 50")), 2));
+        // A record with id at the watermark replays as a no-op.
+        wal.append_request(&req(0, 0, RequestOp::Subscribe(f("price > 10")), 1));
+
+        let st = wal.replay();
+        assert_eq!(st.subs, vec![vec![f("price > 10")], vec![f("price > 50")]]);
+        assert_eq!(st.replayed_requests, 1, "only the post-snapshot tail replays");
+        assert_eq!(st.fingerprints, vec![(0, 0xAB), (1, 0xCD)]);
+        assert!(st.committed_epochs.contains(&7));
+        assert_eq!(st.next_epoch, 8);
+        assert_eq!(st.tail_len, 2);
+
+        // Pure function of the log: replaying again changes nothing.
+        let again = wal.replay();
+        assert_eq!(again.subs, st.subs);
+        assert_eq!(again.committed_epochs, st.committed_epochs);
+        assert_eq!(again.replayed_requests, st.replayed_requests);
+    }
+
+    #[test]
+    fn snapshot_lagging_behind_newer_requests_keeps_them() {
+        // The deploy thread snapshots *committed* state, which lags
+        // intake: requests newer than the watermark can already sit in
+        // the log when the snapshot is appended. They must survive.
+        let wal = Wal::in_memory();
+        wal.append_snapshot(&vec![Vec::new(); 2], &[], 1, None);
+        wal.append_request(&req(0, 0, RequestOp::Subscribe(f("price > 10")), 1));
+        wal.append_request(&req(1, 1, RequestOp::Subscribe(f("price > 50")), 2));
+        // Snapshot reflects only request 0 — written after request 1.
+        wal.append_snapshot(&[vec![f("price > 10")], Vec::new()], &[], 2, Some(0));
+        let st = wal.replay();
+        assert_eq!(
+            st.subs,
+            vec![vec![f("price > 10")], vec![f("price > 50")]],
+            "requests above the watermark apply even when logged before the snapshot"
+        );
+        assert_eq!(st.last_request, Some(1));
+        assert_eq!(st.replayed_requests, 1);
+    }
+
+    #[test]
+    fn incomplete_snapshot_is_ignored() {
+        let wal = Wal::in_memory();
+        wal.append_snapshot(&[vec![f("price > 10")]], &[], 3, Some(4));
+        // A snapshot whose writer died before `snap end`:
+        {
+            let mut w = wal.inner.lock().unwrap();
+            w.append("snap begin 9 10 1");
+            w.append("snap sub 0 (price > 99)");
+        }
+        wal.append_request(&req(5, 0, RequestOp::Subscribe(f("price > 50")), 1));
+        let st = wal.replay();
+        assert_eq!(
+            st.subs,
+            vec![vec![f("price > 10"), f("price > 50")]],
+            "state comes from the last complete snapshot plus the tail"
+        );
+        assert_eq!(st.next_epoch, 3, "the torn snapshot's epoch hint is discarded");
+    }
+
+    #[test]
+    fn filters_round_trip_through_display() {
+        let wal = Wal::in_memory();
+        wal.append_snapshot(&vec![Vec::new(); 1], &[], 1, None);
+        let gnarly = f("(price > 10 and not (stock == GOOGL)) or shares >= 5");
+        wal.append_request(&req(0, 0, RequestOp::Subscribe(gnarly.clone()), 1));
+        assert_eq!(wal.replay().subs[0], vec![gnarly]);
+    }
+
+    #[test]
+    fn file_backend_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("camus-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::file(&path).unwrap();
+            wal.append_snapshot(&vec![Vec::new(); 2], &[], 1, None);
+            wal.append_request(&req(0, 1, RequestOp::Subscribe(f("price > 10")), 3));
+            wal.append_commit(2);
+        } // drop = crash: no close protocol, no fsync
+        let wal = Wal::file(&path).unwrap();
+        let st = wal.replay();
+        assert_eq!(st.subs[1], vec![f("price > 10")]);
+        assert!(st.committed_epochs.contains(&2));
+        std::fs::remove_file(&path).ok();
+    }
+}

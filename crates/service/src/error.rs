@@ -108,6 +108,10 @@ pub enum DeployStageError {
     /// The zero-mis-delivery audit failed after a commit. The network
     /// is in a state the controller believes is wrong; stop the world.
     Audit { txn: u64, misdelivered: usize, duplicated: usize, missed: usize },
+    /// The controller died mid-transaction (fault injection): the
+    /// install was abandoned with staged state still on the switches.
+    /// Fatal by construction — a dead coordinator does nothing else.
+    Crashed { txn: u64, epoch: u64 },
     /// The report consumer hung up.
     Closed,
 }
@@ -120,6 +124,9 @@ impl fmt::Display for DeployStageError {
                 "audit violation after txn {txn}: {misdelivered} misdelivered, \
                  {duplicated} duplicated, {missed} missed"
             ),
+            DeployStageError::Crashed { txn, epoch } => {
+                write!(f, "controller crashed installing txn {txn} (epoch {epoch})")
+            }
             DeployStageError::Closed => write!(f, "deploy: report consumer hung up"),
         }
     }
@@ -134,6 +141,12 @@ pub enum ServiceError {
     Route(RouteError),
     Compile(CompileStageError),
     Deploy(DeployStageError),
+    /// A stage thread panicked repeatedly enough to exhaust its
+    /// supervisor's restart budget and was taken down.
+    Panicked {
+        stage: &'static str,
+        panics: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -143,6 +156,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Route(e) => write!(f, "route service: {e}"),
             ServiceError::Compile(e) => write!(f, "compile service: {e}"),
             ServiceError::Deploy(e) => write!(f, "deploy service: {e}"),
+            ServiceError::Panicked { stage, panics } => {
+                write!(f, "{stage}: stage thread panicked {panics}x, restart budget exhausted")
+            }
         }
     }
 }
@@ -154,6 +170,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Route(e) => Some(e),
             ServiceError::Compile(e) => Some(e),
             ServiceError::Deploy(e) => Some(e),
+            ServiceError::Panicked { .. } => None,
         }
     }
 }

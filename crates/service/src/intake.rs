@@ -24,6 +24,7 @@
 //! complete desired state).
 
 use crate::core::{Pipe, Service};
+use crate::durability::Wal;
 use crate::error::IntakeError;
 use camus_lang::ast::Expr;
 use camus_telemetry::Gauge;
@@ -128,6 +129,9 @@ pub struct IntakeService {
     /// Monotonic arrival clamp: arrivals never run backwards.
     clock_ns: u64,
     inflight: Arc<Gauge>,
+    /// Durability: every request is appended here *before* it mutates
+    /// the target state (`None` = volatile controller).
+    wal: Option<Wal>,
     /// Accepted request count.
     pub accepted: u64,
     /// Soft per-request rejects, in arrival order.
@@ -147,11 +151,18 @@ impl IntakeService {
             next_txn: 0,
             clock_ns: 0,
             inflight,
+            wal: None,
             accepted: 0,
             rejected: Vec::new(),
             out_of_order: 0,
             batches: 0,
         }
+    }
+
+    /// Arm the write-ahead log.
+    pub fn with_wal(mut self, wal: Wal) -> Self {
+        self.wal = Some(wal);
+        self
     }
 
     /// The target state intake has accepted so far.
@@ -216,6 +227,13 @@ impl Service for IntakeService {
             req.arrival_ns = self.clock_ns;
         }
         self.clock_ns = req.arrival_ns;
+
+        // Write ahead: the request is durable before it mutates the
+        // target state (soft rejects are logged too — replay mirrors
+        // `apply`'s semantics, so they replay as the same no-ops).
+        if let Some(w) = &self.wal {
+            w.append_request(&req);
+        }
 
         // This arrival may fall past the open window's deadline: the
         // window closed (at the deadline, not at this arrival) before

@@ -32,12 +32,16 @@
 //! measures what that buys over the one-op-per-transaction baseline.
 
 pub mod core;
+pub mod durability;
 pub mod error;
 pub mod intake;
 pub mod service;
 pub mod stages;
 
-pub use crate::core::{pipe, spawn, Ctl, Pipe, PipeClosed, Service, StageRx};
+pub use crate::core::{
+    pipe, spawn, Ctl, Pipe, PipeClosed, Service, StageFailure, StageRx, Supervision,
+};
+pub use crate::durability::{FileWal, MemoryWal, Wal, WalBackend, WalChannel, WalState};
 pub use crate::error::{
     CompileStageError, DeployStageError, IntakeError, RouteError, ServiceError,
 };

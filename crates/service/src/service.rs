@@ -30,19 +30,21 @@
 //! [`ServiceOutcome`] — the live [`Deployment`] included, so a caller
 //! can keep publishing into the network after the service winds down.
 
-use crate::core::{pipe, spawn, Ctl, Pipe, StageRx};
+use crate::core::{pipe, spawn, Ctl, Pipe, StageFailure, StageRx, Supervision};
+use crate::durability::{Wal, WalChannel};
 use crate::error::ServiceError;
 use crate::intake::{BatchPolicy, IntakeService, RequestId, RequestOp, SubRequest};
 use crate::stages::{AuditProbe, AuditReport, DeployService, RouteCompileService, TxnReport};
 use camus_lang::ast::Expr;
 use camus_net::controller::{Controller, Deployment};
-use camus_net::ControlChannel;
+use camus_net::{ControlChannel, DeployError, Network, ReconcileStats};
+use camus_routing::compile::DeltaCache;
 use camus_telemetry::MetricsRegistry;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// How the service batches, overlaps, and audits.
+/// How the service batches, overlaps, audits, persists, and survives.
 pub struct ServiceConfig {
     pub batch: BatchPolicy,
     /// Compile transaction N+1 while transaction N installs. Off =
@@ -59,6 +61,23 @@ pub struct ServiceConfig {
     /// Share a registry with the host process; `None` makes a fresh
     /// one (returned in the outcome).
     pub registry: Option<Arc<MetricsRegistry>>,
+    /// Durability: every accepted request is write-ahead logged here,
+    /// every install's commit decision is logged at the commit point,
+    /// and the deploy stage snapshots on a cadence. `None` = the
+    /// volatile controller every PR before this one ran.
+    pub wal: Option<Wal>,
+    /// Snapshot the committed state every this many committed
+    /// transactions (with `wal`; 0 disables cadence snapshots).
+    pub snapshot_every: u64,
+    /// Restart policy for panicking stage threads.
+    pub supervision: Supervision,
+    /// Fault injection: transaction ids at which the compile stage
+    /// panics (once each).
+    pub compile_panic_on: Vec<u64>,
+    /// First request id this service instance assigns. A recovered
+    /// service continues above the log's watermark so ids stay
+    /// monotonic across incarnations.
+    pub first_request: RequestId,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +89,11 @@ impl Default for ServiceConfig {
             probes: Vec::new(),
             probe_gap_ns: 10_000,
             registry: None,
+            wal: None,
+            snapshot_every: 0,
+            supervision: Supervision::default(),
+            compile_panic_on: Vec::new(),
+            first_request: 0,
         }
     }
 }
@@ -102,6 +126,15 @@ pub struct ServiceStats {
     pub committed_txns: u64,
     pub rejected_txns: u64,
     pub out_of_order: u64,
+    /// Supervised stage-thread restarts after panics.
+    pub restarts: u64,
+    /// Cadence snapshots the deploy stage wrote to the WAL.
+    pub snapshots: u64,
+    /// Accepted requests that never surfaced in any transaction
+    /// report: 0 on every clean shutdown (the loss-free drain
+    /// invariant); non-zero only after a crash or a dropped poison
+    /// batch, where it *names* the loss instead of hiding it.
+    pub unaccounted_ops: u64,
     pub audit: AuditReport,
 }
 
@@ -124,22 +157,54 @@ pub struct ServiceOutcome {
     pub reports: Vec<TxnReport>,
     /// Soft per-request rejects, in arrival order.
     pub rejected_requests: Vec<crate::error::IntakeError>,
+    /// Requests the caller submitted that never reached intake (a
+    /// dead stage): the send failure is recorded here instead of
+    /// being swallowed.
+    pub lost_requests: Vec<RequestId>,
     /// Fatal stage errors (empty on a clean run).
     pub errors: Vec<ServiceError>,
     pub stats: ServiceStats,
     pub registry: Arc<MetricsRegistry>,
 }
 
+/// What [`CamusService::recover`] did to bring a wrecked network back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStats {
+    /// Total WAL records scanned.
+    pub wal_lines: usize,
+    /// Request records replayed from the tail after the last snapshot.
+    pub tail_replayed: u64,
+    /// What staged-epoch reconciliation did on the switches.
+    pub reconcile: ReconcileStats,
+    /// Modelled control-plane time of the reconcile + reinstall
+    /// transaction.
+    pub control_ns: u64,
+}
+
 /// A running controller service.
 pub struct CamusService {
     intake: Pipe<SubRequest>,
     reports_rx: StageRx<TxnReport>,
-    h_intake: JoinHandle<(IntakeService, Result<(), crate::error::IntakeError>)>,
-    h_compile: JoinHandle<(RouteCompileService, Result<(), ServiceError>)>,
-    h_deploy: JoinHandle<(DeployService, Result<(), crate::error::DeployStageError>)>,
+    h_intake: JoinHandle<(IntakeService, Result<(), StageFailure<crate::error::IntakeError>>)>,
+    h_compile: JoinHandle<(RouteCompileService, Result<(), StageFailure<ServiceError>>)>,
+    h_deploy: JoinHandle<(DeployService, Result<(), StageFailure<crate::error::DeployStageError>>)>,
     next_request: RequestId,
     reports: Vec<TxnReport>,
+    lost_requests: Vec<RequestId>,
     registry: Arc<MetricsRegistry>,
+}
+
+/// Lift a supervised stage's terminal result into the service error
+/// roll-up.
+fn lift<E: Into<ServiceError>>(
+    stage: &'static str,
+    r: Result<(), StageFailure<E>>,
+) -> Option<ServiceError> {
+    match r {
+        Ok(()) => None,
+        Err(StageFailure::Service(e)) => Some(e.into()),
+        Err(StageFailure::Panicked { panics }) => Some(ServiceError::Panicked { stage, panics }),
+    }
 }
 
 impl CamusService {
@@ -175,7 +240,26 @@ impl CamusService {
         let mask = deployment.network.fault_mask().clone();
         let deployed_compile = deployment.compile.clone();
 
-        let intake_svc = IntakeService::new(cfg.batch, subs.clone(), inflight.clone());
+        // Durability: anchor the log with a snapshot of the state the
+        // service starts from (it carries the host count replay needs
+        // and bounds any earlier incarnation's records), log every
+        // commit decision through the channel wrapper, and every
+        // accepted request through intake.
+        let channel: Box<dyn ControlChannel + Send> = match &cfg.wal {
+            Some(w) => {
+                let fps: Vec<(usize, u64)> =
+                    deployment.compile.switches.iter().map(|s| (s.switch, s.fingerprint)).collect();
+                let watermark = cfg.first_request.checked_sub(1);
+                w.append_snapshot(&subs, &fps, deployment.next_epoch, watermark);
+                Box::new(WalChannel::new(channel, w.clone()))
+            }
+            None => channel,
+        };
+
+        let mut intake_svc = IntakeService::new(cfg.batch, subs.clone(), inflight.clone());
+        if let Some(w) = &cfg.wal {
+            intake_svc = intake_svc.with_wal(w.clone());
+        }
         let compile_svc = RouteCompileService::new(
             ctrl.clone(),
             topology,
@@ -185,8 +269,9 @@ impl CamusService {
             feedback_rx,
             cfg.merge_backlog,
             inflight.clone(),
-        );
-        let deploy_svc = DeployService::new(
+        )
+        .with_panic_on(cfg.compile_panic_on);
+        let mut deploy_svc = DeployService::new(
             ctrl,
             deployment,
             channel,
@@ -196,10 +281,14 @@ impl CamusService {
             ttt,
             inflight,
         );
+        if let Some(w) = &cfg.wal {
+            deploy_svc = deploy_svc.with_wal(w.clone(), cfg.snapshot_every);
+        }
 
-        let h_intake = spawn(intake_svc, intake_rx, batch_tx);
-        let h_compile = spawn(compile_svc, batch_rx, txn_tx);
-        let h_deploy = spawn(deploy_svc, txn_rx, rep_tx);
+        let restarts = registry.counter("service.stage.restarts");
+        let h_intake = spawn(intake_svc, intake_rx, batch_tx, cfg.supervision, restarts.clone());
+        let h_compile = spawn(compile_svc, batch_rx, txn_tx, cfg.supervision, restarts.clone());
+        let h_deploy = spawn(deploy_svc, txn_rx, rep_tx, cfg.supervision, restarts);
 
         CamusService {
             intake: intake_tx,
@@ -207,23 +296,66 @@ impl CamusService {
             h_intake,
             h_compile,
             h_deploy,
-            next_request: 0,
+            next_request: cfg.first_request,
             reports: Vec::new(),
+            lost_requests: Vec::new(),
             registry,
         }
+    }
+
+    /// Bring a crashed controller back over the wreckage it left.
+    ///
+    /// `network` is the live network exactly as the crash left it —
+    /// staged shadow programs, committed-but-unfinalised epochs and
+    /// all (harvest it from [`CamusService::kill`]'s outcome). The log
+    /// is replayed to the last complete snapshot plus its tail,
+    /// staged epochs on the switches are reconciled against the
+    /// logged commit decisions (presumed abort), and a recovery
+    /// transaction reinstalls every switch whose live pipeline
+    /// disagrees with a fresh compile of the replayed target state.
+    /// The returned service runs with the same WAL armed, starting
+    /// with a fresh snapshot so the next recovery replays a short log.
+    pub fn recover(
+        ctrl: Controller,
+        network: Network,
+        wal: Wal,
+        mut channel: Box<dyn ControlChannel + Send>,
+        mut cfg: ServiceConfig,
+    ) -> Result<(CamusService, RecoveryStats), DeployError> {
+        let st = wal.replay();
+        let mut cache = DeltaCache::new();
+        let (deployment, reconcile) = ctrl.recover_deployment(
+            network,
+            &st.subs,
+            &st.committed_epochs,
+            st.next_epoch,
+            Some(&mut cache),
+            &mut *channel,
+        )?;
+        let stats = RecoveryStats {
+            wal_lines: st.lines,
+            tail_replayed: st.replayed_requests,
+            reconcile,
+            control_ns: deployment.report.total_control_ns(),
+        };
+        cfg.wal = Some(wal);
+        cfg.first_request = st.last_request.map_or(0, |x| x + 1);
+        Ok((CamusService::start(ctrl, deployment, st.subs, channel, cfg), stats))
     }
 
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
     }
 
-    /// Submit a request with its modelled arrival time. Send failures
-    /// are deliberately silent here — a dead stage surfaces its error
-    /// at shutdown, which is where the caller can actually act on it.
+    /// Submit a request with its modelled arrival time. A send that
+    /// fails (intake died) is *recorded* — the id lands in
+    /// [`ServiceOutcome::lost_requests`] — never silently swallowed.
     pub fn request(&mut self, host: usize, op: RequestOp, arrival_ns: u64) -> RequestId {
         let id = self.next_request;
         self.next_request += 1;
-        let _ = self.intake.send(SubRequest { id, host, op, arrival_ns });
+        if self.intake.send(SubRequest { id, host, op, arrival_ns }).is_err() {
+            self.lost_requests.push(id);
+        }
         id
     }
 
@@ -248,38 +380,60 @@ impl CamusService {
                 Ctl::Msg(r) => self.reports.push(r),
                 Ctl::Drain => break,
                 // A stage died mid-drain; its error waits at join.
-                Ctl::Stop => break,
+                Ctl::Stop | Ctl::Crash => break,
             }
         }
         &self.reports[start..]
     }
 
     /// Stop the pipeline: flush, wait for the shutdown wave to cross
-    /// all three stages, join them, and collect the pieces.
+    /// all three stages, join them, and collect the pieces. Loss-free
+    /// by construction: every stage flushes before forwarding the
+    /// marker, so every request accepted before the stop is compiled,
+    /// deployed, and reported (`stats.unaccounted_ops == 0` on a
+    /// clean run — the regression the audit checks).
     pub fn shutdown(mut self) -> ServiceOutcome {
         let _ = self.intake.ctl(Ctl::Stop);
         while let Some(c) = self.reports_rx.recv() {
             match c {
                 Ctl::Msg(r) => self.reports.push(r),
-                Ctl::Stop => break,
+                Ctl::Stop | Ctl::Crash => break,
                 Ctl::Drain => {}
             }
         }
-        let (intake, r_intake) = self.h_intake.join().expect("intake stage panicked");
-        let (compile, r_compile) = self.h_compile.join().expect("compile stage panicked");
-        let (deploy, r_deploy) = self.h_deploy.join().expect("deploy stage panicked");
+        self.collect()
+    }
+
+    /// Fault injection: "kill" the controller process. The crash
+    /// marker sweeps the pipeline without flushing — intake's open
+    /// window and queued transactions are lost exactly the way a real
+    /// crash loses them — and the threads terminate where they stand.
+    /// The outcome's [`Deployment`] is the *wreckage*: the network as
+    /// the crash left it (staged shadow programs included), ready for
+    /// [`CamusService::recover`].
+    pub fn kill(mut self) -> ServiceOutcome {
+        let _ = self.intake.ctl(Ctl::Crash);
+        while let Some(c) = self.reports_rx.recv() {
+            match c {
+                Ctl::Msg(r) => self.reports.push(r),
+                Ctl::Stop | Ctl::Crash => break,
+                Ctl::Drain => {}
+            }
+        }
+        self.collect()
+    }
+
+    fn collect(self) -> ServiceOutcome {
+        let (intake, r_intake) = self.h_intake.join().expect("intake stage harness panicked");
+        let (compile, r_compile) = self.h_compile.join().expect("compile stage harness panicked");
+        let (deploy, r_deploy) = self.h_deploy.join().expect("deploy stage harness panicked");
 
         let mut errors = Vec::new();
-        if let Err(e) = r_intake {
-            errors.push(ServiceError::from(e));
-        }
-        if let Err(e) = r_compile {
-            errors.push(e);
-        }
-        if let Err(e) = r_deploy {
-            errors.push(ServiceError::from(e));
-        }
+        errors.extend(lift("camus-intake", r_intake));
+        errors.extend(lift("camus-route-compile", r_compile));
+        errors.extend(lift("camus-deploy", r_deploy));
 
+        let reported_ops: u64 = self.reports.iter().map(|r| r.ops as u64).sum();
         let stats = ServiceStats {
             accepted: intake.accepted,
             batches: intake.batches,
@@ -291,6 +445,9 @@ impl CamusService {
             committed_txns: deploy.committed_txns,
             rejected_txns: deploy.rejected_txns,
             out_of_order: intake.out_of_order,
+            restarts: self.registry.counter("service.stage.restarts").get(),
+            snapshots: deploy.snapshots_written,
+            unaccounted_ops: intake.accepted.saturating_sub(reported_ops),
             audit: deploy.audit_totals,
         };
 
@@ -301,6 +458,7 @@ impl CamusService {
             subs: intake.into_subs(),
             reports: self.reports,
             rejected_requests,
+            lost_requests: self.lost_requests,
             errors,
             stats,
             registry: self.registry,
@@ -508,6 +666,246 @@ mod tests {
         for w in out.reports.windows(2) {
             assert!(w[1].install_start_ns >= w[0].deployed_ns);
         }
+    }
+
+    /// A control channel whose controller process "dies" after a fixed
+    /// number of ops — the service-level twin of the faults crate's
+    /// armed crash, without the cross-crate dependency.
+    struct DyingChannel {
+        ops_left: u64,
+    }
+
+    impl ControlChannel for DyingChannel {
+        fn attempt(
+            &mut self,
+            _switch: usize,
+            _op: camus_net::ControlOp,
+            _attempt: u32,
+        ) -> camus_net::ChannelOutcome {
+            if self.ops_left == 0 {
+                return camus_net::ChannelOutcome::ControllerCrashed;
+            }
+            self.ops_left -= 1;
+            camus_net::ChannelOutcome::Delivered
+        }
+    }
+
+    fn fingerprints(c: &camus_routing::compile::NetworkCompile) -> Vec<(usize, u64)> {
+        c.switches.iter().map(|s| (s.switch, s.fingerprint)).collect()
+    }
+
+    #[test]
+    fn shutdown_drains_open_window_loss_free() {
+        // Regression (loss-free drain): requests sitting in intake's
+        // *open* window when shutdown arrives must still be compiled,
+        // deployed, and reported — never silently dropped.
+        let (mut svc, hosts) = start(ServiceConfig::default());
+        svc.subscribe(15, f("stock == GOOGL"), 1_000);
+        svc.subscribe(7, f("price > 50"), 1_100);
+        // No drain: the window is still open when Stop enters.
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert!(out.lost_requests.is_empty());
+        assert_eq!(out.stats.accepted, 2);
+        let reported: u64 = out.reports.iter().map(|r| r.ops as u64).sum();
+        assert_eq!(reported, 2, "every accepted op must surface in a report");
+        assert_eq!(out.stats.unaccounted_ops, 0, "clean shutdown may not lose work");
+        let mut expect = vec![Vec::new(); hosts];
+        expect[15].push(f("stock == GOOGL"));
+        expect[7].push(f("price > 50"));
+        assert_eq!(out.subs, expect);
+        let fresh = controller().deploy(paper_fat_tree(), &expect).unwrap();
+        assert_eq!(fingerprints(&out.deployment.compile), fingerprints(&fresh.compile));
+    }
+
+    #[test]
+    fn kill_then_recover_converges_to_fresh_deploy() {
+        // The whole durability story in one arc: WAL on, some churn
+        // committed, more churn still in flight when the process is
+        // killed; a recovered service replays the log, reinstalls, and
+        // ends up indistinguishable from a never-crashed controller.
+        let wal = Wal::in_memory();
+        let cfg =
+            ServiceConfig { wal: Some(wal.clone()), snapshot_every: 1, ..ServiceConfig::default() };
+        let (mut svc, hosts) = start(cfg);
+        svc.subscribe(15, f("stock == GOOGL"), 1_000);
+        svc.subscribe(7, f("price > 50"), 1_200);
+        svc.drain();
+        // These land in intake (and the WAL) but die in the pipeline.
+        svc.subscribe(3, f("price > 10"), 9_000_000);
+        svc.subscribe(9, f("stock == MSFT"), 9_000_100);
+        let wreck = svc.kill();
+        assert!(wreck.errors.is_empty(), "{:?}", wreck.errors);
+        assert_eq!(wreck.stats.accepted, 4);
+        assert_eq!(wreck.stats.snapshots, 1, "the committed txn snapshotted on cadence");
+        assert_eq!(
+            wreck.stats.unaccounted_ops, 2,
+            "the crash names the two ops it dropped instead of hiding them"
+        );
+
+        let (mut svc2, rstats) = CamusService::recover(
+            controller(),
+            wreck.deployment.network,
+            wal.clone(),
+            Box::new(PerfectChannel),
+            ServiceConfig::default(),
+        )
+        .expect("recovery must commit");
+        assert!(rstats.wal_lines > 0);
+        assert_eq!(rstats.tail_replayed, 2, "the two post-snapshot requests replay from the tail");
+        assert!(rstats.control_ns > 0, "reinstalling the lost churn costs control time");
+
+        // The recovered incarnation keeps living — and keeps ids
+        // monotonic above the log's watermark.
+        let id = svc2.subscribe(2, f("shares >= 5"), 20_000_000);
+        assert!(id >= 4, "recovered ids must not collide with logged ones (got {id})");
+        let out = svc2.shutdown();
+        assert!(out.errors.is_empty(), "{:?}", out.errors);
+        assert_eq!(out.stats.unaccounted_ops, 0);
+
+        let mut expect = vec![Vec::new(); hosts];
+        expect[15].push(f("stock == GOOGL"));
+        expect[7].push(f("price > 50"));
+        expect[3].push(f("price > 10"));
+        expect[9].push(f("stock == MSFT"));
+        expect[2].push(f("shares >= 5"));
+        assert_eq!(out.subs, expect, "WAL replay must restore every accepted request");
+        let fresh = controller().deploy(paper_fat_tree(), &expect).unwrap();
+        assert_eq!(fingerprints(&out.deployment.compile), fingerprints(&fresh.compile));
+        for (got, want) in out.deployment.network.switches.iter().zip(fresh.network.switches.iter())
+        {
+            assert_eq!(got.pipeline(), want.pipeline(), "installed pipelines must converge");
+        }
+
+        // Double replay is idempotent: recovery did not duplicate
+        // anything the snapshot already carried.
+        let once = wal.replay();
+        let twice = wal.replay();
+        assert_eq!(once.subs, twice.subs);
+    }
+
+    #[test]
+    fn mid_install_crash_leaves_wreckage_that_recovery_reconciles() {
+        // Kill the controller *inside* the two-phase install: the
+        // channel dies after 2 ops, stranding staged shadow programs
+        // with no commit decision. Recovery must abort them (presumed
+        // abort) and reinstall the replayed target state.
+        let net = paper_fat_tree();
+        let hosts = net.host_count();
+        let subs = vec![Vec::new(); hosts];
+        let ctrl = controller();
+        let d = ctrl.deploy(net, &subs).unwrap();
+        let wal = Wal::in_memory();
+        let cfg = ServiceConfig { wal: Some(wal.clone()), ..ServiceConfig::default() };
+        let mut svc =
+            CamusService::start(controller(), d, subs, Box::new(DyingChannel { ops_left: 2 }), cfg);
+        svc.subscribe(15, f("stock == GOOGL"), 1_000);
+        let out = svc.shutdown();
+        assert!(
+            out.errors.iter().any(|e| matches!(
+                e,
+                ServiceError::Deploy(crate::error::DeployStageError::Crashed { .. })
+            )),
+            "the deploy stage must surface the crash: {:?}",
+            out.errors
+        );
+        let wrecked: usize = out
+            .deployment
+            .network
+            .switches
+            .iter()
+            .filter(|s| s.staged_epoch().is_some() || s.unfinalized_epoch().is_some())
+            .count();
+        assert!(wrecked > 0, "a mid-install crash must strand in-doubt programs");
+
+        let (svc2, rstats) = CamusService::recover(
+            controller(),
+            out.deployment.network,
+            wal,
+            Box::new(PerfectChannel),
+            ServiceConfig::default(),
+        )
+        .expect("recovery must commit");
+        let rec = rstats.reconcile;
+        assert_eq!(
+            rec.aborted + rec.rolled_forward + rec.finalized + rec.reverted,
+            wrecked,
+            "every in-doubt switch is deterministically resolved: {rec:?}"
+        );
+        let out2 = svc2.shutdown();
+        assert!(out2.errors.is_empty(), "{:?}", out2.errors);
+        let mut expect = vec![Vec::new(); hosts];
+        expect[15].push(f("stock == GOOGL"));
+        assert_eq!(out2.subs, expect, "the crashed request was WAL-logged, so it survives");
+        let fresh = controller().deploy(paper_fat_tree(), &expect).unwrap();
+        assert_eq!(fingerprints(&out2.deployment.compile), fingerprints(&fresh.compile));
+        assert!(
+            out2.deployment
+                .network
+                .switches
+                .iter()
+                .all(|s| s.staged_epoch().is_none() && s.unfinalized_epoch().is_none()),
+            "no staged wreckage may survive recovery"
+        );
+    }
+
+    #[test]
+    fn compile_panic_is_supervised_and_later_batches_land() {
+        // Satellite: a panicking stage thread must not hang the pipe.
+        // The poison batch is dropped, the supervisor restarts the
+        // loop, and because batches carry full state snapshots the
+        // next one self-heals the lost work.
+        let cfg = ServiceConfig { compile_panic_on: vec![0], ..ServiceConfig::default() };
+        let (mut svc, hosts) = start(cfg);
+        svc.subscribe(15, f("stock == GOOGL"), 1_000);
+        svc.drain(); // txn 0: compile panics, batch dropped
+        svc.subscribe(7, f("price > 50"), 9_000_000);
+        let out = svc.shutdown();
+        assert!(out.errors.is_empty(), "one panic is within budget: {:?}", out.errors);
+        assert_eq!(out.stats.restarts, 1, "the panic must be counted");
+        assert_eq!(out.stats.unaccounted_ops, 1, "the poisoned batch's op is named, not hidden");
+        // The second batch's snapshot carries host 15's filter too.
+        let mut expect = vec![Vec::new(); hosts];
+        expect[15].push(f("stock == GOOGL"));
+        expect[7].push(f("price > 50"));
+        assert_eq!(out.subs, expect);
+        let fresh = controller().deploy(paper_fat_tree(), &expect).unwrap();
+        assert_eq!(
+            fingerprints(&out.deployment.compile),
+            fingerprints(&fresh.compile),
+            "the full-snapshot batch self-heals the dropped one"
+        );
+    }
+
+    #[test]
+    fn panic_budget_exhaustion_kills_the_stage_but_not_the_collector() {
+        // Every batch panics: the supervisor gives up after the budget
+        // and the outcome names the dead stage instead of hanging.
+        let cfg = ServiceConfig {
+            compile_panic_on: (0..16).collect(),
+            batch: BatchPolicy::naive(),
+            merge_backlog: false,
+            supervision: Supervision {
+                max_restarts: 2,
+                backoff: std::time::Duration::from_micros(10),
+            },
+            ..ServiceConfig::default()
+        };
+        let (mut svc, _) = start(cfg);
+        svc.subscribe(1, f("price > 10"), 1_000);
+        svc.subscribe(2, f("price > 10"), 2_000_000);
+        svc.subscribe(3, f("price > 10"), 4_000_000);
+        let out = svc.shutdown();
+        assert!(
+            out.errors.iter().any(|e| matches!(
+                e,
+                ServiceError::Panicked { stage: "camus-route-compile", panics: 2 }
+            )),
+            "{:?}",
+            out.errors
+        );
+        assert_eq!(out.stats.restarts, 2);
+        assert_eq!(out.stats.committed_txns, 0);
     }
 
     #[test]

@@ -35,8 +35,9 @@
 //! still overlapping upstream.
 
 use crate::core::{Pipe, Service};
+use crate::durability::Wal;
 use crate::error::{CompileStageError, DeployStageError, RouteError, ServiceError};
-use crate::intake::{ChurnBatch, SubRequest};
+use crate::intake::{ChurnBatch, RequestId, SubRequest};
 use camus_dataplane::Packet;
 use camus_lang::ast::{Expr, Operand};
 use camus_lang::value::Value;
@@ -107,6 +108,11 @@ pub struct RouteCompileService {
     /// Whether backlog batches may merge ([`Service::coalesce`]).
     merge_backlog: bool,
     inflight: Arc<Gauge>,
+    /// Fault injection: transaction ids at which this stage panics
+    /// (once each) before doing any work — exercises the supervisor's
+    /// restart path. The poisoned batch is dropped; the next batch's
+    /// full snapshot self-heals the gap.
+    panic_on: std::collections::BTreeSet<u64>,
     pub merged_batches: u64,
     pub compiles: u64,
     pub noops: u64,
@@ -158,11 +164,18 @@ impl RouteCompileService {
             outstanding: 0,
             merge_backlog,
             inflight,
+            panic_on: std::collections::BTreeSet::new(),
             merged_batches: 0,
             compiles: 0,
             noops: 0,
             cancelled_ops: 0,
         }
+    }
+
+    /// Arm fault injection: panic on the named transaction ids.
+    pub fn with_panic_on(mut self, txns: impl IntoIterator<Item = u64>) -> Self {
+        self.panic_on = txns.into_iter().collect();
+        self
     }
 
     /// Live delta-maintained BDD states, one per distinct rule-list
@@ -197,6 +210,9 @@ impl Service for RouteCompileService {
     }
 
     fn handle(&mut self, batch: ChurnBatch, out: &Pipe<Txn>) -> Result<(), ServiceError> {
+        if self.panic_on.remove(&batch.txn) {
+            panic!("injected compile-stage panic at txn {}", batch.txn);
+        }
         // Naive-baseline serialization: wait until every outstanding
         // install has landed before compiling the next transaction.
         if let Some(rx) = &self.serialize {
@@ -348,8 +364,18 @@ pub struct DeployService {
     probe_gap_ns: u64,
     ttt: Arc<Histogram>,
     inflight: Arc<Gauge>,
+    /// Durability: where cadence snapshots go (`None` = volatile).
+    wal: Option<Wal>,
+    /// Snapshot after this many committed transactions (0 = never).
+    snapshot_every: u64,
+    committed_since_snapshot: u64,
+    /// Highest request id folded into any handled transaction; batch
+    /// snapshots are cumulative, so after a committed install this is
+    /// exactly the watermark the deployed state reflects.
+    max_seen_request: Option<RequestId>,
     pub committed_txns: u64,
     pub rejected_txns: u64,
+    pub snapshots_written: u64,
     pub audit_totals: AuditReport,
 }
 
@@ -389,10 +415,23 @@ impl DeployService {
             probe_gap_ns,
             ttt,
             inflight,
+            wal: None,
+            snapshot_every: 0,
+            committed_since_snapshot: 0,
+            max_seen_request: None,
             committed_txns: 0,
             rejected_txns: 0,
+            snapshots_written: 0,
             audit_totals: AuditReport::default(),
         }
+    }
+
+    /// Arm durability: snapshot the committed state to `wal` every
+    /// `every` committed transactions.
+    pub fn with_wal(mut self, wal: Wal, every: u64) -> Self {
+        self.wal = Some(wal);
+        self.snapshot_every = every;
+        self
     }
 
     /// Republish every configured probe and check deliveries against
@@ -449,6 +488,9 @@ impl Service for DeployService {
         // The control channel is serial: this install starts when its
         // compile is done and the channel is free.
         let install_start_ns = self.clock.advance_to(txn.compiled_ns);
+        if let Some(m) = txn.requests.iter().map(|r| r.id).max() {
+            self.max_seen_request = Some(self.max_seen_request.map_or(m, |x| x.max(m)));
+        }
         let mut committed = false;
         let mut error = None;
         let mut distinct_compiles = 0;
@@ -476,6 +518,32 @@ impl Service for DeployService {
                         reinstalled = stats.reinstalled;
                         let control_ns = self.deployment.report.total_control_ns();
                         let done = self.clock.advance(control_ns);
+                        // Cadence snapshot: the committed state, the
+                        // fingerprints the controller believes are
+                        // installed, and the epoch watermark — bounds
+                        // the tail a recovery must replay.
+                        self.committed_since_snapshot += 1;
+                        if let Some(w) = &self.wal {
+                            if self.snapshot_every > 0
+                                && self.committed_since_snapshot >= self.snapshot_every
+                            {
+                                let fps: Vec<(usize, u64)> = self
+                                    .deployment
+                                    .compile
+                                    .switches
+                                    .iter()
+                                    .map(|s| (s.switch, s.fingerprint))
+                                    .collect();
+                                w.append_snapshot(
+                                    &p.subs,
+                                    &fps,
+                                    self.deployment.next_epoch,
+                                    self.max_seen_request,
+                                );
+                                self.committed_since_snapshot = 0;
+                                self.snapshots_written += 1;
+                            }
+                        }
                         let a = self.audit(&p.subs);
                         if !a.clean() {
                             // Invariant broken after a commit: stop
@@ -509,6 +577,14 @@ impl Service for DeployService {
                         audit = Some(a);
                         done
                     }
+                    Err(DeployError::Crashed { epoch, .. }) => {
+                        // Dead coordinator: nothing was rolled back,
+                        // staged programs sit on the switches, and
+                        // this "process" does nothing further. The
+                        // kill path harvests the wreckage for the
+                        // recovery arm to reconcile.
+                        return Err(DeployStageError::Crashed { txn: txn.txn, epoch });
+                    }
                     Err(e) => {
                         // Rolled back: the channel time was still
                         // spent. The next committed transaction
@@ -517,7 +593,7 @@ impl Service for DeployService {
                         let control_ns = match &e {
                             DeployError::Admission { report, .. }
                             | DeployError::Channel { report, .. } => report.total_control_ns(),
-                            DeployError::Compile(_) => 0,
+                            DeployError::Compile(_) | DeployError::Crashed { .. } => 0,
                         };
                         let done = self.clock.advance(control_ns);
                         error = Some(e);
